@@ -1,0 +1,114 @@
+// Command kernelrun executes a single application under one threading
+// model and prints its timing plus the runtime's scheduler counters —
+// the tool for poking at *why* a model behaves the way the figures
+// show (steal counts, failed steals, parks, loop chunks).
+//
+// Usage:
+//
+//	kernelrun -app axpy|sum|matvec|matmul|fib|bfs|hotspot|lud|lavamd|srad
+//	          [-model cilk_for] [-threads N] [-scale 1.0] [-reps 3]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"threading/internal/harness"
+	"threading/internal/models"
+	"threading/internal/stats"
+)
+
+// appToFig maps application names to their experiment IDs.
+var appToFig = map[string]string{
+	"axpy":    "fig1",
+	"sum":     "fig2",
+	"matvec":  "fig3",
+	"matmul":  "fig4",
+	"fib":     "fig5",
+	"bfs":     "fig6",
+	"hotspot": "fig7",
+	"lud":     "fig8",
+	"lavamd":  "fig9",
+	"srad":    "fig10",
+}
+
+func main() {
+	var (
+		app     = flag.String("app", "", "application name (axpy, sum, matvec, matmul, fib, bfs, hotspot, lud, lavamd, srad)")
+		model   = flag.String("model", models.OMPFor, "threading model")
+		threads = flag.Int("threads", runtime.GOMAXPROCS(0), "degree of parallelism")
+		scale   = flag.Float64("scale", 1.0, "workload scale factor")
+		reps    = flag.Int("reps", 3, "timed repetitions")
+	)
+	flag.Parse()
+
+	figID, ok := appToFig[*app]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "kernelrun: unknown app %q; have:", *app)
+		for name := range appToFig {
+			fmt.Fprintf(os.Stderr, " %s", name)
+		}
+		fmt.Fprintln(os.Stderr)
+		os.Exit(2)
+	}
+	e, _ := harness.ByID(figID)
+	supported := false
+	for _, name := range e.Models {
+		if name == *model {
+			supported = true
+		}
+	}
+	if !supported {
+		fmt.Fprintf(os.Stderr, "kernelrun: %s does not run under %s (models: %v)\n",
+			*app, *model, e.Models)
+		os.Exit(2)
+	}
+
+	w := e.Prepare(*scale)
+	fmt.Printf("%s under %s, %d threads — %s\n", *app, *model, *threads, w.Desc)
+
+	m, err := models.New(*model, *threads)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "kernelrun: %v\n", err)
+		os.Exit(1)
+	}
+	defer m.Close()
+
+	if w.Check != nil {
+		if err := w.Check(m); err != nil {
+			fmt.Fprintf(os.Stderr, "kernelrun: verification failed: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println("verification: ok (matches sequential reference)")
+	}
+
+	w.Run(m)                // warm-up
+	m.ResetSchedulerStats() // counters should reflect timed runs only
+
+	var ts []time.Duration
+	for r := 0; r < *reps; r++ {
+		start := time.Now()
+		w.Run(m)
+		ts = append(ts, time.Since(start))
+	}
+	sample := stats.Summarize(ts)
+	fmt.Printf("time: min=%v mean=%v median=%v max=%v (n=%d)\n",
+		sample.Min.Round(time.Microsecond), sample.Mean.Round(time.Microsecond),
+		sample.Median.Round(time.Microsecond), sample.Max.Round(time.Microsecond), sample.N)
+
+	if s, ok := m.SchedulerStats(); ok {
+		fmt.Printf("scheduler counters over %d timed runs:\n", *reps)
+		fmt.Printf("  tasks executed: %d\n", s.TasksExecuted)
+		fmt.Printf("  spawns:         %d\n", s.Spawns)
+		fmt.Printf("  steals:         %d\n", s.Steals)
+		fmt.Printf("  failed steals:  %d\n", s.FailedSteals)
+		fmt.Printf("  parks:          %d\n", s.Parks)
+		fmt.Printf("  barrier waits:  %d\n", s.BarrierWaits)
+		fmt.Printf("  loop chunks:    %d\n", s.LoopChunks)
+	} else {
+		fmt.Println("scheduler counters: none (model has no persistent runtime)")
+	}
+}

@@ -1,0 +1,145 @@
+// Command spanview is a Cilkview-style scalability analyzer for the
+// task graphs in this repository: it executes a computation's DAG
+// serially, measures work and span, and reports the inherent and
+// burdened parallelism — the speedup bound no machine can beat
+// (paper Table III, tool support).
+//
+// Usage:
+//
+//	spanview -app fib|sort|uts|tree [-n N] [-cutoff C] [-procs list]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"threading/internal/uts"
+	"threading/internal/workspan"
+)
+
+// leafCost is the synthetic cost charged per unit of leaf work, so
+// graph shapes are comparable.
+const leafCost = time.Microsecond
+
+func main() {
+	var (
+		app    = flag.String("app", "fib", "task graph to analyze: fib, sort, uts, tree")
+		n      = flag.Int("n", 20, "problem size (fib argument, sort length/1000, tree depth)")
+		cutoff = flag.Int("cutoff", 8, "sequential cut-off (fib/sort)")
+		procs  = flag.String("procs", "1,2,4,8,16,36,72", "processor counts for the speedup-bound table")
+	)
+	flag.Parse()
+
+	var report workspan.Report
+	switch *app {
+	case "fib":
+		report = workspan.Profile(workspan.Options{}, func(s workspan.Scope) {
+			fibSpan(s, *n, *cutoff)
+		})
+	case "sort":
+		report = workspan.Profile(workspan.Options{}, func(s workspan.Scope) {
+			sortSpan(s, *n*1000, *cutoff*1000)
+		})
+	case "uts":
+		p := uts.Small(uint64(*n))
+		report = workspan.Profile(workspan.Options{}, func(s workspan.Scope) {
+			utsSpan(s, p, p.Root(), 0)
+		})
+	case "tree":
+		report = workspan.Profile(workspan.Options{}, func(s workspan.Scope) {
+			treeSpan(s, *n)
+		})
+	default:
+		fmt.Fprintf(os.Stderr, "spanview: unknown app %q\n", *app)
+		os.Exit(2)
+	}
+
+	fmt.Printf("=== %s(n=%d, cutoff=%d) ===\n%s\n\n", *app, *n, *cutoff, report)
+	fmt.Println("speedup bound by processor count:")
+	for _, part := range strings.Split(*procs, ",") {
+		p, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || p < 1 {
+			continue
+		}
+		fmt.Printf("  P=%-4d bound %.2fx\n", p, report.SpeedupBound(p))
+	}
+}
+
+// fibSpan mirrors kernels.FibTask's task structure, charging leafCost
+// per recursive call below the cut-off.
+func fibSpan(s workspan.Scope, n, cutoff int) {
+	if n < 2 {
+		s.Charge(leafCost)
+		return
+	}
+	if n <= cutoff {
+		s.Charge(time.Duration(fibCalls(n)) * leafCost)
+		return
+	}
+	s.Spawn(func(cs workspan.Scope) { fibSpan(cs, n-1, cutoff) })
+	fibSpan(s, n-2, cutoff)
+	s.Sync()
+}
+
+// fibCalls counts the calls a sequential fib(n) performs.
+func fibCalls(n int) int64 {
+	if n < 2 {
+		return 1
+	}
+	return 1 + fibCalls(n-1) + fibCalls(n-2)
+}
+
+// sortSpan mirrors kernels.SortTask: halves spawn until the cut-off,
+// merges charge linear cost.
+func sortSpan(s workspan.Scope, n, cutoff int) {
+	if n <= cutoff || n < 2 {
+		// Sequential sort: n log n cost.
+		cost := float64(n)
+		if n > 1 {
+			cost *= log2(float64(n))
+		}
+		s.Charge(time.Duration(cost) * leafCost / 4)
+		return
+	}
+	mid := n / 2
+	s.Spawn(func(cs workspan.Scope) { sortSpan(cs, mid, cutoff) })
+	sortSpan(s, n-mid, cutoff)
+	s.Sync()
+	s.Charge(time.Duration(n) * leafCost / 4) // the merge is serial
+}
+
+func log2(x float64) float64 {
+	l := 0.0
+	for x > 1 {
+		x /= 2
+		l++
+	}
+	return l
+}
+
+// utsSpan charges one unit per tree node, spawning per child as the
+// UTS benchmark does.
+func utsSpan(s workspan.Scope, p uts.Params, id uint64, depth int) {
+	s.Charge(leafCost)
+	n := p.NumChildren(id, depth)
+	for i := 0; i < n; i++ {
+		cid := p.Child(id, i)
+		s.Spawn(func(cs workspan.Scope) { utsSpan(cs, p, cid, depth+1) })
+	}
+	s.Sync()
+}
+
+// treeSpan is a perfect binary tree of the given depth.
+func treeSpan(s workspan.Scope, depth int) {
+	if depth == 0 {
+		s.Charge(leafCost)
+		return
+	}
+	s.Spawn(func(cs workspan.Scope) { treeSpan(cs, depth-1) })
+	treeSpan(s, depth-1)
+	s.Sync()
+}

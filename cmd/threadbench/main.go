@@ -1,0 +1,82 @@
+// Command threadbench regenerates the performance figures of
+// "Comparison of Threading Programming Models" (Salehian, Liu, Yan;
+// 2017): five micro-kernels (Axpy, Sum, Matvec, Matmul, Fibonacci)
+// and five Rodinia applications (BFS, HotSpot, LUD, LavaMD, SRAD),
+// each executed under six threading-model configurations across a
+// sweep of thread counts.
+//
+// Usage:
+//
+//	threadbench [-fig fig1,fig5] [-threads 1,2,4] [-reps 3]
+//	            [-scale 1.0] [-verify] [-csv] [-list]
+//
+// With no -fig, all ten experiments run. -scale shrinks or grows the
+// workloads relative to the laptop-scale defaults (the paper's sizes
+// correspond to roughly -scale 12 for the vector kernels).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"threading/internal/core"
+	"threading/internal/harness"
+)
+
+func main() {
+	var (
+		figs    = flag.String("fig", "", "comma-separated experiment IDs (fig1..fig10); empty = all")
+		threads = flag.String("threads", "", "comma-separated thread counts; empty = 1,2,4,... up to 2*GOMAXPROCS")
+		reps    = flag.Int("reps", 3, "timed repetitions per cell (minimum is reported)")
+		scale   = flag.Float64("scale", 1.0, "workload scale factor")
+		verify  = flag.Bool("verify", false, "verify each model against the sequential reference before timing")
+		csv     = flag.Bool("csv", false, "emit CSV instead of tables")
+		list    = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range harness.IDs() {
+			e, _ := harness.ByID(id)
+			fmt.Printf("%-6s %s\n       paper: %s\n", e.ID, e.Title, e.Finding)
+		}
+		return
+	}
+
+	cfg := core.SuiteConfig{
+		Reps:   *reps,
+		Scale:  *scale,
+		Verify: *verify,
+		CSV:    *csv,
+	}
+	if *figs != "" {
+		cfg.Experiments = strings.Split(*figs, ",")
+	}
+	if *threads != "" {
+		for _, part := range strings.Split(*threads, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || n < 1 {
+				fmt.Fprintf(os.Stderr, "threadbench: bad thread count %q\n", part)
+				os.Exit(2)
+			}
+			cfg.Threads = append(cfg.Threads, n)
+		}
+	}
+
+	results, err := core.RunSuite(cfg, os.Stdout)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "threadbench: %v\n", err)
+		os.Exit(1)
+	}
+	if !*csv {
+		fmt.Println("summary (at the largest thread count):")
+		for _, r := range results {
+			s := core.Summarize(r)
+			fmt.Printf("  %-6s best=%-11s worst=%-11s worst/best=%.2fx\n",
+				s.Experiment, s.Best, s.Worst, s.WorstOverBest)
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module threading
+
+go 1.23

@@ -1,0 +1,123 @@
+// Package core ties the reproduction together: it coordinates the
+// qualitative comparison (feature tables), the six threading-model
+// configurations, and the figure-by-figure benchmark harness into a
+// single suite that regenerates the paper's evaluation. The
+// user-facing API is re-exported by the repository's root package
+// (threading); the CLI tools in cmd/ are thin wrappers over this
+// package.
+package core
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"threading/internal/features"
+	"threading/internal/harness"
+	"threading/internal/models"
+)
+
+// SuiteConfig selects what RunSuite executes.
+type SuiteConfig struct {
+	// Experiments lists figure IDs ("fig1".."fig10"). Empty selects
+	// all.
+	Experiments []string
+	// Threads, Reps, Scale, Verify configure each experiment run; see
+	// harness.Config.
+	Threads []int
+	Reps    int
+	Scale   float64
+	Verify  bool
+	// CSV switches output from human-readable tables to CSV.
+	CSV bool
+}
+
+// RunSuite executes the selected experiments and writes their tables
+// to out. It returns the collected results for programmatic use.
+func RunSuite(cfg SuiteConfig, out io.Writer) ([]*harness.Result, error) {
+	ids := cfg.Experiments
+	if len(ids) == 0 {
+		ids = harness.IDs()
+	}
+	var results []*harness.Result
+	for _, id := range ids {
+		e, ok := harness.ByID(id)
+		if !ok {
+			return nil, fmt.Errorf("core: unknown experiment %q (have %v)", id, harness.IDs())
+		}
+		start := time.Now()
+		res, err := harness.Run(e, harness.Config{
+			Threads: cfg.Threads,
+			Reps:    cfg.Reps,
+			Scale:   cfg.Scale,
+			Verify:  cfg.Verify,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if cfg.CSV {
+			res.RenderCSV(out)
+		} else {
+			res.Render(out)
+			fmt.Fprintf(out, "(experiment wall time: %v)\n\n", time.Since(start).Round(time.Millisecond))
+		}
+		results = append(results, res)
+	}
+	return results, nil
+}
+
+// FeatureReport writes the paper's Tables I-III to out. tables
+// selects which (1..3); empty selects all.
+func FeatureReport(tables []int, out io.Writer) error {
+	want := map[int]bool{}
+	for _, n := range tables {
+		if n < 1 || n > 3 {
+			return fmt.Errorf("core: no table %d (have 1..3)", n)
+		}
+		want[n] = true
+	}
+	var sb strings.Builder
+	for _, t := range features.Tables() {
+		if len(want) > 0 && !want[t.Number] {
+			continue
+		}
+		t.Render(&sb)
+		sb.WriteString("\n")
+	}
+	_, err := io.WriteString(out, sb.String())
+	return err
+}
+
+// Summary condenses one result into the paper-shape assertions the
+// EXPERIMENTS.md log records: who wins, who loses, by what factor.
+type Summary struct {
+	Experiment string
+	Threads    int
+	Best       string
+	Worst      string
+	// WorstOverBest is time(worst)/time(best) at Threads.
+	WorstOverBest float64
+}
+
+// Summarize extracts the Summary at the largest measured thread
+// count.
+func Summarize(r *harness.Result) Summary {
+	t := r.Threads[len(r.Threads)-1]
+	best, worst := r.BestModel(t), r.WorstModel(t)
+	return Summary{
+		Experiment:    r.Experiment.ID,
+		Threads:       t,
+		Best:          best,
+		Worst:         worst,
+		WorstOverBest: r.Ratio(worst, best, t),
+	}
+}
+
+// ModelNames returns the registered model names (sorted).
+func ModelNames() []string { return models.Names() }
+
+// NewModel constructs a threading model by name.
+func NewModel(name string, threads int) (models.Model, error) {
+	return models.New(name, threads)
+}

@@ -1,0 +1,70 @@
+// Package deque provides work-stealing double-ended queues.
+//
+// Two implementations are provided behind the same interface:
+//
+//   - ChaseLev: a lock-free growable deque after Chase and Lev
+//     ("Dynamic Circular Work-Stealing Deque", SPAA 2005), the design
+//     used by Cilk-style runtimes. The owner pushes and pops at the
+//     bottom without locking; thieves steal from the top with a single
+//     compare-and-swap.
+//
+//   - Locked: a mutex-protected deque, modelling the lock-based task
+//     deques of the Intel OpenMP task runtime. Every operation takes
+//     the lock, so concurrent steals serialize against the owner.
+//
+// The paper this repository reproduces attributes the performance gap
+// between cilk_spawn and omp task on recursive task parallelism
+// (Fibonacci, Fig. 5) to exactly this difference, so both designs are
+// first-class here and the schedulers in internal/worksteal can be
+// configured with either.
+package deque
+
+// Deque is a work-stealing deque of *T. The owner worker calls
+// PushBottom and PopBottom; any other worker may call Steal
+// concurrently. A nil return means the deque was (or appeared) empty.
+type Deque[T any] interface {
+	// PushBottom adds v to the bottom (owner end) of the deque.
+	// Only the owning worker may call it.
+	PushBottom(v *T)
+	// PopBottom removes and returns the most recently pushed element,
+	// or nil if the deque is empty. Only the owning worker may call it.
+	PopBottom() *T
+	// Steal removes and returns the oldest element, or nil if the
+	// deque is empty or the steal lost a race. Any worker may call it.
+	Steal() *T
+	// Len reports the approximate number of elements. It is only a
+	// snapshot: concurrent operations may change it immediately.
+	Len() int
+}
+
+// Kind selects a deque implementation.
+type Kind int
+
+const (
+	// KindChaseLev selects the lock-free Chase-Lev deque.
+	KindChaseLev Kind = iota
+	// KindLocked selects the mutex-based deque.
+	KindLocked
+)
+
+// String returns the human-readable name of the deque kind.
+func (k Kind) String() string {
+	switch k {
+	case KindChaseLev:
+		return "chase-lev"
+	case KindLocked:
+		return "locked"
+	default:
+		return "unknown"
+	}
+}
+
+// New returns an empty deque of the requested kind.
+func New[T any](kind Kind) Deque[T] {
+	switch kind {
+	case KindLocked:
+		return NewLocked[T]()
+	default:
+		return NewChaseLev[T]()
+	}
+}

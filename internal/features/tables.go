@@ -1,0 +1,210 @@
+package features
+
+// yes returns a supported cell with the paper's construct names.
+func yes(detail string) Cell { return Cell{Supported: true, Detail: detail} }
+
+// no returns an unsupported cell ("x" in the paper).
+func no() Cell { return Cell{} }
+
+// na returns an unsupported cell with an explanatory marker, e.g.
+// "N/A(host only)".
+func na(detail string) Cell { return Cell{Detail: detail} }
+
+// TableI returns the paper's Table I: Comparison of Parallelism.
+func TableI() *Table {
+	return &Table{
+		Number:  1,
+		Title:   "Comparison of Parallelism",
+		Columns: []Feature{DataParallelism, AsyncTasks, EventDriven, Offloading},
+		cells: map[API]map[Feature]Cell{
+			CilkPlus: {
+				DataParallelism: yes("cilk_for, array operations, elemental functions"),
+				AsyncTasks:      yes("cilk_spawn/cilk_sync"),
+				EventDriven:     no(),
+				Offloading:      na("host only"),
+			},
+			CUDA: {
+				DataParallelism: yes("<<<--->>>"),
+				AsyncTasks:      yes("async kernel launching and memcpy"),
+				EventDriven:     yes("stream"),
+				Offloading:      yes("device only"),
+			},
+			CPP11: {
+				DataParallelism: no(),
+				AsyncTasks:      yes("std::thread, std::async/future"),
+				EventDriven:     yes("std::future"),
+				Offloading:      na("host only"),
+			},
+			OpenACC: {
+				DataParallelism: yes("kernel/parallel"),
+				AsyncTasks:      yes("async/wait"),
+				EventDriven:     yes("wait"),
+				Offloading:      yes("device only (acc)"),
+			},
+			OpenCL: {
+				DataParallelism: yes("kernel"),
+				AsyncTasks:      yes("clEnqueueTask()"),
+				EventDriven:     yes("pipe, general DAG"),
+				Offloading:      yes("host and device"),
+			},
+			OpenMP: {
+				DataParallelism: yes("parallel for, simd, distribute"),
+				AsyncTasks:      yes("task/taskwait"),
+				EventDriven:     yes("depend (in/out/inout)"),
+				Offloading:      yes("host and device (target)"),
+			},
+			PThreads: {
+				DataParallelism: no(),
+				AsyncTasks:      yes("pthread create/join"),
+				EventDriven:     no(),
+				Offloading:      na("host only"),
+			},
+			TBB: {
+				DataParallelism: yes("parallel for/while/do, etc"),
+				AsyncTasks:      yes("task::spawn/wait"),
+				EventDriven:     yes("pipeline, parallel pipeline, general DAG (flow::graph)"),
+				Offloading:      na("host only"),
+			},
+		},
+	}
+}
+
+// TableII returns the paper's Table II: Comparison of Abstractions of
+// Memory Hierarchy and Synchronizations.
+func TableII() *Table {
+	return &Table{
+		Number: 2,
+		Title:  "Comparison of Abstractions of Memory Hierarchy and Synchronizations",
+		Columns: []Feature{
+			MemoryHierarchy, DataBinding, ExplicitDataMap, Barrier, Reduction, Join,
+		},
+		cells: map[API]map[Feature]Cell{
+			CilkPlus: {
+				MemoryHierarchy: no(),
+				DataBinding:     no(),
+				ExplicitDataMap: na("N/A(host only)"),
+				Barrier:         yes("implicit for cilk_for only"),
+				Reduction:       yes("reducers"),
+				Join:            yes("cilk_sync"),
+			},
+			CUDA: {
+				MemoryHierarchy: yes("blocks/threads, shared memory"),
+				DataBinding:     no(),
+				ExplicitDataMap: yes("cudaMemcpy function"),
+				Barrier:         yes("synchthreads"),
+				Reduction:       no(),
+				Join:            no(),
+			},
+			CPP11: {
+				MemoryHierarchy: na("x (but memory consistency)"),
+				DataBinding:     no(),
+				ExplicitDataMap: na("N/A(host only)"),
+				Barrier:         no(),
+				Reduction:       no(),
+				Join:            yes("std::join, std::future"),
+			},
+			OpenACC: {
+				MemoryHierarchy: yes("cache, gang/worker/vector"),
+				DataBinding:     no(),
+				ExplicitDataMap: yes("data copy/copyin/copyout"),
+				Barrier:         no(),
+				Reduction:       yes("reduction"),
+				Join:            yes("wait"),
+			},
+			OpenCL: {
+				MemoryHierarchy: yes("work group/item"),
+				DataBinding:     no(),
+				ExplicitDataMap: yes("buffer Write function"),
+				Barrier:         yes("work group barrier"),
+				Reduction:       yes("work group reduction"),
+				Join:            no(),
+			},
+			OpenMP: {
+				MemoryHierarchy: yes("OMP_PLACES, teams and distribute"),
+				DataBinding:     yes("proc_bind clause"),
+				ExplicitDataMap: yes("map(to/from/tofrom/alloc)"),
+				Barrier:         yes("barrier, implicit for parallel/for"),
+				Reduction:       yes("reduction"),
+				Join:            yes("taskwait"),
+			},
+			PThreads: {
+				MemoryHierarchy: no(),
+				DataBinding:     no(),
+				ExplicitDataMap: na("N/A(host only)"),
+				Barrier:         yes("pthread_barrier"),
+				Reduction:       no(),
+				Join:            yes("pthread_join"),
+			},
+			TBB: {
+				MemoryHierarchy: no(),
+				DataBinding:     yes("affinity partitioner"),
+				ExplicitDataMap: na("N/A(host only)"),
+				Barrier:         na("N/A(tasking)"),
+				Reduction:       yes("parallel_reduce"),
+				Join:            yes("wait"),
+			},
+		},
+	}
+}
+
+// TableIII returns the paper's Table III: Comparison of Mutual
+// Exclusions and Others.
+func TableIII() *Table {
+	return &Table{
+		Number: 3,
+		Title:  "Comparison of Mutual Exclusions and Others",
+		Columns: []Feature{
+			MutualExclusion, LanguageBinding, ErrorHandling, ToolSupport,
+		},
+		cells: map[API]map[Feature]Cell{
+			CilkPlus: {
+				MutualExclusion: yes("containers, mutex, atomic"),
+				LanguageBinding: yes("C/C++ elidable language extension"),
+				ErrorHandling:   no(),
+				ToolSupport:     yes("Cilkscreen, Cilkview"),
+			},
+			CUDA: {
+				MutualExclusion: yes("atomic"),
+				LanguageBinding: yes("C/C++ extensions"),
+				ErrorHandling:   no(),
+				ToolSupport:     yes("CUDA profiling tools"),
+			},
+			CPP11: {
+				MutualExclusion: yes("std::mutex, atomic"),
+				LanguageBinding: yes("C++"),
+				ErrorHandling:   yes("C++ exception"),
+				ToolSupport:     yes("System tools"),
+			},
+			OpenACC: {
+				MutualExclusion: yes("atomic"),
+				LanguageBinding: yes("directives for C/C++ and Fortran"),
+				ErrorHandling:   no(),
+				ToolSupport:     yes("System/vendor tools"),
+			},
+			OpenCL: {
+				MutualExclusion: yes("atomic"),
+				LanguageBinding: yes("C/C++ extensions"),
+				ErrorHandling:   yes("exceptions"),
+				ToolSupport:     yes("System/vendor tools"),
+			},
+			OpenMP: {
+				MutualExclusion: yes("locks, critical, atomic, single, master"),
+				LanguageBinding: yes("directives for C/C++ and Fortran"),
+				ErrorHandling:   yes("omp cancel"),
+				ToolSupport:     yes("OMP Tool interface"),
+			},
+			PThreads: {
+				MutualExclusion: yes("pthread_mutex, pthread_cond"),
+				LanguageBinding: yes("C library"),
+				ErrorHandling:   yes("pthread_cancel"),
+				ToolSupport:     yes("System tools"),
+			},
+			TBB: {
+				MutualExclusion: yes("containers, mutex, atomic"),
+				LanguageBinding: yes("C++ library"),
+				ErrorHandling:   yes("cancellation and exception"),
+				ToolSupport:     yes("System tools"),
+			},
+		},
+	}
+}

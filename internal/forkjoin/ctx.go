@@ -1,0 +1,204 @@
+package forkjoin
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Ctx is a member's handle inside a parallel region. All members of a
+// region execute the same code (SPMD), so work-sharing constructs
+// (ForRange, Single, Reduce) must be reached by every member in the
+// same order — as in OpenMP.
+type Ctx struct {
+	m         *member
+	r         *region
+	loopSeq   int
+	singleSeq int
+}
+
+// ID returns this member's index, in [0, Team().Size()).
+func (tc *Ctx) ID() int { return tc.m.id }
+
+// Team returns the executing team.
+func (tc *Ctx) Team() *Team { return tc.m.team }
+
+// Barrier blocks until every member of the region arrives —
+// the OpenMP "barrier" construct. It returns true on exactly one
+// member per phase.
+func (tc *Ctx) Barrier() bool {
+	tc.m.st.CountBarrierWait()
+	return tc.m.team.barrier.Wait()
+}
+
+// Critical executes fn under the team-wide critical-section lock —
+// the OpenMP "critical" construct (single unnamed lock).
+func (tc *Ctx) Critical(fn func()) {
+	tc.m.team.criticalMu.Lock()
+	defer tc.m.team.criticalMu.Unlock()
+	fn()
+}
+
+// Master executes fn on member 0 only, without synchronization — the
+// OpenMP "master" construct.
+func (tc *Ctx) Master(fn func()) {
+	if tc.m.id == 0 {
+		fn()
+	}
+}
+
+// Single executes fn on the first member to arrive; all members then
+// synchronize at an implicit barrier — the OpenMP "single" construct.
+func (tc *Ctx) Single(fn func()) {
+	d := tc.r.getSingle(tc.singleSeq)
+	tc.singleSeq++
+	if d.claimed.CompareAndSwap(false, true) {
+		fn()
+	}
+	tc.Barrier()
+}
+
+// Sections distributes the given function blocks across the team,
+// each executing exactly once on some member, followed by an implicit
+// barrier — the OpenMP "sections" construct. Blocks are claimed
+// first-come first-served, so a member may execute several.
+func (tc *Ctx) Sections(fns ...func()) {
+	seq := tc.loopSeq
+	tc.loopSeq++
+	d := tc.r.getLoop(seq, tc.m.team, 0, len(fns))
+	for {
+		i := d.next.Add(1) - 1
+		if i >= d.hi {
+			break
+		}
+		fns[i]()
+	}
+	tc.Barrier()
+}
+
+// ForRange distributes the iteration space [lo, hi) across the team
+// according to s and calls body once per assigned chunk — the OpenMP
+// "for" work-sharing construct with its implicit end barrier.
+func (tc *Ctx) ForRange(s Schedule, lo, hi int, body func(l, h int)) {
+	tc.forRange(s, lo, hi, body)
+	tc.Barrier()
+}
+
+// ForRangeNoWait is ForRange without the implicit end barrier —
+// the "nowait" clause.
+func (tc *Ctx) ForRangeNoWait(s Schedule, lo, hi int, body func(l, h int)) {
+	tc.forRange(s, lo, hi, body)
+}
+
+func (tc *Ctx) forRange(s Schedule, lo, hi int, body func(l, h int)) {
+	seq := tc.loopSeq
+	tc.loopSeq++
+	switch s.Kind {
+	case ScheduleStatic:
+		// No shared descriptor needed: assignment is a pure function
+		// of the member id, which is what makes static cheap.
+		tc.m.st.CountLoopChunk()
+		forStatic(tc.m.id, tc.m.team.n, lo, hi, s.Chunk, body)
+	case ScheduleDynamic:
+		d := tc.r.getLoop(seq, tc.m.team, lo, hi)
+		forDynamic(d, tc.m, s.Chunk, body)
+	case ScheduleGuided:
+		d := tc.r.getLoop(seq, tc.m.team, lo, hi)
+		forGuided(d, tc.m, s.Chunk, body)
+	}
+}
+
+// For distributes [lo, hi) and calls body once per iteration.
+func (tc *Ctx) For(s Schedule, lo, hi int, body func(i int)) {
+	tc.ForRange(s, lo, hi, func(l, h int) {
+		for i := l; i < h; i++ {
+			body(i)
+		}
+	})
+}
+
+// ReduceFloat64 is a work-sharing loop with a float64 reduction:
+// body folds each assigned chunk into acc and returns the new value;
+// combine folds the members' partial results. Every member receives
+// the combined value — the OpenMP "for reduction(...)" construct.
+// combine must be associative and commutative.
+func (tc *Ctx) ReduceFloat64(s Schedule, lo, hi int, identity float64,
+	body func(l, h int, acc float64) float64,
+	combine func(a, b float64) float64) float64 {
+
+	seq := tc.loopSeq
+	d := tc.r.getLoop(seq, tc.m.team, lo, hi) // claim descriptor for partials
+	acc := identity
+	tc.forRange(s, lo, hi, func(l, h int) {
+		acc = body(l, h, acc)
+	})
+	d.partials[tc.m.id].v = acc
+	tc.Barrier()
+	tc.Master(func() {
+		res := identity
+		for i := range d.partials {
+			res = combine(res, d.partials[i].v)
+		}
+		d.result = res
+	})
+	tc.Barrier()
+	return d.result
+}
+
+// node of the implicit task a member is currently executing; explicit
+// tasks created here become its children.
+type taskNode struct {
+	children atomic.Int64
+	parent   *taskNode
+
+	// Dependency table for TaskDepend children, created on demand.
+	depOnce sync.Once
+	deps    *depDomain
+}
+
+// task is one explicit task: a body plus its node in the task tree.
+type task struct {
+	fn   func(*Ctx)
+	node *taskNode
+}
+
+// Task creates an explicit task — the OpenMP "task" construct. Under
+// the default deferred policy the task is pushed on this member's
+// deque and runs at a scheduling point (Taskwait, Barrier with help,
+// region end) on whichever member claims it; under TaskImmediate it
+// runs inline. The body receives the Ctx of the executing member.
+func (tc *Ctx) Task(fn func(*Ctx)) {
+	t := tc.m.team
+	tc.m.st.CountSpawn()
+	node := &taskNode{parent: tc.m.cur}
+	tc.m.cur.children.Add(1)
+	if t.opts.Policy == TaskImmediate {
+		t.outstanding.Add(1)
+		tc.m.execute(tc, &task{fn: fn, node: node})
+		return
+	}
+	t.outstanding.Add(1)
+	tc.m.dq.PushBottom(&task{fn: fn, node: node})
+}
+
+// Taskwait blocks until every child task created by the current task
+// (or by this member's implicit region task) has completed — the
+// OpenMP "taskwait" construct. While waiting, the member executes
+// queued tasks, its own first.
+func (tc *Ctx) Taskwait() {
+	m := tc.m
+	node := m.cur
+	idle := 0
+	for node.children.Load() > 0 {
+		if tk := m.findTask(); tk != nil {
+			idle = 0
+			m.execute(tc, tk)
+			continue
+		}
+		idle++
+		if idle >= m.team.opts.SpinBeforeYield {
+			runtime.Gosched()
+			idle = 0
+		}
+	}
+}

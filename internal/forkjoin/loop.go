@@ -1,0 +1,180 @@
+package forkjoin
+
+import "sync/atomic"
+
+// ScheduleKind names a work-sharing loop schedule, mirroring OpenMP's
+// schedule clause.
+type ScheduleKind int
+
+const (
+	// ScheduleStatic divides iterations among members before the loop
+	// runs: with Chunk 0, one contiguous block per member; with Chunk
+	// k, chunks of k iterations dealt round-robin. Hand-out is O(1)
+	// and contention-free — the property that makes work-sharing win
+	// on flat data-parallel loops in the paper.
+	ScheduleStatic ScheduleKind = iota
+	// ScheduleDynamic hands out chunks of Chunk iterations (default 1)
+	// from a shared counter, first-come first-served.
+	ScheduleDynamic
+	// ScheduleGuided hands out exponentially shrinking chunks, never
+	// smaller than Chunk (default 1).
+	ScheduleGuided
+)
+
+// String returns the OpenMP-style name of the schedule kind.
+func (k ScheduleKind) String() string {
+	switch k {
+	case ScheduleStatic:
+		return "static"
+	case ScheduleDynamic:
+		return "dynamic"
+	case ScheduleGuided:
+		return "guided"
+	default:
+		return "unknown"
+	}
+}
+
+// Schedule pairs a schedule kind with its chunk parameter.
+type Schedule struct {
+	Kind  ScheduleKind
+	Chunk int
+}
+
+// Static is the default schedule: one contiguous block per member.
+var Static = Schedule{Kind: ScheduleStatic}
+
+// Dynamic returns a dynamic schedule with the given chunk size.
+func Dynamic(chunk int) Schedule { return Schedule{Kind: ScheduleDynamic, Chunk: chunk} }
+
+// Guided returns a guided schedule with the given minimum chunk size.
+func Guided(chunk int) Schedule { return Schedule{Kind: ScheduleGuided, Chunk: chunk} }
+
+// StaticChunked returns a static schedule with round-robin chunks.
+func StaticChunked(chunk int) Schedule { return Schedule{Kind: ScheduleStatic, Chunk: chunk} }
+
+// loopDesc is the shared state of one work-sharing loop instance.
+type loopDesc struct {
+	next     atomic.Int64 // dynamic/guided: next unclaimed iteration
+	hi       int64
+	partials []paddedFloat // reduction slots, one per member
+	result   float64       // combined reduction result
+}
+
+// paddedFloat keeps per-member reduction slots on separate cache
+// lines.
+type paddedFloat struct {
+	v float64
+	_ [56]byte
+}
+
+// getLoop returns the shared descriptor for the seq-th work-sharing
+// construct of the region, creating it on first arrival.
+func (r *region) getLoop(seq int, team *Team, lo, hi int) *loopDesc {
+	r.mu.Lock()
+	d, ok := r.loops[seq]
+	if !ok {
+		d = &loopDesc{partials: make([]paddedFloat, team.n)}
+		d.next.Store(int64(lo))
+		d.hi = int64(hi)
+		r.loops[seq] = d
+	}
+	r.mu.Unlock()
+	return d
+}
+
+// singleDesc is the shared state of one single construct.
+type singleDesc struct {
+	claimed atomic.Bool
+}
+
+// getSingle returns the shared descriptor for the seq-th single
+// construct of the region.
+func (r *region) getSingle(seq int) *singleDesc {
+	r.mu.Lock()
+	d, ok := r.singles[seq]
+	if !ok {
+		d = &singleDesc{}
+		r.singles[seq] = d
+	}
+	r.mu.Unlock()
+	return d
+}
+
+// forStatic runs the member's share of [lo,hi) under a static
+// schedule and reports each chunk to body.
+func forStatic(id, nMembers, lo, hi, chunk int, body func(l, h int)) {
+	n := hi - lo
+	if n <= 0 {
+		return
+	}
+	if chunk <= 0 {
+		// Block distribution: sizes differ by at most one.
+		base := n / nMembers
+		rem := n % nMembers
+		start := lo + id*base + min(id, rem)
+		size := base
+		if id < rem {
+			size++
+		}
+		if size > 0 {
+			body(start, start+size)
+		}
+		return
+	}
+	for start := lo + id*chunk; start < hi; start += nMembers * chunk {
+		end := start + chunk
+		if end > hi {
+			end = hi
+		}
+		body(start, end)
+	}
+}
+
+// forDynamic claims fixed-size chunks from the shared counter until
+// the loop is exhausted.
+func forDynamic(d *loopDesc, m *member, chunk int, body func(l, h int)) {
+	if chunk <= 0 {
+		chunk = 1
+	}
+	c64 := int64(chunk)
+	for {
+		start := d.next.Add(c64) - c64
+		if start >= d.hi {
+			return
+		}
+		end := start + c64
+		if end > d.hi {
+			end = d.hi
+		}
+		m.st.CountLoopChunk()
+		body(int(start), int(end))
+	}
+}
+
+// forGuided claims exponentially shrinking chunks: each claim takes
+// remaining/(2*members), but never less than minChunk.
+func forGuided(d *loopDesc, m *member, minChunk int, body func(l, h int)) {
+	if minChunk <= 0 {
+		minChunk = 1
+	}
+	for {
+		cur := d.next.Load()
+		if cur >= d.hi {
+			return
+		}
+		rem := d.hi - cur
+		ch := rem / int64(2*m.team.n)
+		if ch < int64(minChunk) {
+			ch = int64(minChunk)
+		}
+		if ch > rem {
+			ch = rem
+		}
+		if !d.next.CompareAndSwap(cur, cur+ch) {
+			continue
+		}
+		m.st.CountLoopChunk()
+		body(int(cur), int(cur+ch))
+	}
+}

@@ -1,0 +1,300 @@
+// Package forkjoin implements an OpenMP-style fork-join runtime: a
+// persistent team of workers executes parallel regions, inside which
+// loop iterations are distributed by work-sharing schedules (static,
+// dynamic, guided) and explicit tasks are scheduled over per-member
+// deques.
+//
+// This is the "OpenMP" side of the reproduced paper. Its two defining
+// properties — O(1) hand-out of loop chunks by work-sharing (no steals
+// on the distribution path), and lock-based task deques in the tasking
+// layer (matching the Intel OpenMP runtime the paper measured) — are
+// the mechanisms behind the paper's headline results on data-parallel
+// kernels (Figs. 1-4) and recursive tasking (Fig. 5).
+package forkjoin
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"threading/internal/deque"
+	"threading/internal/sched"
+	"threading/internal/syncprim"
+)
+
+// TaskPolicy selects when an explicit task body runs.
+type TaskPolicy int
+
+const (
+	// TaskDeferred queues tasks on the creating member's deque, to be
+	// executed at scheduling points (taskwait, barriers, region end)
+	// or stolen by idle members. This models breadth-first task
+	// creation as in the Intel OpenMP runtime.
+	TaskDeferred TaskPolicy = iota
+	// TaskImmediate executes the task body inline at the creation
+	// site, modelling a work-first scheduler (undeferred tasks).
+	TaskImmediate
+)
+
+// Options configure a Team.
+type Options struct {
+	// TaskDeque selects the deque backing explicit tasks. The default
+	// deque.KindChaseLev is overridden to deque.KindLocked by NewTeam
+	// unless LockFreeTasks is set, because the modelled runtime uses
+	// lock-based deques.
+	LockFreeTasks bool
+	// Policy selects deferred (default) or immediate task execution.
+	Policy TaskPolicy
+	// CentralBarrier replaces the default sense-reversing barrier
+	// with the lock-based central barrier (ablation).
+	CentralBarrier bool
+	// SpinBeforeYield is how many find-work failures a draining member
+	// tolerates before yielding the processor. Zero selects a default.
+	SpinBeforeYield int
+}
+
+// Team is a fixed-size group of workers executing parallel regions.
+// The calling goroutine acts as member 0 (the master); members
+// 1..n-1 are persistent goroutines that block between regions, so a
+// region launch costs one channel send per worker, not a goroutine
+// spawn — the fork-join model's "fork".
+//
+// A Team is not safe for concurrent Parallel calls and regions must
+// not nest; this mirrors the single-level OpenMP usage the paper
+// benchmarks.
+type Team struct {
+	n       int
+	opts    Options
+	barrier syncprim.Barrier
+	members []*member
+	stats   *sched.Stats
+
+	criticalMu  sync.Mutex
+	outstanding atomic.Int64 // live explicit tasks
+	inRegion    atomic.Bool  // guards against nested/concurrent Parallel
+	closed      atomic.Bool
+
+	panicMu  sync.Mutex
+	panicVal any
+
+	wg sync.WaitGroup
+}
+
+// member is one team participant. Member 0 has no cmds channel: it is
+// driven directly by Parallel on the calling goroutine.
+type member struct {
+	id   int
+	team *Team
+	cmds chan *region
+	dq   deque.Deque[task]
+	rng  *sched.Rand
+	st   *sched.Shard
+	cur  *taskNode // node whose children a taskwait would join
+}
+
+// region is the shared state of one parallel region: the body and the
+// lazily created descriptors for each work-sharing construct in it.
+type region struct {
+	fn      func(*Ctx)
+	mu      sync.Mutex
+	loops   map[int]*loopDesc
+	singles map[int]*singleDesc
+}
+
+const defaultDrainSpin = 64
+
+// NewTeam creates a team of n members (including the master). n must
+// be at least 1.
+func NewTeam(n int, opts Options) *Team {
+	if n < 1 {
+		panic("forkjoin: team needs at least 1 member")
+	}
+	if opts.SpinBeforeYield <= 0 {
+		opts.SpinBeforeYield = defaultDrainSpin
+	}
+	t := &Team{n: n, opts: opts, stats: sched.NewStats(n)}
+	if opts.CentralBarrier {
+		t.barrier = syncprim.NewCentralBarrier(n)
+	} else {
+		t.barrier = syncprim.NewSenseBarrier(n)
+	}
+	kind := deque.KindLocked
+	if opts.LockFreeTasks {
+		kind = deque.KindChaseLev
+	}
+	t.members = make([]*member, n)
+	for i := 0; i < n; i++ {
+		m := &member{
+			id:   i,
+			team: t,
+			dq:   deque.New[task](kind),
+			rng:  sched.NewRand(uint64(i)*0x9E3779B9 + 7),
+			st:   t.stats.Shard(i),
+		}
+		if i > 0 {
+			m.cmds = make(chan *region)
+		}
+		t.members[i] = m
+	}
+	for i := 1; i < n; i++ {
+		t.wg.Add(1)
+		go t.members[i].loop()
+	}
+	return t
+}
+
+// Size reports the number of team members.
+func (t *Team) Size() int { return t.n }
+
+// Stats returns a snapshot of the runtime counters.
+func (t *Team) Stats() sched.Snapshot { return t.stats.Snapshot() }
+
+// ResetStats zeroes the runtime counters.
+func (t *Team) ResetStats() { t.stats.Reset() }
+
+// Close releases the worker goroutines. The team must not be used
+// afterwards.
+func (t *Team) Close() {
+	if t.closed.Swap(true) {
+		return
+	}
+	for i := 1; i < t.n; i++ {
+		close(t.members[i].cmds)
+	}
+	t.wg.Wait()
+}
+
+// Parallel executes fn once on every team member concurrently — the
+// OpenMP "parallel" construct. It returns after every member has
+// finished, every explicit task created in the region has completed,
+// and all members have joined the implicit end-of-region barrier. If
+// any member or task panicked, Parallel re-panics on the caller with
+// the first recorded value.
+func (t *Team) Parallel(fn func(tc *Ctx)) {
+	if t.closed.Load() {
+		panic("forkjoin: Parallel on closed team")
+	}
+	if !t.inRegion.CompareAndSwap(false, true) {
+		panic("forkjoin: nested or concurrent parallel regions are not supported")
+	}
+	defer t.inRegion.Store(false)
+	r := &region{
+		fn:      fn,
+		loops:   make(map[int]*loopDesc),
+		singles: make(map[int]*singleDesc),
+	}
+	for i := 1; i < t.n; i++ {
+		t.members[i].cmds <- r
+	}
+	t.members[0].runRegion(r)
+
+	t.panicMu.Lock()
+	pv := t.panicVal
+	t.panicVal = nil
+	t.panicMu.Unlock()
+	if pv != nil {
+		panic(pv)
+	}
+}
+
+// loop is the worker main loop: run regions until the team closes.
+func (m *member) loop() {
+	defer m.team.wg.Done()
+	for r := range m.cmds {
+		m.runRegion(r)
+	}
+}
+
+// runRegion executes the region body on this member, drains explicit
+// tasks, and joins the implicit end-of-region barrier.
+func (m *member) runRegion(r *region) {
+	root := &taskNode{}
+	m.cur = root
+	tc := &Ctx{m: m, r: r}
+	func() {
+		defer func() {
+			if p := recover(); p != nil {
+				m.team.recordPanic(p)
+			}
+		}()
+		r.fn(tc)
+	}()
+	// Region end: help until every explicit task in the region has
+	// finished, then join the implicit barrier.
+	m.drainAllTasks(tc)
+	m.st.CountBarrierWait()
+	m.team.barrier.Wait()
+	m.cur = nil
+}
+
+// recordPanic stores the first panic observed in a region.
+func (t *Team) recordPanic(v any) {
+	t.panicMu.Lock()
+	if t.panicVal == nil {
+		t.panicVal = fmt.Sprintf("forkjoin: parallel region panicked: %v", v)
+	}
+	t.panicMu.Unlock()
+}
+
+// drainAllTasks executes or waits out every outstanding explicit task
+// in the team.
+func (m *member) drainAllTasks(tc *Ctx) {
+	idle := 0
+	for m.team.outstanding.Load() > 0 {
+		if tk := m.findTask(); tk != nil {
+			idle = 0
+			m.execute(tc, tk)
+			continue
+		}
+		idle++
+		if idle >= m.team.opts.SpinBeforeYield {
+			runtime.Gosched()
+			idle = 0
+		}
+	}
+}
+
+// findTask pops the member's own deque or steals from a random
+// victim.
+func (m *member) findTask() *task {
+	if tk := m.dq.PopBottom(); tk != nil {
+		return tk
+	}
+	n := len(m.team.members)
+	if n == 1 {
+		return nil
+	}
+	start := m.rng.Intn(n)
+	for i := 0; i < n; i++ {
+		v := m.team.members[(start+i)%n]
+		if v == m {
+			continue
+		}
+		if tk := v.dq.Steal(); tk != nil {
+			m.st.CountSteal()
+			return tk
+		}
+	}
+	m.st.CountFailedSteal()
+	return nil
+}
+
+// execute runs one explicit task body with parent tracking so that a
+// taskwait inside the body joins the right children.
+func (m *member) execute(tc *Ctx, tk *task) {
+	m.st.CountTask()
+	saved := m.cur
+	m.cur = tk.node
+	func() {
+		defer func() {
+			if p := recover(); p != nil {
+				m.team.recordPanic(p)
+			}
+		}()
+		tk.fn(tc)
+	}()
+	m.cur = saved
+	tk.node.parent.children.Add(-1)
+	m.team.outstanding.Add(-1)
+}

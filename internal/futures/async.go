@@ -1,0 +1,93 @@
+package futures
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Policy selects how Async runs its function, mirroring std::launch.
+type Policy int
+
+const (
+	// LaunchAsync runs the function immediately on a new thread of
+	// execution — std::launch::async.
+	LaunchAsync Policy = iota
+	// LaunchDeferred delays the function until the first Get, which
+	// then runs it on the getter's goroutine — std::launch::deferred.
+	LaunchDeferred
+)
+
+// String returns the std::launch-style name of the policy.
+func (p Policy) String() string {
+	switch p {
+	case LaunchAsync:
+		return "async"
+	case LaunchDeferred:
+		return "deferred"
+	default:
+		return "unknown"
+	}
+}
+
+// Async runs fn under the given policy and returns a future for its
+// result. A panic in fn surfaces as an error from Get.
+func Async[T any](policy Policy, fn func() (T, error)) *Future[T] {
+	safe := func() (v T, err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("futures: async task panicked: %v", r)
+			}
+		}()
+		return fn()
+	}
+	if policy == LaunchDeferred {
+		st := &futureState[T]{}
+		st.cond = sync.NewCond(&st.mu)
+		return &Future[T]{st: st, deferredOnce: &sync.Once{}, deferredFn: safe}
+	}
+	p := NewPromise[T]()
+	go func() {
+		v, err := safe()
+		if err != nil {
+			p.SetError(err)
+			return
+		}
+		p.Set(v)
+	}()
+	return p.Future()
+}
+
+// PackagedTask wraps a function so that invoking it fulfills an
+// associated future — std::packaged_task. It may be invoked at most
+// once.
+type PackagedTask[T any] struct {
+	fn      func() (T, error)
+	promise *Promise[T]
+	once    sync.Once
+}
+
+// NewPackagedTask wraps fn.
+func NewPackagedTask[T any](fn func() (T, error)) *PackagedTask[T] {
+	return &PackagedTask[T]{fn: fn, promise: NewPromise[T]()}
+}
+
+// Future returns the future that Invoke will fulfill.
+func (t *PackagedTask[T]) Future() *Future[T] { return t.promise.Future() }
+
+// Invoke runs the wrapped function on the calling goroutine and
+// fulfills the future. Subsequent invocations are no-ops.
+func (t *PackagedTask[T]) Invoke() {
+	t.once.Do(func() {
+		defer func() {
+			if r := recover(); r != nil {
+				t.promise.SetError(fmt.Errorf("futures: packaged task panicked: %v", r))
+			}
+		}()
+		v, err := t.fn()
+		if err != nil {
+			t.promise.SetError(err)
+			return
+		}
+		t.promise.Set(v)
+	})
+}

@@ -1,0 +1,87 @@
+package futures
+
+import "sync"
+
+// This file provides the future combinators of the C++ Concurrency TS
+// (std::experimental::when_all / when_any and future::then) — the
+// paper lists C++ futures as its data/event-driven mechanism, and
+// these are the standard ways futures compose into dependency graphs.
+
+// WhenAll returns a future that resolves once every input future has
+// resolved, carrying all values in input order. The first error (if
+// any) is reported after all inputs settle.
+func WhenAll[T any](fs ...*Future[T]) *Future[[]T] {
+	p := NewPromise[[]T]()
+	go func() {
+		out := make([]T, len(fs))
+		var firstErr error
+		for i, f := range fs {
+			v, err := f.Get()
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+			out[i] = v
+		}
+		if firstErr != nil {
+			p.SetError(firstErr)
+			return
+		}
+		p.Set(out)
+	}()
+	return p.Future()
+}
+
+// AnyResult is WhenAny's outcome: the index and value of the first
+// input future to resolve.
+type AnyResult[T any] struct {
+	Index int
+	Value T
+}
+
+// WhenAny returns a future that resolves as soon as any input future
+// resolves (with a value or an error — whichever settles first wins,
+// matching when_any semantics). Deferred inputs are not forced: as in
+// the Concurrency TS, a deferred future only settles when its own Get
+// runs. WhenAny panics if called with no futures.
+func WhenAny[T any](fs ...*Future[T]) *Future[AnyResult[T]] {
+	if len(fs) == 0 {
+		panic("futures: WhenAny of nothing")
+	}
+	p := NewPromise[AnyResult[T]]()
+	var once sync.Once
+	for i, f := range fs {
+		i, f := i, f
+		go func() {
+			v, err := f.waitReady()
+			once.Do(func() {
+				if err != nil {
+					p.SetError(err)
+					return
+				}
+				p.Set(AnyResult[T]{Index: i, Value: v})
+			})
+		}()
+	}
+	return p.Future()
+}
+
+// Then attaches a continuation to a future: the returned future
+// resolves with fn applied to f's value once it arrives —
+// future::then from the Concurrency TS. Errors short-circuit past fn.
+func Then[T, U any](f *Future[T], fn func(T) (U, error)) *Future[U] {
+	p := NewPromise[U]()
+	go func() {
+		v, err := f.Get()
+		if err != nil {
+			p.SetError(err)
+			return
+		}
+		u, err := fn(v)
+		if err != nil {
+			p.SetError(err)
+			return
+		}
+		p.Set(u)
+	}()
+	return p.Future()
+}

@@ -1,0 +1,151 @@
+package futures
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestWhenAllValues(t *testing.T) {
+	fs := make([]*Future[int], 5)
+	for i := range fs {
+		i := i
+		fs[i] = Async(LaunchAsync, func() (int, error) { return i * i, nil })
+	}
+	all, err := WhenAll(fs...).Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range all {
+		if v != i*i {
+			t.Fatalf("all[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+func TestWhenAllError(t *testing.T) {
+	bad := errors.New("bad")
+	fs := []*Future[int]{
+		Async(LaunchAsync, func() (int, error) { return 1, nil }),
+		Async(LaunchAsync, func() (int, error) { return 0, bad }),
+	}
+	if _, err := WhenAll(fs...).Get(); !errors.Is(err, bad) {
+		t.Fatalf("err = %v, want bad", err)
+	}
+}
+
+func TestWhenAllEmpty(t *testing.T) {
+	all, err := WhenAll[int]().Get()
+	if err != nil || len(all) != 0 {
+		t.Fatalf("WhenAll() = (%v, %v)", all, err)
+	}
+}
+
+func TestWhenAnyFirstWins(t *testing.T) {
+	slow := NewPromise[int]()
+	fast := Async(LaunchAsync, func() (int, error) { return 7, nil })
+	res, err := WhenAny(slow.Future(), fast).Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Index != 1 || res.Value != 7 {
+		t.Fatalf("res = %+v, want index 1 value 7", res)
+	}
+	slow.Set(1) // settle the promise so nothing leaks blocked
+}
+
+func TestWhenAnyError(t *testing.T) {
+	bad := errors.New("first failure")
+	slow := NewPromise[int]()
+	failing := Async(LaunchAsync, func() (int, error) { return 0, bad })
+	if _, err := WhenAny(slow.Future(), failing).Get(); !errors.Is(err, bad) {
+		t.Fatalf("err = %v, want first failure", err)
+	}
+	slow.Set(0)
+}
+
+func TestWhenAnyEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("WhenAny() did not panic")
+		}
+	}()
+	WhenAny[int]()
+}
+
+func TestThenChains(t *testing.T) {
+	f := Async(LaunchAsync, func() (int, error) { return 6, nil })
+	g := Then(f, func(v int) (string, error) {
+		if v != 6 {
+			t.Errorf("continuation got %d", v)
+		}
+		return "ok", nil
+	})
+	s, err := g.Get()
+	if err != nil || s != "ok" {
+		t.Fatalf("Get = (%q, %v)", s, err)
+	}
+}
+
+func TestThenErrorShortCircuits(t *testing.T) {
+	bad := errors.New("upstream")
+	f := Async(LaunchAsync, func() (int, error) { return 0, bad })
+	ran := false
+	g := Then(f, func(int) (int, error) { ran = true; return 0, nil })
+	if _, err := g.Get(); !errors.Is(err, bad) {
+		t.Fatalf("err = %v", err)
+	}
+	if ran {
+		t.Fatal("continuation ran despite upstream error")
+	}
+}
+
+func TestThenContinuationError(t *testing.T) {
+	bad := errors.New("in then")
+	f := Async(LaunchAsync, func() (int, error) { return 1, nil })
+	g := Then(f, func(int) (int, error) { return 0, bad })
+	if _, err := g.Get(); !errors.Is(err, bad) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCombinatorGraph(t *testing.T) {
+	// A small dependency DAG: two sources -> combine -> fan-out ->
+	// when_all join, exercising composition end to end.
+	a := Async(LaunchAsync, func() (int, error) { return 3, nil })
+	b := Async(LaunchAsync, func() (int, error) { return 4, nil })
+	ab, err := WhenAll(a, b).Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := Async(LaunchAsync, func() (int, error) { return ab[0] + ab[1], nil })
+	outs := make([]*Future[int], 3)
+	for i := range outs {
+		i := i
+		outs[i] = Then(sum, func(v int) (int, error) { return v * (i + 1), nil })
+	}
+	vals, err := WhenAll(outs...).Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range vals {
+		if v != 7*(i+1) {
+			t.Fatalf("vals = %v", vals)
+		}
+	}
+}
+
+func TestWhenAnyTiming(t *testing.T) {
+	start := time.Now()
+	slow := Async(LaunchAsync, func() (int, error) {
+		time.Sleep(200 * time.Millisecond)
+		return 1, nil
+	})
+	fast := Async(LaunchAsync, func() (int, error) { return 2, nil })
+	if _, err := WhenAny(slow, fast).Get(); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 150*time.Millisecond {
+		t.Fatalf("WhenAny waited for the slow future (%v)", elapsed)
+	}
+}

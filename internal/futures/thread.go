@@ -1,0 +1,228 @@
+// Package futures provides a C++11-style threading layer: Thread
+// (std::thread), Promise/Future (std::promise / std::future), Async
+// with launch policies (std::async), and PackagedTask.
+//
+// In the reproduced paper this is the "C++11" contender: parallel
+// loops are expressed by manual chunking — create one thread (or one
+// async task) per chunk, join them all — and recursive task
+// parallelism by std::async with a cut-off. A Thread here is a fresh
+// goroutine per call, deliberately without pooling, so thread-creation
+// overhead appears in measurements the way std::thread's does.
+package futures
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Thread runs a function concurrently, like std::thread: it starts
+// executing immediately on construction and must be joined (or
+// detached) exactly once before it is discarded.
+type Thread struct {
+	done     chan struct{}
+	panicVal any
+	joined   atomic.Bool
+	detached atomic.Bool
+}
+
+// NewThread starts fn on a new thread of execution.
+func NewThread(fn func()) *Thread {
+	t := &Thread{done: make(chan struct{})}
+	go func() {
+		defer close(t.done)
+		defer func() {
+			if r := recover(); r != nil {
+				t.panicVal = fmt.Sprintf("futures: thread panicked: %v", r)
+			}
+		}()
+		fn()
+	}()
+	return t
+}
+
+// Join blocks until the thread's function returns. If the function
+// panicked, Join re-panics on the joiner (where std::thread would
+// have terminated the process). Join must be called at most once and
+// not after Detach.
+func (t *Thread) Join() {
+	if t.detached.Load() {
+		panic("futures: Join after Detach")
+	}
+	if t.joined.Swap(true) {
+		panic("futures: thread joined twice")
+	}
+	<-t.done
+	if t.panicVal != nil {
+		panic(t.panicVal)
+	}
+}
+
+// Detach lets the thread run to completion unobserved. After Detach
+// the thread must not be joined.
+func (t *Thread) Detach() {
+	if t.joined.Load() {
+		panic("futures: Detach after Join")
+	}
+	t.detached.Store(true)
+}
+
+// Joinable reports whether the thread can still be joined.
+func (t *Thread) Joinable() bool {
+	return !t.joined.Load() && !t.detached.Load()
+}
+
+// ErrBrokenPromise is returned by Future.Get when the promise was
+// dropped without a value — the analogue of std::future_error with
+// broken_promise.
+var ErrBrokenPromise = errors.New("futures: broken promise")
+
+// future is the shared state between a Promise and its Future.
+type futureState[T any] struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	ready bool
+	val   T
+	err   error
+}
+
+// Future is the receiving end of a Promise: Get blocks until a value
+// or error is delivered.
+type Future[T any] struct {
+	st *futureState[T]
+	// deferredFn, when non-nil, is executed lazily by the first Get —
+	// std::launch::deferred semantics.
+	deferredOnce *sync.Once
+	deferredFn   func() (T, error)
+}
+
+// Promise is the producing end: exactly one of Set or SetError should
+// be called. A Promise produces a single Future via Future.
+type Promise[T any] struct {
+	st *futureState[T]
+}
+
+// NewPromise returns an unfulfilled promise.
+func NewPromise[T any]() *Promise[T] {
+	st := &futureState[T]{}
+	st.cond = sync.NewCond(&st.mu)
+	return &Promise[T]{st: st}
+}
+
+// Future returns the future associated with this promise.
+func (p *Promise[T]) Future() *Future[T] {
+	return &Future[T]{st: p.st}
+}
+
+// Set delivers the value, waking all waiters. Setting a promise twice
+// panics.
+func (p *Promise[T]) Set(v T) {
+	p.st.mu.Lock()
+	defer p.st.mu.Unlock()
+	if p.st.ready {
+		panic("futures: promise satisfied twice")
+	}
+	p.st.val = v
+	p.st.ready = true
+	p.st.cond.Broadcast()
+}
+
+// SetError delivers an error instead of a value.
+func (p *Promise[T]) SetError(err error) {
+	p.st.mu.Lock()
+	defer p.st.mu.Unlock()
+	if p.st.ready {
+		panic("futures: promise satisfied twice")
+	}
+	p.st.err = err
+	p.st.ready = true
+	p.st.cond.Broadcast()
+}
+
+// Break marks the promise abandoned: waiters receive
+// ErrBrokenPromise. Breaking an already satisfied promise is a no-op.
+func (p *Promise[T]) Break() {
+	p.st.mu.Lock()
+	defer p.st.mu.Unlock()
+	if p.st.ready {
+		return
+	}
+	p.st.err = ErrBrokenPromise
+	p.st.ready = true
+	p.st.cond.Broadcast()
+}
+
+// Get blocks until the value is available and returns it. For a
+// deferred future, Get runs the deferred function on the calling
+// goroutine the first time — std::launch::deferred.
+func (f *Future[T]) Get() (T, error) {
+	if f.deferredFn != nil {
+		f.deferredOnce.Do(func() {
+			v, err := f.deferredFn()
+			st := f.st
+			st.mu.Lock()
+			st.val, st.err = v, err
+			st.ready = true
+			st.cond.Broadcast()
+			st.mu.Unlock()
+		})
+	}
+	st := f.st
+	st.mu.Lock()
+	for !st.ready {
+		st.cond.Wait()
+	}
+	v, err := st.val, st.err
+	st.mu.Unlock()
+	return v, err
+}
+
+// waitReady blocks until a value or error has been delivered, without
+// forcing a deferred future (used by WhenAny, which must not execute
+// deferred work on behalf of the caller).
+func (f *Future[T]) waitReady() (T, error) {
+	st := f.st
+	st.mu.Lock()
+	for !st.ready {
+		st.cond.Wait()
+	}
+	v, err := st.val, st.err
+	st.mu.Unlock()
+	return v, err
+}
+
+// Ready reports whether a value or error has been delivered. A
+// deferred future is never ready until Get forces it.
+func (f *Future[T]) Ready() bool {
+	st := f.st
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.ready
+}
+
+// WaitFor blocks up to d for the result and reports whether it became
+// available — std::future::wait_for. It does not force a deferred
+// future.
+func (f *Future[T]) WaitFor(d time.Duration) bool {
+	deadline := time.Now().Add(d)
+	st := f.st
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for !st.ready {
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			return false
+		}
+		// sync.Cond has no timed wait; poll with a capped interval.
+		st.mu.Unlock()
+		sleep := remaining
+		if sleep > time.Millisecond {
+			sleep = time.Millisecond
+		}
+		time.Sleep(sleep)
+		st.mu.Lock()
+	}
+	return true
+}

@@ -1,0 +1,413 @@
+package harness
+
+import (
+	"fmt"
+	"math"
+
+	"threading/internal/kernels"
+	"threading/internal/models"
+	"threading/internal/rodinia/bfs"
+	"threading/internal/rodinia/hotspot"
+	"threading/internal/rodinia/lavamd"
+	"threading/internal/rodinia/lud"
+	"threading/internal/rodinia/srad"
+)
+
+// Default workload sizes. The paper ran on a 36-core Xeon with N=100M
+// vectors, 40k matvec, 2k matmul, fib(40), a 16M-node graph and an
+// 8192^2 HotSpot grid; these defaults are the same workloads scaled to
+// finish in seconds on a laptop-class host. Pass -scale to
+// cmd/threadbench (or Config.Scale) to move them.
+const (
+	defaultVectorN    = 8_000_000
+	defaultMatvecN    = 2048
+	defaultMatmulN    = 256
+	defaultFibN       = 28
+	defaultFibCutoff  = 18 // for the thread-per-task models only
+	defaultBFSNodes   = 1_000_000
+	defaultBFSDegree  = 6
+	defaultHotspotDim = 512
+	defaultHotspotIts = 40
+	defaultLUDN       = 384
+	defaultLavaBoxes  = 4
+	defaultSRADDim    = 512
+	defaultSRADIts    = 8
+	defaultLambda     = 0.5
+)
+
+// scaleLin scales a 1-D size.
+func scaleLin(base int, s float64) int {
+	n := int(float64(base) * s)
+	if n < 1 {
+		return 1
+	}
+	return n
+}
+
+// scaleDim scales one dimension of a 2-D workload so total work
+// scales by s.
+func scaleDim(base int, s float64) int {
+	n := int(float64(base) * math.Sqrt(s))
+	if n < 2 {
+		return 2
+	}
+	return n
+}
+
+// scaleCube scales one dimension of an O(n^3) workload.
+func scaleCube(base int, s float64) int {
+	n := int(float64(base) * math.Cbrt(s))
+	if n < 2 {
+		return 2
+	}
+	return n
+}
+
+// scaleFib converts a scale factor to a Fibonacci argument shift:
+// halving the scale removes about one level of recursion.
+func scaleFib(base int, s float64) int {
+	n := base + int(math.Round(math.Log2(s)))
+	if n < 10 {
+		return 10
+	}
+	return n
+}
+
+func almostEqual(a, b, tol float64) bool {
+	diff := math.Abs(a - b)
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return diff <= tol*math.Max(scale, 1)
+}
+
+// Registry returns the paper's ten performance experiments.
+func Registry() []*Experiment {
+	return []*Experiment{
+		fig1Axpy(), fig2Sum(), fig3Matvec(), fig4Matmul(), fig5Fib(),
+		fig6BFS(), fig7HotSpot(), fig8LUD(), fig9LavaMD(), fig10SRAD(),
+	}
+}
+
+func fig1Axpy() *Experiment {
+	return &Experiment{
+		ID:      "fig1",
+		Title:   "Axpy: y = a*x + y (paper: N=100M)",
+		Finding: "cilk_for worst (~2x slower: steal-serialized chunk distribution); all others similar",
+		Models:  models.DataNames(),
+		Prepare: func(scale float64) *Workload {
+			n := scaleLin(defaultVectorN, scale)
+			const a = 2.0
+			x := kernels.RandomVector(n, 1)
+			y := kernels.RandomVector(n, 2)
+			return &Workload{
+				Desc: fmt.Sprintf("N=%d", n),
+				Seq:  func() { kernels.AxpySeq(a, x, y) },
+				Run:  func(m models.Model) { kernels.Axpy(m, a, x, y) },
+				Check: func(m models.Model) error {
+					want := kernels.RandomVector(n, 2)
+					kernels.AxpySeq(a, x, want)
+					got := kernels.RandomVector(n, 2)
+					kernels.Axpy(m, a, x, got)
+					for i := range got {
+						if got[i] != want[i] {
+							return fmt.Errorf("axpy: element %d: %g != %g", i, got[i], want[i])
+						}
+					}
+					return nil
+				},
+			}
+		},
+	}
+}
+
+func fig2Sum() *Experiment {
+	return &Experiment{
+		ID:      "fig2",
+		Title:   "Sum: reduction of a*X[i] (paper: N=100M)",
+		Finding: "cilk_for worst (~5x); worksharing+reduction (omp) best — workstealing wrong for reduction loops",
+		Models:  models.DataNames(),
+		Prepare: func(scale float64) *Workload {
+			n := scaleLin(defaultVectorN, scale)
+			const a = 3.0
+			x := kernels.RandomVector(n, 3)
+			want := kernels.SumSeq(a, x)
+			var sink float64
+			return &Workload{
+				Desc: fmt.Sprintf("N=%d", n),
+				Seq:  func() { sink = kernels.SumSeq(a, x) },
+				Run:  func(m models.Model) { sink = kernels.Sum(m, a, x) },
+				Check: func(m models.Model) error {
+					got := kernels.Sum(m, a, x)
+					if !almostEqual(got, want, 1e-9) {
+						return fmt.Errorf("sum: %g != %g", got, want)
+					}
+					_ = sink
+					return nil
+				},
+			}
+		},
+	}
+}
+
+func fig3Matvec() *Experiment {
+	return &Experiment{
+		ID:      "fig3",
+		Title:   "Matvec: y = A*x (paper: n=40k)",
+		Finding: "cilk_for ~25% worse; others similar — impact of scheduling shrinks as intensity grows",
+		Models:  models.DataNames(),
+		Prepare: func(scale float64) *Workload {
+			n := scaleDim(defaultMatvecN, scale)
+			a := kernels.RandomMatrix(n, 4)
+			x := kernels.RandomVector(n, 5)
+			y := make([]float64, n)
+			want := make([]float64, n)
+			kernels.MatvecSeq(a, x, want, n)
+			return &Workload{
+				Desc: fmt.Sprintf("n=%d (%d x %d)", n, n, n),
+				Seq:  func() { kernels.MatvecSeq(a, x, y, n) },
+				Run:  func(m models.Model) { kernels.Matvec(m, a, x, y, n) },
+				Check: func(m models.Model) error {
+					got := make([]float64, n)
+					kernels.Matvec(m, a, x, got, n)
+					for i := range got {
+						if !almostEqual(got[i], want[i], 1e-9) {
+							return fmt.Errorf("matvec: row %d: %g != %g", i, got[i], want[i])
+						}
+					}
+					return nil
+				},
+			}
+		},
+	}
+}
+
+func fig4Matmul() *Experiment {
+	return &Experiment{
+		ID:      "fig4",
+		Title:   "Matmul: C = A*B (paper: n=2k)",
+		Finding: "cilk_for ~10% worse; scheduling impact smallest at highest arithmetic intensity",
+		Models:  models.DataNames(),
+		Prepare: func(scale float64) *Workload {
+			n := scaleCube(defaultMatmulN, scale)
+			a := kernels.RandomMatrix(n, 6)
+			b := kernels.RandomMatrix(n, 7)
+			c := make([]float64, n*n)
+			want := make([]float64, n*n)
+			kernels.MatmulSeq(a, b, want, n)
+			return &Workload{
+				Desc: fmt.Sprintf("n=%d (%d x %d)", n, n, n),
+				Seq:  func() { kernels.MatmulSeq(a, b, c, n) },
+				Run:  func(m models.Model) { kernels.Matmul(m, a, b, c, n) },
+				Check: func(m models.Model) error {
+					got := make([]float64, n*n)
+					kernels.Matmul(m, a, b, got, n)
+					for i := range got {
+						if !almostEqual(got[i], want[i], 1e-9) {
+							return fmt.Errorf("matmul: element %d: %g != %g", i, got[i], want[i])
+						}
+					}
+					return nil
+				},
+			}
+		},
+	}
+}
+
+func fig5Fib() *Experiment {
+	// The paper's Fig. 5 compares cilk_spawn and omp task at fib(40)
+	// with no cut-off (loop models are "not practical"; the uncut
+	// std::thread/std::async versions hang above fib(20), so the
+	// thread-backed models run with the BASE cut-off the paper's C++
+	// loop versions use).
+	return &Experiment{
+		ID:      "fig5",
+		Title:   "Fibonacci: recursive task parallelism (paper: fib(40))",
+		Finding: "cilk_spawn ~20% better than omp_task (lock-based deques contend); uncut C++ versions unusable",
+		Models:  models.TaskNames(),
+		Prepare: func(scale float64) *Workload {
+			n := scaleFib(defaultFibN, scale)
+			cutoff := defaultFibCutoff + (n - defaultFibN)
+			if cutoff < 10 {
+				cutoff = 10
+			}
+			want := kernels.FibSeq(n)
+			var sink uint64
+			cutoffFor := func(m models.Model) int {
+				switch m.Name() {
+				case models.CPPThread, models.CPPAsync:
+					return cutoff // a thread per branch does not survive uncut
+				default:
+					return 0 // pure spawning, as the paper ran cilk/omp
+				}
+			}
+			return &Workload{
+				Desc: fmt.Sprintf("fib(%d), uncut for pooled models, cutoff=%d for thread-backed", n, cutoff),
+				Seq:  func() { sink = kernels.FibSeq(n) },
+				Run:  func(m models.Model) { sink = kernels.FibTask(m, n, cutoffFor(m)) },
+				Check: func(m models.Model) error {
+					if got := kernels.FibTask(m, n, cutoffFor(m)); got != want {
+						return fmt.Errorf("fib: %d != %d", got, want)
+					}
+					_ = sink
+					return nil
+				},
+			}
+		},
+	}
+}
+
+func fig6BFS() *Experiment {
+	return &Experiment{
+		ID:      "fig6",
+		Title:   "Rodinia BFS: level-synchronous graph traversal (paper: 16M nodes)",
+		Finding: "scales to ~8 cores; cilk_for worst, others close — irregular per-node work, poor locality",
+		Models:  models.DataNames(),
+		Prepare: func(scale float64) *Workload {
+			n := scaleLin(defaultBFSNodes, scale)
+			g := bfs.Generate(n, defaultBFSDegree, 42)
+			want := bfs.Seq(g, 0)
+			return &Workload{
+				Desc: fmt.Sprintf("nodes=%d, edges=%d", g.NumNodes, g.NumEdges()),
+				Seq:  func() { bfs.Seq(g, 0) },
+				Run:  func(m models.Model) { bfs.Parallel(m, g, 0) },
+				Check: func(m models.Model) error {
+					got := bfs.Parallel(m, g, 0)
+					for i := range want {
+						if got[i] != want[i] {
+							return fmt.Errorf("bfs: node %d level %d != %d", i, got[i], want[i])
+						}
+					}
+					return nil
+				},
+			}
+		},
+	}
+}
+
+func fig7HotSpot() *Experiment {
+	return &Experiment{
+		ID:      "fig7",
+		Title:   "Rodinia HotSpot: thermal stencil simulation (paper: 8192^2)",
+		Finding: "data-parallel versions weak; tasking gains as threads increase — dependent compute-heavy phases",
+		Models:  models.DataNames(),
+		Prepare: func(scale float64) *Workload {
+			dim := scaleDim(defaultHotspotDim, scale)
+			cfg := hotspot.NewConfig(dim, dim)
+			temp, power := hotspot.GenerateInput(dim, dim, 9)
+			want := hotspot.Seq(cfg, temp, power, defaultHotspotIts)
+			return &Workload{
+				Desc: fmt.Sprintf("grid=%dx%d, steps=%d", dim, dim, defaultHotspotIts),
+				Seq:  func() { hotspot.Seq(cfg, temp, power, defaultHotspotIts) },
+				Run: func(m models.Model) {
+					hotspot.Parallel(m, cfg, temp, power, defaultHotspotIts)
+				},
+				Check: func(m models.Model) error {
+					got := hotspot.Parallel(m, cfg, temp, power, defaultHotspotIts)
+					for i := range want {
+						if !almostEqual(got[i], want[i], 1e-9) {
+							return fmt.Errorf("hotspot: cell %d: %g != %g", i, got[i], want[i])
+						}
+					}
+					return nil
+				},
+			}
+		},
+	}
+}
+
+func fig8LUD() *Experiment {
+	return &Experiment{
+		ID:      "fig8",
+		Title:   "Rodinia LUD: LU decomposition (paper: 2048)",
+		Finding: "triangular shrinking loops: equal task counts, unequal work; frequent joins punish high fork cost",
+		Models:  models.DataNames(),
+		Prepare: func(scale float64) *Workload {
+			n := scaleCube(defaultLUDN, scale)
+			orig := lud.GenerateMatrix(n, 21)
+			want := make([]float64, len(orig))
+			copy(want, orig)
+			lud.Seq(want, n)
+			scratch := make([]float64, len(orig))
+			return &Workload{
+				Desc: fmt.Sprintf("n=%d (%d x %d)", n, n, n),
+				Seq: func() {
+					copy(scratch, orig)
+					lud.Seq(scratch, n)
+				},
+				Run: func(m models.Model) {
+					copy(scratch, orig)
+					lud.Parallel(m, scratch, n)
+				},
+				Check: func(m models.Model) error {
+					a := make([]float64, len(orig))
+					copy(a, orig)
+					lud.Parallel(m, a, n)
+					if err := lud.MaxError(a, want); err > 1e-9 {
+						return fmt.Errorf("lud: max deviation %g", err)
+					}
+					return nil
+				},
+			}
+		},
+	}
+}
+
+func fig9LavaMD() *Experiment {
+	return &Experiment{
+		ID:      "fig9",
+		Title:   "Rodinia LavaMD: boxed N-body potential (paper: 10^3 boxes)",
+		Finding: "uniform work per box: all models perform closely",
+		Models:  models.DataNames(),
+		Prepare: func(scale float64) *Workload {
+			boxes := scaleCube(defaultLavaBoxes, scale)
+			if boxes < 2 {
+				boxes = 2
+			}
+			s := lavamd.Generate(boxes, 77)
+			want := lavamd.Seq(s)
+			return &Workload{
+				Desc: fmt.Sprintf("boxes=%d^3, particles=%d", boxes, s.NumParticles()),
+				Seq:  func() { lavamd.Seq(s) },
+				Run:  func(m models.Model) { lavamd.Parallel(m, s) },
+				Check: func(m models.Model) error {
+					got := lavamd.Parallel(m, s)
+					for i := range want {
+						if !almostEqual(got[i].V, want[i].V, 1e-12) {
+							return fmt.Errorf("lavamd: particle %d potential differs", i)
+						}
+					}
+					return nil
+				},
+			}
+		},
+	}
+}
+
+func fig10SRAD() *Experiment {
+	return &Experiment{
+		ID:      "fig10",
+		Title:   "Rodinia SRAD: speckle-reducing anisotropic diffusion (paper: 2048^2)",
+		Finding: "regular stencil phases with reductions: models perform closely",
+		Models:  models.DataNames(),
+		Prepare: func(scale float64) *Workload {
+			dim := scaleDim(defaultSRADDim, scale)
+			im := srad.GenerateImage(dim, dim, 13)
+			want := srad.Seq(im, defaultLambda, defaultSRADIts)
+			return &Workload{
+				Desc: fmt.Sprintf("image=%dx%d, iterations=%d", dim, dim, defaultSRADIts),
+				Seq:  func() { srad.Seq(im, defaultLambda, defaultSRADIts) },
+				Run: func(m models.Model) {
+					srad.Parallel(m, im, defaultLambda, defaultSRADIts)
+				},
+				Check: func(m models.Model) error {
+					got := srad.Parallel(m, im, defaultLambda, defaultSRADIts)
+					for i := range want.Pix {
+						if !almostEqual(got.Pix[i], want.Pix[i], 1e-6) {
+							return fmt.Errorf("srad: pixel %d: %g != %g", i, got.Pix[i], want.Pix[i])
+						}
+					}
+					return nil
+				},
+			}
+		},
+	}
+}

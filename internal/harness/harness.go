@@ -1,0 +1,276 @@
+// Package harness drives the paper's performance experiments: for
+// each figure it prepares a workload, runs it under every threading
+// model across a sweep of thread counts with repetitions, verifies
+// results against the sequential reference, and renders the timing
+// and speedup tables that correspond to the paper's plots.
+package harness
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"time"
+
+	"threading/internal/models"
+	"threading/internal/stats"
+)
+
+// Workload is one prepared experiment instance.
+type Workload struct {
+	// Desc describes the prepared size, e.g. "N=8000000".
+	Desc string
+	// Seq executes the sequential reference once.
+	Seq func()
+	// Run executes the workload under m once.
+	Run func(m models.Model)
+	// Check verifies that running under m produces the reference
+	// result. May be nil when Run itself is self-checking.
+	Check func(m models.Model) error
+}
+
+// Experiment is one paper figure: metadata plus a workload factory.
+type Experiment struct {
+	// ID is the figure identifier, e.g. "fig1".
+	ID string
+	// Title names the application and its role in the paper.
+	Title string
+	// Finding summarizes what the paper reports for this figure.
+	Finding string
+	// Models lists the model names this experiment runs (the paper
+	// restricts Fig. 5 to the task-capable models).
+	Models []string
+	// Prepare builds the workload at the given scale in (0, 1].
+	Prepare func(scale float64) *Workload
+}
+
+// Config controls an experiment run.
+type Config struct {
+	// Threads is the sweep of thread counts. Empty selects
+	// {1, 2, 4, ..., 2*GOMAXPROCS}.
+	Threads []int
+	// Reps is the number of timed repetitions per cell; the minimum
+	// is reported (standard practice for noisy shared machines).
+	// Zero selects 3.
+	Reps int
+	// Scale multiplies the workload size. Zero selects 1.0.
+	Scale float64
+	// Verify runs each model's correctness check before timing.
+	Verify bool
+}
+
+// DefaultThreads returns the default sweep {1, 2, 4, ...} up to twice
+// GOMAXPROCS (the paper sweeps past the physical core count into
+// hyper-threading territory; we sweep into oversubscription).
+func DefaultThreads() []int {
+	max := 2 * runtime.GOMAXPROCS(0)
+	var out []int
+	for t := 1; t <= max; t *= 2 {
+		out = append(out, t)
+	}
+	return out
+}
+
+func (c Config) withDefaults() Config {
+	if len(c.Threads) == 0 {
+		c.Threads = DefaultThreads()
+	}
+	if c.Reps <= 0 {
+		c.Reps = 3
+	}
+	if c.Scale <= 0 {
+		c.Scale = 1.0
+	}
+	return c
+}
+
+// Cell is one (model, threads) measurement.
+type Cell struct {
+	Model   string
+	Threads int
+	Sample  stats.Sample
+}
+
+// Result is the outcome of one experiment run.
+type Result struct {
+	Experiment *Experiment
+	Desc       string
+	SeqTime    time.Duration
+	Threads    []int
+	Models     []string
+	Cells      map[string]map[int]stats.Sample
+}
+
+// Run executes the experiment under cfg.
+func Run(e *Experiment, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	w := e.Prepare(cfg.Scale)
+
+	// Sequential baseline: best of Reps.
+	var seqTimes []time.Duration
+	for r := 0; r < cfg.Reps; r++ {
+		start := time.Now()
+		w.Seq()
+		seqTimes = append(seqTimes, time.Since(start))
+	}
+	seq := stats.Summarize(seqTimes).Min
+
+	res := &Result{
+		Experiment: e,
+		Desc:       w.Desc,
+		SeqTime:    seq,
+		Threads:    cfg.Threads,
+		Models:     e.Models,
+		Cells:      make(map[string]map[int]stats.Sample),
+	}
+	for _, name := range e.Models {
+		res.Cells[name] = make(map[int]stats.Sample)
+		for _, threads := range cfg.Threads {
+			m, err := models.New(name, threads)
+			if err != nil {
+				return nil, err
+			}
+			if cfg.Verify && w.Check != nil {
+				if err := w.Check(m); err != nil {
+					m.Close()
+					return nil, fmt.Errorf("%s: %s @%d threads: %w", e.ID, name, threads, err)
+				}
+			}
+			w.Run(m) // warm-up, untimed
+			var ts []time.Duration
+			for r := 0; r < cfg.Reps; r++ {
+				start := time.Now()
+				w.Run(m)
+				ts = append(ts, time.Since(start))
+			}
+			m.Close()
+			res.Cells[name][threads] = stats.Summarize(ts)
+		}
+	}
+	return res, nil
+}
+
+// Render writes the result as two aligned text tables (time and
+// speedup over the sequential reference), matching the series the
+// paper plots.
+func (r *Result) Render(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", r.Experiment.ID, r.Experiment.Title)
+	fmt.Fprintf(w, "workload: %s\n", r.Desc)
+	fmt.Fprintf(w, "paper:    %s\n", r.Experiment.Finding)
+	fmt.Fprintf(w, "sequential reference: %v\n\n", r.SeqTime)
+
+	fmt.Fprintf(w, "execution time (min of reps):\n")
+	fmt.Fprintf(w, "%-8s", "threads")
+	for _, m := range r.Models {
+		fmt.Fprintf(w, " %12s", m)
+	}
+	fmt.Fprintln(w)
+	for _, t := range r.Threads {
+		fmt.Fprintf(w, "%-8d", t)
+		for _, m := range r.Models {
+			fmt.Fprintf(w, " %12v", r.Cells[m][t].Min.Round(time.Microsecond))
+		}
+		fmt.Fprintln(w)
+	}
+
+	fmt.Fprintf(w, "\nspeedup vs sequential:\n")
+	fmt.Fprintf(w, "%-8s", "threads")
+	for _, m := range r.Models {
+		fmt.Fprintf(w, " %12s", m)
+	}
+	fmt.Fprintln(w)
+	for _, t := range r.Threads {
+		fmt.Fprintf(w, "%-8d", t)
+		for _, m := range r.Models {
+			fmt.Fprintf(w, " %12.2f", stats.Speedup(r.SeqTime, r.Cells[m][t].Min))
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w)
+}
+
+// RenderCSV writes the result as CSV rows:
+// experiment,model,threads,reps,min_ns,mean_ns,median_ns,speedup.
+func (r *Result) RenderCSV(w io.Writer) {
+	fmt.Fprintln(w, "experiment,model,threads,reps,min_ns,mean_ns,median_ns,speedup")
+	for _, m := range r.Models {
+		for _, t := range r.Threads {
+			s := r.Cells[m][t]
+			fmt.Fprintf(w, "%s,%s,%d,%d,%d,%d,%d,%.3f\n",
+				r.Experiment.ID, m, t, s.N,
+				s.Min.Nanoseconds(), s.Mean.Nanoseconds(), s.Median.Nanoseconds(),
+				stats.Speedup(r.SeqTime, s.Min))
+		}
+	}
+}
+
+// BestModel returns the model with the lowest time at the given
+// thread count.
+func (r *Result) BestModel(threads int) string {
+	best, bestT := "", time.Duration(0)
+	for _, m := range r.Models {
+		s, ok := r.Cells[m][threads]
+		if !ok {
+			continue
+		}
+		if best == "" || s.Min < bestT {
+			best, bestT = m, s.Min
+		}
+	}
+	return best
+}
+
+// WorstModel returns the model with the highest time at the given
+// thread count.
+func (r *Result) WorstModel(threads int) string {
+	worst, worstT := "", time.Duration(0)
+	for _, m := range r.Models {
+		s, ok := r.Cells[m][threads]
+		if !ok {
+			continue
+		}
+		if worst == "" || s.Min > worstT {
+			worst, worstT = m, s.Min
+		}
+	}
+	return worst
+}
+
+// Ratio returns time(a)/time(b) at the given thread count.
+func (r *Result) Ratio(a, b string, threads int) float64 {
+	sa, sb := r.Cells[a][threads], r.Cells[b][threads]
+	if sb.Min <= 0 {
+		return 0
+	}
+	return float64(sa.Min) / float64(sb.Min)
+}
+
+// IDs returns the registered experiment IDs in order.
+func IDs() []string {
+	exps := Registry()
+	out := make([]string, 0, len(exps))
+	for _, e := range exps {
+		out = append(out, e.ID)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		// fig1 < fig2 < ... < fig10 numerically.
+		return figNum(out[i]) < figNum(out[j])
+	})
+	return out
+}
+
+func figNum(id string) int {
+	var n int
+	fmt.Sscanf(id, "fig%d", &n)
+	return n
+}
+
+// ByID returns the registered experiment with the given ID.
+func ByID(id string) (*Experiment, bool) {
+	for _, e := range Registry() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return nil, false
+}

@@ -1,0 +1,218 @@
+package kernels
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"threading/internal/models"
+)
+
+const tol = 1e-9
+
+func almostEqual(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	diff := math.Abs(a - b)
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return diff <= tol*math.Max(scale, 1)
+}
+
+func TestRandomVectorDeterministic(t *testing.T) {
+	a := RandomVector(100, 42)
+	b := RandomVector(100, 42)
+	c := RandomVector(100, 43)
+	same, diff := true, false
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+		}
+		if a[i] != c[i] {
+			diff = true
+		}
+		if a[i] < 0 || a[i] >= 1 {
+			t.Fatalf("value %g out of [0,1)", a[i])
+		}
+	}
+	if !same {
+		t.Fatal("same seed produced different vectors")
+	}
+	if !diff {
+		t.Fatal("different seeds produced identical vectors")
+	}
+}
+
+func TestRandomMatrixSize(t *testing.T) {
+	m := RandomMatrix(17, 1)
+	if len(m) != 17*17 {
+		t.Fatalf("matrix has %d entries, want %d", len(m), 17*17)
+	}
+}
+
+func TestAxpySeq(t *testing.T) {
+	x := []float64{1, 2, 3}
+	y := []float64{10, 20, 30}
+	AxpySeq(2, x, y)
+	want := []float64{12, 24, 36}
+	for i := range y {
+		if y[i] != want[i] {
+			t.Fatalf("y = %v, want %v", y, want)
+		}
+	}
+}
+
+func eachModel(t *testing.T, threads int, fn func(t *testing.T, m models.Model)) {
+	t.Helper()
+	for _, name := range models.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			m := models.MustNew(name, threads)
+			defer m.Close()
+			fn(t, m)
+		})
+	}
+}
+
+func TestAxpyMatchesSeq(t *testing.T) {
+	const n = 30000
+	x := RandomVector(n, 1)
+	ref := RandomVector(n, 2)
+	want := make([]float64, n)
+	copy(want, ref)
+	AxpySeq(1.5, x, want)
+	eachModel(t, 4, func(t *testing.T, m models.Model) {
+		y := make([]float64, n)
+		copy(y, ref)
+		Axpy(m, 1.5, x, y)
+		for i := range y {
+			if y[i] != want[i] {
+				t.Fatalf("y[%d] = %g, want %g", i, y[i], want[i])
+			}
+		}
+	})
+}
+
+func TestSumMatchesSeq(t *testing.T) {
+	const n = 30000
+	x := RandomVector(n, 3)
+	want := SumSeq(2.5, x)
+	eachModel(t, 4, func(t *testing.T, m models.Model) {
+		got := Sum(m, 2.5, x)
+		if !almostEqual(got, want) {
+			t.Fatalf("sum = %g, want %g", got, want)
+		}
+	})
+}
+
+func TestMatvecMatchesSeq(t *testing.T) {
+	const n = 120
+	a := RandomMatrix(n, 4)
+	x := RandomVector(n, 5)
+	want := make([]float64, n)
+	MatvecSeq(a, x, want, n)
+	eachModel(t, 4, func(t *testing.T, m models.Model) {
+		y := make([]float64, n)
+		Matvec(m, a, x, y, n)
+		for i := range y {
+			if !almostEqual(y[i], want[i]) {
+				t.Fatalf("y[%d] = %g, want %g", i, y[i], want[i])
+			}
+		}
+	})
+}
+
+func TestMatmulMatchesSeq(t *testing.T) {
+	const n = 64
+	a := RandomMatrix(n, 6)
+	b := RandomMatrix(n, 7)
+	want := make([]float64, n*n)
+	MatmulSeq(a, b, want, n)
+	eachModel(t, 4, func(t *testing.T, m models.Model) {
+		c := make([]float64, n*n)
+		Matmul(m, a, b, c, n)
+		for i := range c {
+			if !almostEqual(c[i], want[i]) {
+				t.Fatalf("c[%d] = %g, want %g", i, c[i], want[i])
+			}
+		}
+	})
+}
+
+func TestMatmulSeqIdentity(t *testing.T) {
+	const n = 8
+	a := RandomMatrix(n, 8)
+	id := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		id[i*n+i] = 1
+	}
+	c := make([]float64, n*n)
+	MatmulSeq(a, id, c, n)
+	for i := range c {
+		if !almostEqual(c[i], a[i]) {
+			t.Fatalf("A*I != A at %d: %g vs %g", i, c[i], a[i])
+		}
+	}
+}
+
+func TestFibSeqValues(t *testing.T) {
+	want := []uint64{0, 1, 1, 2, 3, 5, 8, 13, 21, 34, 55}
+	for n, w := range want {
+		if got := FibSeq(n); got != w {
+			t.Fatalf("FibSeq(%d) = %d, want %d", n, got, w)
+		}
+	}
+}
+
+func TestFibTaskAllTaskModels(t *testing.T) {
+	want := FibSeq(23)
+	for _, name := range models.TaskNames() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			m := models.MustNew(name, 4)
+			defer m.Close()
+			if got := FibTask(m, 23, 12); got != want {
+				t.Fatalf("fib(23) = %d, want %d", got, want)
+			}
+		})
+	}
+}
+
+func TestFibTaskNoCutoffPooled(t *testing.T) {
+	// Without a cut-off, every branch is a task. The pooled runtimes
+	// must survive this (the thread-backed ones model the paper's
+	// hang and are exercised only at tiny sizes).
+	for _, name := range []string{models.OMPTask, models.CilkSpawn} {
+		m := models.MustNew(name, 4)
+		if got, want := FibTask(m, 18, 0), FibSeq(18); got != want {
+			t.Fatalf("%s: fib(18) uncut = %d, want %d", name, got, want)
+		}
+		m.Close()
+	}
+}
+
+func TestFibTaskUncutThreadModelSmall(t *testing.T) {
+	// fib(12) uncut creates ~465 live threads — small enough to pass,
+	// demonstrating why the paper's uncut std::thread version dies at
+	// fib(20)+ (~20k live threads on their system).
+	m := models.MustNew(models.CPPThread, 4)
+	defer m.Close()
+	if got, want := FibTask(m, 12, 0), FibSeq(12); got != want {
+		t.Fatalf("fib(12) = %d, want %d", got, want)
+	}
+}
+
+func TestKernelsPropertySumLinearity(t *testing.T) {
+	m := models.MustNew(models.OMPFor, 2)
+	defer m.Close()
+	check := func(n16 uint16, a8 uint8) bool {
+		n := int(n16%2000) + 1
+		a := float64(a8) / 16
+		x := RandomVector(n, uint64(n))
+		// Sum(a*x) == a * Sum(1*x)
+		return almostEqual(Sum(m, a, x), a*Sum(m, 1, x))
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

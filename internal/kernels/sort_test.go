@@ -1,0 +1,93 @@
+package kernels
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"threading/internal/models"
+)
+
+func TestSortSeqMatchesStdlib(t *testing.T) {
+	check := func(n16 uint16) bool {
+		n := int(n16 % 5000)
+		data := RandomVector(n, uint64(n)+1)
+		want := make([]float64, n)
+		copy(want, data)
+		sort.Float64s(want)
+		SortSeq(data, make([]float64, n))
+		for i := range data {
+			if data[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSortSeqEdgeCases(t *testing.T) {
+	for _, data := range [][]float64{
+		{},
+		{1},
+		{2, 1},
+		{1, 1, 1, 1},
+		{5, 4, 3, 2, 1},
+	} {
+		d := append([]float64(nil), data...)
+		SortSeq(d, make([]float64, len(d)))
+		if !IsSorted(d) {
+			t.Fatalf("not sorted: %v", d)
+		}
+	}
+}
+
+func TestSortSeqScratchMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scratch mismatch not rejected")
+		}
+	}()
+	SortSeq(make([]float64, 4), make([]float64, 3))
+}
+
+func TestSortTaskAllTaskModels(t *testing.T) {
+	const n = 60000
+	orig := RandomVector(n, 99)
+	want := make([]float64, n)
+	copy(want, orig)
+	sort.Float64s(want)
+	for _, name := range models.TaskNames() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			m := models.MustNew(name, 4)
+			defer m.Close()
+			data := make([]float64, n)
+			copy(data, orig)
+			SortTask(m, data, 4096)
+			for i := range data {
+				if data[i] != want[i] {
+					t.Fatalf("element %d: %g, want %g", i, data[i], want[i])
+				}
+			}
+		})
+	}
+}
+
+func TestSortTaskTinyCutoffClamped(t *testing.T) {
+	m := models.MustNew(models.CilkSpawn, 2)
+	defer m.Close()
+	data := RandomVector(10000, 3)
+	SortTask(m, data, 0) // clamped to 64
+	if !IsSorted(data) {
+		t.Fatal("not sorted with clamped cutoff")
+	}
+}
+
+func TestIsSorted(t *testing.T) {
+	if !IsSorted([]float64{1, 2, 2, 3}) || IsSorted([]float64{2, 1}) || !IsSorted(nil) {
+		t.Fatal("IsSorted wrong")
+	}
+}

@@ -1,0 +1,167 @@
+package models
+
+import (
+	"threading/internal/deque"
+	"threading/internal/sched"
+	"threading/internal/worksteal"
+)
+
+// cilkFor is the Cilk Plus loop configuration: cilk_for semantics,
+// i.e. recursive divide-and-conquer splitting of the iteration space
+// into spawned tasks over the lock-free work-stealing pool. Chunk
+// distribution travels through steals — the property the paper blames
+// for cilk_for's losses on flat data-parallel loops.
+type cilkFor struct {
+	pool  *worksteal.Pool
+	n     int
+	grain int // 0 selects the cilk_for default heuristic
+}
+
+// NewCilkFor returns the cilk_for model with the default grain
+// heuristic min(2048, ceil(n/8p)).
+func NewCilkFor(threads int) Model {
+	return &cilkFor{
+		pool: worksteal.NewPool(threads, worksteal.Options{DequeKind: deque.KindChaseLev}),
+		n:    threads,
+	}
+}
+
+// NewCilkForGrain returns a cilk_for model with a fixed grain size,
+// for the grain-size ablation benchmark.
+func NewCilkForGrain(threads, grain int) Model {
+	m := NewCilkFor(threads).(*cilkFor)
+	m.grain = grain
+	return m
+}
+
+func (m *cilkFor) Name() string { return CilkFor }
+func (m *cilkFor) Threads() int { return m.n }
+
+func (m *cilkFor) ParallelFor(n int, body func(lo, hi int)) {
+	m.pool.Run(func(c *worksteal.Ctx) {
+		c.ForDAC(0, n, m.grain, func(_ *worksteal.Ctx, l, h int) { body(l, h) })
+	})
+}
+
+func (m *cilkFor) ParallelReduce(n int, identity float64,
+	body func(lo, hi int, acc float64) float64,
+	combine func(a, b float64) float64) float64 {
+
+	r := worksteal.NewReducer(m.pool, identity, combine)
+	m.pool.Run(func(c *worksteal.Ctx) {
+		c.ForDAC(0, n, m.grain, func(cc *worksteal.Ctx, l, h int) {
+			v := r.View(cc)
+			*v = body(l, h, *v)
+		})
+	})
+	return r.Value()
+}
+
+func (m *cilkFor) SupportsTasks() bool { return false }
+
+func (m *cilkFor) TaskRun(func(TaskScope)) {
+	panic("models: cilk_for is a loop model; use cilk_spawn for task parallelism")
+}
+
+func (m *cilkFor) SchedulerStats() (sched.Snapshot, bool) { return m.pool.Stats(), true }
+
+func (m *cilkFor) ResetSchedulerStats() { m.pool.ResetStats() }
+
+func (m *cilkFor) Close() { m.pool.Close() }
+
+// cilkSpawn is the Cilk Plus tasking configuration: cilk_spawn /
+// cilk_sync over lock-free Chase-Lev deques. For flat loops it spawns
+// one task per manual chunk (the paper's task versions of the data
+// kernels); for recursion it exposes spawn/sync directly.
+type cilkSpawn struct {
+	pool *worksteal.Pool
+	n    int
+}
+
+// NewCilkSpawn returns the cilk_spawn model.
+func NewCilkSpawn(threads int) Model {
+	return &cilkSpawn{
+		pool: worksteal.NewPool(threads, worksteal.Options{DequeKind: deque.KindChaseLev}),
+		n:    threads,
+	}
+}
+
+// NewCilkSpawnWithDeque returns a cilk_spawn model over the given
+// deque kind — the Chase-Lev vs locked-deque ablation that isolates
+// the paper's explanation for Fig. 5.
+func NewCilkSpawnWithDeque(threads int, kind deque.Kind) Model {
+	return &cilkSpawn{
+		pool: worksteal.NewPool(threads, worksteal.Options{DequeKind: kind}),
+		n:    threads,
+	}
+}
+
+func (m *cilkSpawn) Name() string { return CilkSpawn }
+func (m *cilkSpawn) Threads() int { return m.n }
+
+func (m *cilkSpawn) ParallelFor(n int, body func(lo, hi int)) {
+	k := m.n
+	m.pool.Run(func(c *worksteal.Ctx) {
+		for i := 0; i < k; i++ {
+			lo, hi := chunkFor(n, k, i)
+			if lo >= hi {
+				continue
+			}
+			c.Spawn(func(*worksteal.Ctx) { body(lo, hi) })
+		}
+		c.Sync()
+	})
+}
+
+func (m *cilkSpawn) ParallelReduce(n int, identity float64,
+	body func(lo, hi int, acc float64) float64,
+	combine func(a, b float64) float64) float64 {
+
+	k := m.n
+	partials := make([]float64, k)
+	m.pool.Run(func(c *worksteal.Ctx) {
+		for i := 0; i < k; i++ {
+			i := i
+			lo, hi := chunkFor(n, k, i)
+			partials[i] = identity
+			if lo >= hi {
+				continue
+			}
+			c.Spawn(func(*worksteal.Ctx) { partials[i] = body(lo, hi, identity) })
+		}
+		c.Sync()
+	})
+	acc := identity
+	for _, p := range partials {
+		acc = combine(acc, p)
+	}
+	return acc
+}
+
+func (m *cilkSpawn) SupportsTasks() bool { return true }
+
+// cilkScope adapts worksteal spawn/sync to TaskScope.
+type cilkScope struct {
+	c *worksteal.Ctx
+}
+
+func (s *cilkScope) Spawn(fn func(TaskScope)) {
+	s.c.Spawn(func(inner *worksteal.Ctx) {
+		fn(&cilkScope{c: inner})
+	})
+}
+
+func (s *cilkScope) Sync() { s.c.Sync() }
+
+func (m *cilkSpawn) TaskRun(root func(TaskScope)) {
+	m.pool.Run(func(c *worksteal.Ctx) {
+		root(&cilkScope{c: c})
+		// The pool's implicit sync at task return joins stragglers.
+	})
+}
+
+func (m *cilkSpawn) SchedulerStats() (sched.Snapshot, bool) { return m.pool.Stats(), true }
+
+func (m *cilkSpawn) ResetSchedulerStats() { m.pool.ResetStats() }
+
+func (m *cilkSpawn) Close() { m.pool.Close() }

@@ -1,0 +1,201 @@
+package models
+
+import (
+	"threading/internal/futures"
+	"threading/internal/sched"
+)
+
+// cppThread is the C++11 std::thread configuration: no runtime at
+// all. Parallel loops are manual chunking — one freshly created
+// thread per chunk, joined at the end — so thread creation and join
+// overhead is paid on every parallel operation, exactly as in the
+// paper's std::thread versions.
+type cppThread struct {
+	n int
+}
+
+// NewCPPThread returns the cpp_thread model.
+func NewCPPThread(threads int) Model { return &cppThread{n: threads} }
+
+func (m *cppThread) Name() string { return CPPThread }
+func (m *cppThread) Threads() int { return m.n }
+
+func (m *cppThread) ParallelFor(n int, body func(lo, hi int)) {
+	k := m.n
+	ths := make([]*futures.Thread, 0, k)
+	for i := 0; i < k; i++ {
+		lo, hi := chunkFor(n, k, i)
+		if lo >= hi {
+			continue
+		}
+		ths = append(ths, futures.NewThread(func() { body(lo, hi) }))
+	}
+	for _, th := range ths {
+		th.Join()
+	}
+}
+
+func (m *cppThread) ParallelReduce(n int, identity float64,
+	body func(lo, hi int, acc float64) float64,
+	combine func(a, b float64) float64) float64 {
+
+	k := m.n
+	partials := make([]float64, k)
+	ths := make([]*futures.Thread, 0, k)
+	for i := 0; i < k; i++ {
+		i := i
+		lo, hi := chunkFor(n, k, i)
+		partials[i] = identity
+		if lo >= hi {
+			continue
+		}
+		ths = append(ths, futures.NewThread(func() { partials[i] = body(lo, hi, identity) }))
+	}
+	for _, th := range ths {
+		th.Join()
+	}
+	acc := identity
+	for _, p := range partials {
+		acc = combine(acc, p)
+	}
+	return acc
+}
+
+func (m *cppThread) SupportsTasks() bool { return true }
+
+// threadScope implements TaskScope by creating a real thread per
+// spawn. This is the configuration the paper reports as hanging for
+// fib(20)+ without a cut-off: the thread count equals the task count.
+// Callers are expected to bound recursion depth (see kernels.FibTask).
+type threadScope struct {
+	children []*futures.Thread
+}
+
+func (s *threadScope) Spawn(fn func(TaskScope)) {
+	s.children = append(s.children, futures.NewThread(func() {
+		child := &threadScope{}
+		fn(child)
+		child.Sync() // a thread joins its own children before exiting
+	}))
+}
+
+func (s *threadScope) Sync() {
+	for _, th := range s.children {
+		th.Join()
+	}
+	s.children = s.children[:0]
+}
+
+func (m *cppThread) TaskRun(root func(TaskScope)) {
+	s := &threadScope{}
+	root(s)
+	s.Sync()
+}
+
+func (m *cppThread) SchedulerStats() (sched.Snapshot, bool) {
+	return sched.Snapshot{}, false // no runtime, no counters
+}
+
+func (m *cppThread) ResetSchedulerStats() {}
+
+func (m *cppThread) Close() {}
+
+// cppAsync is the C++11 std::async configuration: one async task per
+// chunk for loops, futures for joins. Each async launch is a fresh
+// thread of execution (std::launch::async), so it shares cpp_thread's
+// creation overhead but adds future synchronization.
+type cppAsync struct {
+	n int
+}
+
+// NewCPPAsync returns the cpp_async model.
+func NewCPPAsync(threads int) Model { return &cppAsync{n: threads} }
+
+func (m *cppAsync) Name() string { return CPPAsync }
+func (m *cppAsync) Threads() int { return m.n }
+
+func (m *cppAsync) ParallelFor(n int, body func(lo, hi int)) {
+	k := m.n
+	fs := make([]*futures.Future[struct{}], 0, k)
+	for i := 0; i < k; i++ {
+		lo, hi := chunkFor(n, k, i)
+		if lo >= hi {
+			continue
+		}
+		fs = append(fs, futures.Async(futures.LaunchAsync, func() (struct{}, error) {
+			body(lo, hi)
+			return struct{}{}, nil
+		}))
+	}
+	for _, f := range fs {
+		if _, err := f.Get(); err != nil {
+			panic(err)
+		}
+	}
+}
+
+func (m *cppAsync) ParallelReduce(n int, identity float64,
+	body func(lo, hi int, acc float64) float64,
+	combine func(a, b float64) float64) float64 {
+
+	k := m.n
+	fs := make([]*futures.Future[float64], 0, k)
+	for i := 0; i < k; i++ {
+		lo, hi := chunkFor(n, k, i)
+		if lo >= hi {
+			continue
+		}
+		fs = append(fs, futures.Async(futures.LaunchAsync, func() (float64, error) {
+			return body(lo, hi, identity), nil
+		}))
+	}
+	acc := identity
+	for _, f := range fs {
+		v, err := f.Get()
+		if err != nil {
+			panic(err)
+		}
+		acc = combine(acc, v)
+	}
+	return acc
+}
+
+func (m *cppAsync) SupportsTasks() bool { return true }
+
+// asyncScope implements TaskScope over std::async-style futures.
+type asyncScope struct {
+	children []*futures.Future[struct{}]
+}
+
+func (s *asyncScope) Spawn(fn func(TaskScope)) {
+	s.children = append(s.children, futures.Async(futures.LaunchAsync,
+		func() (struct{}, error) {
+			child := &asyncScope{}
+			fn(child)
+			child.Sync()
+			return struct{}{}, nil
+		}))
+}
+
+func (s *asyncScope) Sync() {
+	for _, f := range s.children {
+		if _, err := f.Get(); err != nil {
+			panic(err)
+		}
+	}
+	s.children = s.children[:0]
+}
+
+func (m *cppAsync) TaskRun(root func(TaskScope)) {
+	s := &asyncScope{}
+	root(s)
+	s.Sync()
+}
+
+func (m *cppAsync) SchedulerStats() (sched.Snapshot, bool) {
+	return sched.Snapshot{}, false
+}
+
+func (m *cppAsync) ResetSchedulerStats() {}
+
+func (m *cppAsync) Close() {}

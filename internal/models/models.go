@@ -1,0 +1,150 @@
+// Package models presents the six threading-model configurations the
+// reproduced paper benchmarks behind one interface, so every kernel
+// and application in this repository is written once and executed
+// under each model:
+//
+//	omp_for    — fork-join work-sharing loops (OpenMP parallel for)
+//	omp_task   — explicit tasks over lock-based deques (OpenMP task)
+//	cilk_for   — divide-and-conquer loops over work stealing (cilk_for)
+//	cilk_spawn — spawn/sync over lock-free work stealing (cilk_spawn)
+//	cpp_thread — manual chunking, a fresh thread per chunk (std::thread)
+//	cpp_async  — futures, one async task per chunk (std::async)
+//
+// The models differ only in scheduling policy and runtime machinery;
+// the numeric work performed for a given kernel is identical, which is
+// the property that makes cross-model timing comparisons meaningful.
+package models
+
+import (
+	"fmt"
+	"sort"
+
+	"threading/internal/sched"
+)
+
+// Model is one threading-model configuration. Implementations are
+// safe for repeated use but not for concurrent calls; Close releases
+// any persistent workers.
+type Model interface {
+	// Name returns the model's identifier, e.g. "omp_for".
+	Name() string
+	// Threads returns the degree of parallelism the model was created
+	// with.
+	Threads() int
+	// ParallelFor partitions [0, n) across the model's threads and
+	// invokes body on disjoint chunks covering the range. It returns
+	// after every chunk completes.
+	ParallelFor(n int, body func(lo, hi int))
+	// ParallelReduce folds [0, n) into a float64: body folds one
+	// chunk starting from acc, combine merges per-thread partials.
+	// combine must be associative and commutative.
+	ParallelReduce(n int, identity float64,
+		body func(lo, hi int, acc float64) float64,
+		combine func(a, b float64) float64) float64
+	// SupportsTasks reports whether the model can express recursive
+	// task parallelism. Pure loop models (omp_for, cilk_for) cannot,
+	// mirroring the paper's Fibonacci experiment which runs only the
+	// task-capable configurations.
+	SupportsTasks() bool
+	// TaskRun executes root as a task that may recursively Spawn and
+	// Sync children. It panics for models where SupportsTasks is
+	// false.
+	TaskRun(root func(TaskScope))
+	// SchedulerStats returns scheduler counters when the model's
+	// runtime collects them (the pooled runtimes do; the raw
+	// thread-per-chunk models do not).
+	SchedulerStats() (sched.Snapshot, bool)
+	// ResetSchedulerStats zeroes the counters; a no-op for models
+	// without a persistent runtime.
+	ResetSchedulerStats()
+	// Close releases persistent workers. The model must not be used
+	// afterwards.
+	Close()
+}
+
+// TaskScope lets a task spawn and join children, independent of the
+// underlying runtime. Spawn and Sync must only be called by the task
+// that owns the scope.
+type TaskScope interface {
+	// Spawn schedules fn as a child task; fn receives its own scope.
+	Spawn(fn func(TaskScope))
+	// Sync blocks until all children spawned through this scope have
+	// completed.
+	Sync()
+}
+
+// Model names, as used by the benchmark harness and CLI tools.
+const (
+	OMPFor    = "omp_for"
+	OMPTask   = "omp_task"
+	CilkFor   = "cilk_for"
+	CilkSpawn = "cilk_spawn"
+	CPPThread = "cpp_thread"
+	CPPAsync  = "cpp_async"
+)
+
+// factories maps model names to constructors.
+var factories = map[string]func(threads int) Model{
+	OMPFor:    func(t int) Model { return NewOMPFor(t) },
+	OMPTask:   func(t int) Model { return NewOMPTask(t) },
+	CilkFor:   func(t int) Model { return NewCilkFor(t) },
+	CilkSpawn: func(t int) Model { return NewCilkSpawn(t) },
+	CPPThread: func(t int) Model { return NewCPPThread(t) },
+	CPPAsync:  func(t int) Model { return NewCPPAsync(t) },
+}
+
+// Names returns all model names in a stable order.
+func Names() []string {
+	out := make([]string, 0, len(factories))
+	for n := range factories {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// DataNames returns the models used in the paper's data-parallel
+// experiments, in presentation order.
+func DataNames() []string {
+	return []string{OMPFor, OMPTask, CilkFor, CilkSpawn, CPPThread, CPPAsync}
+}
+
+// TaskNames returns the task-capable models, in presentation order.
+func TaskNames() []string {
+	return []string{OMPTask, CilkSpawn, CPPThread, CPPAsync}
+}
+
+// New constructs the named model with the given thread count.
+func New(name string, threads int) (Model, error) {
+	f, ok := factories[name]
+	if !ok {
+		return nil, fmt.Errorf("models: unknown model %q (have %v)", name, Names())
+	}
+	if threads < 1 {
+		return nil, fmt.Errorf("models: thread count %d < 1", threads)
+	}
+	return f(threads), nil
+}
+
+// MustNew is New, panicking on error. For tests and benchmarks.
+func MustNew(name string, threads int) Model {
+	m, err := New(name, threads)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// chunkFor returns the manual-chunking bounds of chunk i of k over n
+// iterations: contiguous blocks whose sizes differ by at most one —
+// BASE = N/threads in the paper's C++ versions.
+func chunkFor(n, k, i int) (lo, hi int) {
+	base := n / k
+	rem := n % k
+	lo = i*base + min(i, rem)
+	size := base
+	if i < rem {
+		size++
+	}
+	return lo, lo + size
+}

@@ -1,0 +1,175 @@
+package models
+
+import (
+	"threading/internal/forkjoin"
+	"threading/internal/sched"
+)
+
+// ompFor is the OpenMP work-sharing configuration: a persistent
+// fork-join team distributes loop iterations with the static schedule
+// (the paper applies static scheduling across all models for the
+// data-parallel comparison).
+type ompFor struct {
+	team *forkjoin.Team
+	n    int
+}
+
+// NewOMPFor returns the omp_for model: fork-join work-sharing data
+// parallelism on a persistent team.
+func NewOMPFor(threads int) Model {
+	return &ompFor{team: forkjoin.NewTeam(threads, forkjoin.Options{}), n: threads}
+}
+
+// NewOMPForWithOptions is NewOMPFor with explicit runtime options,
+// for ablation benchmarks (e.g. central vs sense-reversing barrier).
+func NewOMPForWithOptions(threads int, opts forkjoin.Options) Model {
+	return &ompFor{team: forkjoin.NewTeam(threads, opts), n: threads}
+}
+
+func (m *ompFor) Name() string { return OMPFor }
+func (m *ompFor) Threads() int { return m.n }
+
+func (m *ompFor) ParallelFor(n int, body func(lo, hi int)) {
+	m.team.Parallel(func(tc *forkjoin.Ctx) {
+		tc.ForRangeNoWait(forkjoin.Static, 0, n, body)
+		// The region's end barrier is the loop's implicit barrier.
+	})
+}
+
+// Scheduler is the extra surface of the omp_for model: work-sharing
+// with an explicit schedule, for the schedule ablation benchmarks.
+// Obtain it by type-asserting the Model returned by NewOMPFor.
+type Scheduler interface {
+	Schedule(s forkjoin.Schedule, n int, body func(lo, hi int))
+}
+
+// Schedule exposes work-sharing with an explicit schedule, used by the
+// schedule ablation benchmarks. It is specific to the omp_for model.
+func (m *ompFor) Schedule(s forkjoin.Schedule, n int, body func(lo, hi int)) {
+	m.team.Parallel(func(tc *forkjoin.Ctx) {
+		tc.ForRangeNoWait(s, 0, n, body)
+	})
+}
+
+func (m *ompFor) ParallelReduce(n int, identity float64,
+	body func(lo, hi int, acc float64) float64,
+	combine func(a, b float64) float64) float64 {
+
+	var result float64
+	m.team.Parallel(func(tc *forkjoin.Ctx) {
+		r := tc.ReduceFloat64(forkjoin.Static, 0, n, identity, body, combine)
+		tc.Master(func() { result = r })
+	})
+	return result
+}
+
+func (m *ompFor) SupportsTasks() bool { return false }
+
+func (m *ompFor) TaskRun(func(TaskScope)) {
+	panic("models: omp_for is a work-sharing model; use omp_task for task parallelism")
+}
+
+func (m *ompFor) SchedulerStats() (sched.Snapshot, bool) { return m.team.Stats(), true }
+
+func (m *ompFor) ResetSchedulerStats() { m.team.ResetStats() }
+
+func (m *ompFor) Close() { m.team.Close() }
+
+// ompTask is the OpenMP tasking configuration: the master member
+// creates explicit tasks (one per manual chunk for loops, one per
+// spawn for recursion) that are scheduled over lock-based per-member
+// deques, modelling the Intel OpenMP task runtime.
+type ompTask struct {
+	team *forkjoin.Team
+	n    int
+}
+
+// NewOMPTask returns the omp_task model.
+func NewOMPTask(threads int) Model {
+	return &ompTask{team: forkjoin.NewTeam(threads, forkjoin.Options{}), n: threads}
+}
+
+// NewOMPTaskWithOptions is NewOMPTask with explicit runtime options,
+// for ablations (e.g. lock-free task deques, immediate task policy).
+func NewOMPTaskWithOptions(threads int, opts forkjoin.Options) Model {
+	return &ompTask{team: forkjoin.NewTeam(threads, opts), n: threads}
+}
+
+func (m *ompTask) Name() string { return OMPTask }
+func (m *ompTask) Threads() int { return m.n }
+
+func (m *ompTask) ParallelFor(n int, body func(lo, hi int)) {
+	k := m.n
+	m.team.Parallel(func(tc *forkjoin.Ctx) {
+		tc.Master(func() {
+			for i := 0; i < k; i++ {
+				lo, hi := chunkFor(n, k, i)
+				if lo >= hi {
+					continue
+				}
+				tc.Task(func(*forkjoin.Ctx) { body(lo, hi) })
+			}
+			tc.Taskwait()
+		})
+	})
+}
+
+func (m *ompTask) ParallelReduce(n int, identity float64,
+	body func(lo, hi int, acc float64) float64,
+	combine func(a, b float64) float64) float64 {
+
+	k := m.n
+	partials := make([]float64, k)
+	m.team.Parallel(func(tc *forkjoin.Ctx) {
+		tc.Master(func() {
+			for i := 0; i < k; i++ {
+				i := i
+				lo, hi := chunkFor(n, k, i)
+				partials[i] = identity
+				if lo >= hi {
+					continue
+				}
+				tc.Task(func(*forkjoin.Ctx) { partials[i] = body(lo, hi, identity) })
+			}
+			tc.Taskwait()
+		})
+	})
+	acc := identity
+	for _, p := range partials {
+		acc = combine(acc, p)
+	}
+	return acc
+}
+
+func (m *ompTask) SupportsTasks() bool { return true }
+
+// ompScope adapts forkjoin tasking to TaskScope. Each scope tracks
+// the Ctx of the member executing its task; Sync maps to taskwait,
+// which joins exactly the children of the current task — the same
+// semantics OpenMP gives the paper's omp-task Fibonacci.
+type ompScope struct {
+	tc *forkjoin.Ctx
+}
+
+func (s *ompScope) Spawn(fn func(TaskScope)) {
+	s.tc.Task(func(inner *forkjoin.Ctx) {
+		fn(&ompScope{tc: inner})
+	})
+}
+
+func (s *ompScope) Sync() { s.tc.Taskwait() }
+
+func (m *ompTask) TaskRun(root func(TaskScope)) {
+	m.team.Parallel(func(tc *forkjoin.Ctx) {
+		tc.Master(func() {
+			root(&ompScope{tc: tc})
+			tc.Taskwait()
+		})
+	})
+}
+
+func (m *ompTask) SchedulerStats() (sched.Snapshot, bool) { return m.team.Stats(), true }
+
+func (m *ompTask) ResetSchedulerStats() { m.team.ResetStats() }
+
+func (m *ompTask) Close() { m.team.Close() }

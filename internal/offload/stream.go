@@ -1,0 +1,76 @@
+package offload
+
+import "sync"
+
+// Stream is a CUDA-style execution stream: operations enqueued on one
+// stream execute in FIFO order; operations on different streams may
+// overlap. This is the asynchronous-execution mechanism Table I lists
+// for CUDA (stream) and groups with OpenCL pipes and TBB pipelines.
+type Stream struct {
+	dev    *Device
+	ops    chan func()
+	drain  sync.WaitGroup
+	closed bool
+}
+
+// NewStream creates a stream on the device. Streams must be
+// Destroyed before the device is Closed.
+func (d *Device) NewStream() *Stream {
+	s := &Stream{dev: d, ops: make(chan func(), 64)}
+	s.drain.Add(1)
+	go func() {
+		defer s.drain.Done()
+		for op := range s.ops {
+			op()
+		}
+	}()
+	return s
+}
+
+// LaunchAsync enqueues a kernel launch on the stream and returns
+// immediately.
+func (s *Stream) LaunchAsync(n int, kernel Kernel, args ...*Buffer) {
+	if s.closed {
+		panic("offload: LaunchAsync on destroyed stream")
+	}
+	s.ops <- func() { s.dev.Launch(n, kernel, args...) }
+}
+
+// CopyToDeviceAsync enqueues a host-to-device copy. The host slice
+// must not be written until the stream is synchronized.
+func (s *Stream) CopyToDeviceAsync(b *Buffer, host []float64) {
+	if s.closed {
+		panic("offload: CopyToDeviceAsync on destroyed stream")
+	}
+	s.ops <- func() { s.dev.ToDevice(b, host) }
+}
+
+// CopyFromDeviceAsync enqueues a device-to-host copy. The host slice
+// must not be read until the stream is synchronized.
+func (s *Stream) CopyFromDeviceAsync(host []float64, b *Buffer) {
+	if s.closed {
+		panic("offload: CopyFromDeviceAsync on destroyed stream")
+	}
+	s.ops <- func() { s.dev.FromDevice(host, b) }
+}
+
+// Synchronize blocks until every operation enqueued so far has
+// completed (cudaStreamSynchronize).
+func (s *Stream) Synchronize() {
+	if s.closed {
+		return
+	}
+	done := make(chan struct{})
+	s.ops <- func() { close(done) }
+	<-done
+}
+
+// Destroy synchronizes and releases the stream.
+func (s *Stream) Destroy() {
+	if s.closed {
+		return
+	}
+	s.closed = true
+	close(s.ops)
+	s.drain.Wait()
+}

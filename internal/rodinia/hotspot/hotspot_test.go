@@ -1,0 +1,120 @@
+package hotspot
+
+import (
+	"math"
+	"testing"
+
+	"threading/internal/models"
+)
+
+func TestNewConfigValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewConfig(0,5) did not panic")
+		}
+	}()
+	NewConfig(0, 5)
+}
+
+func TestConfigCoefficientsPositive(t *testing.T) {
+	cfg := NewConfig(64, 64)
+	if cfg.Rx <= 0 || cfg.Ry <= 0 || cfg.Rz <= 0 || cfg.Cap <= 0 || cfg.Step <= 0 {
+		t.Fatalf("non-positive coefficient: %+v", cfg)
+	}
+}
+
+func TestGenerateInputDeterministic(t *testing.T) {
+	t1, p1 := GenerateInput(32, 32, 5)
+	t2, p2 := GenerateInput(32, 32, 5)
+	for i := range t1 {
+		if t1[i] != t2[i] || p1[i] != p2[i] {
+			t.Fatal("generator not deterministic")
+		}
+		if t1[i] < 323 || t1[i] >= 325 {
+			t.Fatalf("temp[%d] = %g outside [323,325)", i, t1[i])
+		}
+		if p1[i] < 0 || p1[i] >= 3 {
+			t.Fatalf("power[%d] = %g outside [0,3)", i, p1[i])
+		}
+	}
+}
+
+func TestSeqUniformNoPowerStaysNearAmbientEquilibrium(t *testing.T) {
+	// With zero power and a uniform starting field, every interior
+	// update pulls toward ambient; the field must remain uniform in
+	// the interior-free sense: all cells identical after each step
+	// because the stencil is symmetric and boundaries mirror.
+	cfg := NewConfig(16, 16)
+	n := 16 * 16
+	temp := make([]float64, n)
+	power := make([]float64, n)
+	for i := range temp {
+		temp[i] = 400
+	}
+	out := Seq(cfg, temp, power, 10)
+	for i := range out {
+		if out[i] >= 400 {
+			t.Fatalf("cell %d did not cool toward ambient: %g", i, out[i])
+		}
+		if out[i] != out[0] {
+			t.Fatalf("uniform field lost uniformity: out[%d]=%g out[0]=%g", i, out[i], out[0])
+		}
+	}
+}
+
+func TestSeqDoesNotMutateInput(t *testing.T) {
+	cfg := NewConfig(8, 8)
+	temp, power := GenerateInput(8, 8, 1)
+	orig := make([]float64, len(temp))
+	copy(orig, temp)
+	Seq(cfg, temp, power, 5)
+	for i := range temp {
+		if temp[i] != orig[i] {
+			t.Fatal("Seq mutated the input field")
+		}
+	}
+}
+
+func TestParallelMatchesSeq(t *testing.T) {
+	const rows, cols, steps = 64, 64, 20
+	cfg := NewConfig(rows, cols)
+	temp, power := GenerateInput(rows, cols, 9)
+	want := Seq(cfg, temp, power, steps)
+	for _, name := range models.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			m := models.MustNew(name, 4)
+			defer m.Close()
+			got := Parallel(m, cfg, temp, power, steps)
+			for i := range want {
+				if math.Abs(got[i]-want[i]) > 1e-12*math.Max(1, math.Abs(want[i])) {
+					t.Fatalf("cell %d: %g, want %g", i, got[i], want[i])
+				}
+			}
+		})
+	}
+}
+
+func TestParallelZeroSteps(t *testing.T) {
+	cfg := NewConfig(8, 8)
+	temp, power := GenerateInput(8, 8, 2)
+	m := models.MustNew(models.OMPFor, 2)
+	defer m.Close()
+	got := Parallel(m, cfg, temp, power, 0)
+	for i := range temp {
+		if got[i] != temp[i] {
+			t.Fatal("zero steps changed the field")
+		}
+	}
+}
+
+func TestFieldStaysFinite(t *testing.T) {
+	cfg := NewConfig(32, 32)
+	temp, power := GenerateInput(32, 32, 3)
+	out := Seq(cfg, temp, power, 100)
+	for i, v := range out {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("cell %d diverged: %g", i, v)
+		}
+	}
+}

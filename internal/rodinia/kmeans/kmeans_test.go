@@ -1,0 +1,124 @@
+package kmeans
+
+import (
+	"math"
+	"testing"
+
+	"threading/internal/models"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(100, 4, 5, 1)
+	b := Generate(100, 4, 5, 1)
+	for i := range a.Points {
+		if a.Points[i] != b.Points[i] {
+			t.Fatal("generator not deterministic")
+		}
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Generate(0,...) did not panic")
+		}
+	}()
+	Generate(0, 2, 2, 1)
+}
+
+func TestSeqConverges(t *testing.T) {
+	ds := Generate(600, 3, 4, 7)
+	res := Seq(ds, 4, 100)
+	if res.Iterations >= 100 {
+		t.Fatalf("did not converge in 100 iterations")
+	}
+	// Every membership assigned.
+	for i, c := range res.Membership {
+		if c < 0 || int(c) >= 4 {
+			t.Fatalf("point %d has membership %d", i, c)
+		}
+	}
+}
+
+func TestSeqFindsPlantedClusters(t *testing.T) {
+	// With tight planted clusters, within-cluster distance to the
+	// found center must be much smaller than the lattice spacing.
+	ds := Generate(1000, 2, 5, 11)
+	res := Seq(ds, 5, 100)
+	for p := 0; p < ds.N; p++ {
+		point := ds.Points[p*2 : p*2+2]
+		c := int(res.Membership[p])
+		dd := distSq(point, res.Centers[c*2:c*2+2])
+		if dd > 1.0 { // planted noise is ±0.25 per axis
+			t.Fatalf("point %d is %.2f away from its center", p, math.Sqrt(dd))
+		}
+	}
+}
+
+func TestOnePointPerCluster(t *testing.T) {
+	ds := Generate(3, 2, 3, 5)
+	res := Seq(ds, 3, 10)
+	seen := map[int32]bool{}
+	for _, c := range res.Membership {
+		seen[c] = true
+	}
+	if len(seen) != 3 {
+		t.Fatalf("3 points / 3 clusters should use all clusters: %v", res.Membership)
+	}
+}
+
+func TestTooManyClustersPanics(t *testing.T) {
+	ds := Generate(2, 2, 2, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("k > n not rejected")
+		}
+	}()
+	Seq(ds, 5, 1)
+}
+
+func TestParallelMatchesSeq(t *testing.T) {
+	ds := Generate(4000, 4, 6, 13)
+	const iters = 8
+	want := Seq(ds, 6, iters)
+	for _, name := range models.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			m := models.MustNew(name, 4)
+			defer m.Close()
+			got := Parallel(m, ds, 6, iters)
+			if got.Iterations != want.Iterations {
+				t.Fatalf("iterations %d != %d", got.Iterations, want.Iterations)
+			}
+			for i := range want.Membership {
+				if got.Membership[i] != want.Membership[i] {
+					t.Fatalf("point %d: cluster %d != %d", i, got.Membership[i], want.Membership[i])
+				}
+			}
+			for i := range want.Centers {
+				// Parallel merge reorders float sums; allow drift.
+				if math.Abs(got.Centers[i]-want.Centers[i]) > 1e-9 {
+					t.Fatalf("center coord %d: %g != %g", i, got.Centers[i], want.Centers[i])
+				}
+			}
+		})
+	}
+}
+
+func TestParallelConvergedStateStable(t *testing.T) {
+	// Running more iterations after convergence must not change the
+	// result (fixed point).
+	ds := Generate(500, 3, 4, 21)
+	m := models.MustNew(models.OMPFor, 2)
+	defer m.Close()
+	a := Parallel(m, ds, 4, 100)
+	b := Parallel(m, ds, 4, 200)
+	if a.Iterations != b.Iterations {
+		t.Fatalf("iteration counts differ: %d vs %d", a.Iterations, b.Iterations)
+	}
+	for i := range a.Centers {
+		if a.Centers[i] != b.Centers[i] {
+			t.Fatal("converged centers not stable")
+		}
+	}
+}

@@ -1,0 +1,136 @@
+package lavamd
+
+import (
+	"math"
+	"testing"
+
+	"threading/internal/models"
+)
+
+func TestGenerateStructure(t *testing.T) {
+	s := Generate(3, 17)
+	if s.NumBoxes() != 27 {
+		t.Fatalf("NumBoxes = %d, want 27", s.NumBoxes())
+	}
+	if s.NumParticles() != 27*ParticlesPerBox {
+		t.Fatalf("NumParticles = %d", s.NumParticles())
+	}
+	// Center box of a 3^3 grid has itself + 26 neighbors.
+	center := (1*3+1)*3 + 1
+	if len(s.Neighbors[center]) != 27 {
+		t.Fatalf("center box has %d neighbor entries, want 27", len(s.Neighbors[center]))
+	}
+	// Corner box: itself + 7.
+	if len(s.Neighbors[0]) != 8 {
+		t.Fatalf("corner box has %d neighbor entries, want 8", len(s.Neighbors[0]))
+	}
+	// Every neighbor list starts with the home box.
+	for b, nbrs := range s.Neighbors {
+		if nbrs[0] != int32(b) {
+			t.Fatalf("box %d neighbor list starts with %d", b, nbrs[0])
+		}
+		seen := map[int32]bool{}
+		for _, nb := range nbrs {
+			if nb < 0 || int(nb) >= s.NumBoxes() {
+				t.Fatalf("box %d has out-of-range neighbor %d", b, nb)
+			}
+			if seen[nb] {
+				t.Fatalf("box %d lists neighbor %d twice", b, nb)
+			}
+			seen[nb] = true
+		}
+	}
+}
+
+func TestNeighborSymmetry(t *testing.T) {
+	s := Generate(4, 5)
+	adj := make(map[[2]int32]bool)
+	for b, nbrs := range s.Neighbors {
+		for _, nb := range nbrs[1:] {
+			adj[[2]int32{int32(b), nb}] = true
+		}
+	}
+	for k := range adj {
+		if !adj[[2]int32{k[1], k[0]}] {
+			t.Fatalf("adjacency %v not symmetric", k)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(2, 9)
+	b := Generate(2, 9)
+	for i := range a.Positions {
+		if a.Positions[i] != b.Positions[i] || a.Charges[i] != b.Charges[i] {
+			t.Fatal("generator not deterministic")
+		}
+	}
+}
+
+func TestSeqProducesFiniteNonzero(t *testing.T) {
+	s := Generate(2, 1)
+	out := Seq(s)
+	var nonzero int
+	for i, v := range out {
+		for _, f := range [4]float64{v.V, v.X, v.Y, v.Z} {
+			if math.IsNaN(f) || math.IsInf(f, 0) {
+				t.Fatalf("particle %d has non-finite accumulator", i)
+			}
+		}
+		if v.V != 0 {
+			nonzero++
+		}
+	}
+	if nonzero == 0 {
+		t.Fatal("all potentials zero — kernel did nothing")
+	}
+}
+
+func TestSingleParticleSelfInteraction(t *testing.T) {
+	// With one box, every particle interacts with all 100 in the box,
+	// including itself; the self term has r2 = 2v - |p|^2. Just check
+	// the kernel against a direct reimplementation for one particle.
+	s := Generate(1, 3)
+	out := Seq(s)
+	i := 7
+	pi := s.Positions[i]
+	var want float64
+	for j := 0; j < ParticlesPerBox; j++ {
+		pj := s.Positions[j]
+		r2 := pi.V + pj.V - (pi.X*pj.X + pi.Y*pj.Y + pi.Z*pj.Z)
+		want += s.Charges[j] * math.Exp(-2*alpha*alpha*r2)
+	}
+	if math.Abs(out[i].V-want) > 1e-12*math.Abs(want) {
+		t.Fatalf("potential = %g, want %g", out[i].V, want)
+	}
+}
+
+func TestParallelMatchesSeq(t *testing.T) {
+	s := Generate(3, 77)
+	want := Seq(s)
+	for _, name := range models.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			m := models.MustNew(name, 4)
+			defer m.Close()
+			got := Parallel(m, s)
+			for i := range want {
+				if d := math.Abs(got[i].V - want[i].V); d > 1e-12 {
+					t.Fatalf("particle %d V differs by %g", i, d)
+				}
+				if got[i].X != want[i].X || got[i].Y != want[i].Y || got[i].Z != want[i].Z {
+					t.Fatalf("particle %d force differs", i)
+				}
+			}
+		})
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Generate(0) did not panic")
+		}
+	}()
+	Generate(0, 1)
+}

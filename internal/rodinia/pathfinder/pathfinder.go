@@ -1,0 +1,97 @@
+// Package pathfinder ports the Rodinia PathFinder benchmark: dynamic
+// programming on a 2-D grid, finding the minimum-cost path from the
+// bottom row to the top moving straight or diagonally. Each row's
+// computation is a flat parallel loop over columns; rows are strictly
+// ordered — one dependent parallel phase per row, the same structure
+// class as HotSpot but with a trivial per-cell kernel, so it stresses
+// per-phase runtime overhead harder than any other application here.
+//
+// (PathFinder is part of the Rodinia suite the paper evaluates from;
+// it is included as an extension workload.)
+package pathfinder
+
+import "threading/internal/models"
+
+// Grid is a rows x cols field of step costs.
+type Grid struct {
+	Rows, Cols int
+	Weight     []int32 // row-major
+}
+
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9E3779B97F4A7C15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Generate builds a deterministic grid with weights in [0, 10), the
+// Rodinia input distribution.
+func Generate(rows, cols int, seed uint64) *Grid {
+	if rows < 1 || cols < 1 {
+		panic("pathfinder: grid must be at least 1x1")
+	}
+	g := &Grid{Rows: rows, Cols: cols, Weight: make([]int32, rows*cols)}
+	st := seed
+	for i := range g.Weight {
+		g.Weight[i] = int32(splitmix64(&st) % 10)
+	}
+	return g
+}
+
+// stepRange advances the DP for columns [lo, hi) of row r: dst[j] =
+// weight[r][j] + min of the up-to-three reachable cells of src.
+func stepRange(g *Grid, dst, src []int32, r, lo, hi int) {
+	row := g.Weight[r*g.Cols : (r+1)*g.Cols]
+	for j := lo; j < hi; j++ {
+		best := src[j]
+		if j > 0 && src[j-1] < best {
+			best = src[j-1]
+		}
+		if j < g.Cols-1 && src[j+1] < best {
+			best = src[j+1]
+		}
+		dst[j] = row[j] + best
+	}
+}
+
+// Seq computes the DP sequentially and returns the final cost row
+// (minimum path cost ending at each top-row column).
+func Seq(g *Grid) []int32 {
+	cur := make([]int32, g.Cols)
+	next := make([]int32, g.Cols)
+	copy(cur, g.Weight[:g.Cols])
+	for r := 1; r < g.Rows; r++ {
+		stepRange(g, next, cur, r, 0, g.Cols)
+		cur, next = next, cur
+	}
+	return cur
+}
+
+// Parallel computes the DP under model m, one parallel loop over
+// columns per row; the model's join is the row dependency.
+func Parallel(m models.Model, g *Grid) []int32 {
+	cur := make([]int32, g.Cols)
+	next := make([]int32, g.Cols)
+	copy(cur, g.Weight[:g.Cols])
+	for r := 1; r < g.Rows; r++ {
+		src, dst, row := cur, next, r
+		m.ParallelFor(g.Cols, func(lo, hi int) {
+			stepRange(g, dst, src, row, lo, hi)
+		})
+		cur, next = next, cur
+	}
+	return cur
+}
+
+// MinCost returns the smallest value in a result row.
+func MinCost(costs []int32) int32 {
+	best := costs[0]
+	for _, c := range costs[1:] {
+		if c < best {
+			best = c
+		}
+	}
+	return best
+}

@@ -1,0 +1,116 @@
+package pathfinder
+
+import (
+	"testing"
+	"testing/quick"
+
+	"threading/internal/models"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(10, 20, 3)
+	b := Generate(10, 20, 3)
+	for i := range a.Weight {
+		if a.Weight[i] != b.Weight[i] {
+			t.Fatal("generator not deterministic")
+		}
+		if a.Weight[i] < 0 || a.Weight[i] >= 10 {
+			t.Fatalf("weight %d out of [0,10)", a.Weight[i])
+		}
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Generate(0, 5) did not panic")
+		}
+	}()
+	Generate(0, 5, 1)
+}
+
+func TestSeqKnownGrid(t *testing.T) {
+	// 3x3 grid, hand-checked DP.
+	g := &Grid{Rows: 3, Cols: 3, Weight: []int32{
+		1, 2, 3,
+		4, 5, 6,
+		7, 8, 9,
+	}}
+	// Row 0: [1 2 3]
+	// Row 1: 4+min(1,2)=5; 5+min(1,2,3)=6; 6+min(2,3)=8
+	// Row 2: 7+min(5,6)=12; 8+min(5,6,8)=13; 9+min(6,8)=15
+	want := []int32{12, 13, 15}
+	got := Seq(g)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+	if MinCost(got) != 12 {
+		t.Fatalf("MinCost = %d", MinCost(got))
+	}
+}
+
+func TestSingleRow(t *testing.T) {
+	g := &Grid{Rows: 1, Cols: 4, Weight: []int32{3, 1, 4, 1}}
+	got := Seq(g)
+	for i, v := range []int32{3, 1, 4, 1} {
+		if got[i] != v {
+			t.Fatalf("single-row DP wrong: %v", got)
+		}
+	}
+}
+
+func TestParallelMatchesSeq(t *testing.T) {
+	g := Generate(100, 4000, 17)
+	want := Seq(g)
+	for _, name := range models.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			m := models.MustNew(name, 4)
+			defer m.Close()
+			got := Parallel(m, g)
+			for j := range want {
+				if got[j] != want[j] {
+					t.Fatalf("column %d: %d, want %d", j, got[j], want[j])
+				}
+			}
+		})
+	}
+}
+
+func TestQuickSmallGrids(t *testing.T) {
+	m := models.MustNew(models.CilkSpawn, 3)
+	defer m.Close()
+	check := func(r8, c8 uint8, seed uint64) bool {
+		rows := int(r8%20) + 1
+		cols := int(c8%50) + 1
+		g := Generate(rows, cols, seed)
+		want := Seq(g)
+		got := Parallel(m, g)
+		for j := range want {
+			if got[j] != want[j] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMonotonicity(t *testing.T) {
+	// Costs only accumulate: result >= first row minimum.
+	g := Generate(50, 200, 5)
+	res := Seq(g)
+	var rowMin int32 = 10
+	for j := 0; j < g.Cols; j++ {
+		if g.Weight[j] < rowMin {
+			rowMin = g.Weight[j]
+		}
+	}
+	if MinCost(res) < rowMin {
+		t.Fatalf("final cost %d below first-row minimum %d", MinCost(res), rowMin)
+	}
+}

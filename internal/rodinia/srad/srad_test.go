@@ -1,0 +1,133 @@
+package srad
+
+import (
+	"math"
+	"testing"
+
+	"threading/internal/models"
+)
+
+func TestNewImageValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewImage(1,5) did not panic")
+		}
+	}()
+	NewImage(1, 5)
+}
+
+func TestGenerateImageRange(t *testing.T) {
+	im := GenerateImage(32, 48, 4)
+	if im.Rows != 32 || im.Cols != 48 || len(im.Pix) != 32*48 {
+		t.Fatalf("bad geometry: %dx%d, %d pixels", im.Rows, im.Cols, len(im.Pix))
+	}
+	for i, v := range im.Pix {
+		if v < 1 || v > math.E {
+			t.Fatalf("pixel %d = %g outside [1, e]", i, v)
+		}
+	}
+	im2 := GenerateImage(32, 48, 4)
+	for i := range im.Pix {
+		if im.Pix[i] != im2.Pix[i] {
+			t.Fatal("generator not deterministic")
+		}
+	}
+}
+
+func TestClone(t *testing.T) {
+	im := GenerateImage(8, 8, 1)
+	cp := im.Clone()
+	cp.Pix[0] = -1
+	if im.Pix[0] == -1 {
+		t.Fatal("Clone shares storage")
+	}
+}
+
+func TestSeqSmoothsSpeckle(t *testing.T) {
+	// Diffusion must reduce the image's variance.
+	im := GenerateImage(64, 64, 7)
+	before := variance(im)
+	out := Seq(im, 0.5, 20)
+	after := variance(out)
+	if after >= before {
+		t.Fatalf("variance did not decrease: %g -> %g", before, after)
+	}
+	for i, v := range out.Pix {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("pixel %d diverged", i)
+		}
+	}
+}
+
+func variance(im *Image) float64 {
+	var sum, sum2 float64
+	for _, v := range im.Pix {
+		sum += v
+		sum2 += v * v
+	}
+	n := float64(len(im.Pix))
+	mean := sum / n
+	return sum2/n - mean*mean
+}
+
+func TestSeqUniformImageFixedPoint(t *testing.T) {
+	// A constant image has zero derivatives everywhere; diffusion
+	// must leave it untouched (q0sqr is 0/0-free because variance=0
+	// gives q0sqr=0... which divides by zero in the coefficient; the
+	// Rodinia kernel has the same behaviour, so use a near-constant
+	// image instead and require near-identity).
+	im := NewImage(16, 16)
+	for i := range im.Pix {
+		im.Pix[i] = 2 + 1e-9*float64(i%3)
+	}
+	out := Seq(im, 0.5, 3)
+	for i := range out.Pix {
+		if math.Abs(out.Pix[i]-im.Pix[i]) > 1e-6 {
+			t.Fatalf("pixel %d moved: %g -> %g", i, im.Pix[i], out.Pix[i])
+		}
+	}
+}
+
+func TestSeqDoesNotMutateInput(t *testing.T) {
+	im := GenerateImage(16, 16, 2)
+	orig := im.Clone()
+	Seq(im, 0.5, 3)
+	for i := range im.Pix {
+		if im.Pix[i] != orig.Pix[i] {
+			t.Fatal("Seq mutated its input")
+		}
+	}
+}
+
+func TestParallelMatchesSeq(t *testing.T) {
+	im := GenerateImage(96, 80, 13)
+	const lambda, iters = 0.5, 5
+	want := Seq(im, lambda, iters)
+	for _, name := range models.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			m := models.MustNew(name, 4)
+			defer m.Close()
+			got := Parallel(m, im, lambda, iters)
+			for i := range want.Pix {
+				// Parallel reductions reassociate the noise-statistic
+				// sums, so allow small drift.
+				if d := math.Abs(got.Pix[i] - want.Pix[i]); d > 1e-6 {
+					t.Fatalf("pixel %d differs by %g", i, d)
+				}
+			}
+		})
+	}
+}
+
+func TestParallelZeroIters(t *testing.T) {
+	im := GenerateImage(8, 8, 3)
+	m := models.MustNew(models.OMPFor, 2)
+	defer m.Close()
+	out := Parallel(m, im, 0.5, 0)
+	for i := range im.Pix {
+		if out.Pix[i] != im.Pix[i] {
+			t.Fatal("zero iterations changed the image")
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package sched
+
+import "sync/atomic"
+
+// Stats aggregates scheduler event counters, sharded per worker so
+// that hot paths (a counter bump per spawned task) never contend on a
+// shared cache line. Workers obtain their Shard once and count
+// through it; Snapshot and Reset fold over all shards.
+//
+// The zero Stats has no shards and silently counts nothing through
+// the aggregate helpers; construct with NewStats.
+type Stats struct {
+	shards []Shard
+}
+
+// Shard is one worker's private counter block, padded to its own
+// cache lines.
+type Shard struct {
+	tasksExecuted atomic.Int64
+	spawns        atomic.Int64
+	steals        atomic.Int64
+	failedSteals  atomic.Int64
+	parks         atomic.Int64
+	barrierWaits  atomic.Int64
+	loopChunks    atomic.Int64
+	_             [64]byte
+}
+
+// NewStats returns counters with one shard per worker.
+func NewStats(workers int) *Stats {
+	if workers < 1 {
+		workers = 1
+	}
+	return &Stats{shards: make([]Shard, workers)}
+}
+
+// Shard returns worker i's counter block.
+func (s *Stats) Shard(i int) *Shard { return &s.shards[i] }
+
+// CountTask records one executed task.
+func (s *Shard) CountTask() { s.tasksExecuted.Add(1) }
+
+// CountSpawn records one spawned task.
+func (s *Shard) CountSpawn() { s.spawns.Add(1) }
+
+// CountSteal records one successful steal.
+func (s *Shard) CountSteal() { s.steals.Add(1) }
+
+// CountFailedSteal records one steal attempt that found nothing.
+func (s *Shard) CountFailedSteal() { s.failedSteals.Add(1) }
+
+// CountPark records one worker park.
+func (s *Shard) CountPark() { s.parks.Add(1) }
+
+// CountBarrierWait records one barrier arrival.
+func (s *Shard) CountBarrierWait() { s.barrierWaits.Add(1) }
+
+// CountLoopChunk records one work-sharing loop chunk hand-out.
+func (s *Shard) CountLoopChunk() { s.loopChunks.Add(1) }
+
+// Snapshot is a point-in-time sum of all shards.
+type Snapshot struct {
+	TasksExecuted int64 // tasks run to completion
+	Spawns        int64 // tasks created
+	Steals        int64 // successful steals
+	FailedSteals  int64 // empty or lost steal attempts
+	Parks         int64 // times a worker blocked idle
+	BarrierWaits  int64 // barrier arrivals
+	LoopChunks    int64 // work-sharing chunks handed out
+}
+
+// Snapshot sums the current counter values across shards.
+func (s *Stats) Snapshot() Snapshot {
+	var out Snapshot
+	for i := range s.shards {
+		sh := &s.shards[i]
+		out.TasksExecuted += sh.tasksExecuted.Load()
+		out.Spawns += sh.spawns.Load()
+		out.Steals += sh.steals.Load()
+		out.FailedSteals += sh.failedSteals.Load()
+		out.Parks += sh.parks.Load()
+		out.BarrierWaits += sh.barrierWaits.Load()
+		out.LoopChunks += sh.loopChunks.Load()
+	}
+	return out
+}
+
+// Reset zeroes all counters.
+func (s *Stats) Reset() {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.tasksExecuted.Store(0)
+		sh.spawns.Store(0)
+		sh.steals.Store(0)
+		sh.failedSteals.Store(0)
+		sh.parks.Store(0)
+		sh.barrierWaits.Store(0)
+		sh.loopChunks.Store(0)
+	}
+}

@@ -1,0 +1,78 @@
+// Package stats provides the small sample statistics the benchmark
+// harness reports: min, max, mean, median and standard deviation over
+// repeated timings, plus speedup calculations.
+package stats
+
+import (
+	"math"
+	"sort"
+	"time"
+)
+
+// Sample summarizes a set of duration measurements.
+type Sample struct {
+	N      int
+	Min    time.Duration
+	Max    time.Duration
+	Mean   time.Duration
+	Median time.Duration
+	Stddev time.Duration
+}
+
+// Summarize computes a Sample from ds. An empty input yields a zero
+// Sample.
+func Summarize(ds []time.Duration) Sample {
+	if len(ds) == 0 {
+		return Sample{}
+	}
+	sorted := make([]time.Duration, len(ds))
+	copy(sorted, ds)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+
+	var sum float64
+	for _, d := range sorted {
+		sum += float64(d)
+	}
+	mean := sum / float64(len(sorted))
+
+	var sq float64
+	for _, d := range sorted {
+		diff := float64(d) - mean
+		sq += diff * diff
+	}
+	std := 0.0
+	if len(sorted) > 1 {
+		std = math.Sqrt(sq / float64(len(sorted)-1))
+	}
+
+	mid := len(sorted) / 2
+	median := sorted[mid]
+	if len(sorted)%2 == 0 {
+		median = (sorted[mid-1] + sorted[mid]) / 2
+	}
+	return Sample{
+		N:      len(sorted),
+		Min:    sorted[0],
+		Max:    sorted[len(sorted)-1],
+		Mean:   time.Duration(mean),
+		Median: median,
+		Stddev: time.Duration(std),
+	}
+}
+
+// Speedup returns base/measured — how many times faster measured is
+// than base. A non-positive measured duration yields 0.
+func Speedup(base, measured time.Duration) float64 {
+	if measured <= 0 {
+		return 0
+	}
+	return float64(base) / float64(measured)
+}
+
+// Efficiency returns parallel efficiency: Speedup / threads.
+func Efficiency(base, measured time.Duration, threads int) float64 {
+	if threads <= 0 {
+		return 0
+	}
+	return Speedup(base, measured) / float64(threads)
+}

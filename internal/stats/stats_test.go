@@ -1,0 +1,91 @@
+package stats
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSummarizeEmpty(t *testing.T) {
+	if s := Summarize(nil); s != (Sample{}) {
+		t.Fatalf("Summarize(nil) = %+v, want zero", s)
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s := Summarize([]time.Duration{5 * time.Millisecond})
+	if s.N != 1 || s.Min != 5*time.Millisecond || s.Max != 5*time.Millisecond ||
+		s.Mean != 5*time.Millisecond || s.Median != 5*time.Millisecond || s.Stddev != 0 {
+		t.Fatalf("single-sample summary wrong: %+v", s)
+	}
+}
+
+func TestSummarizeKnown(t *testing.T) {
+	ds := []time.Duration{4, 2, 6, 8} // sorted: 2 4 6 8
+	s := Summarize(ds)
+	if s.Min != 2 || s.Max != 8 {
+		t.Fatalf("min/max wrong: %+v", s)
+	}
+	if s.Mean != 5 {
+		t.Fatalf("mean = %d, want 5", s.Mean)
+	}
+	if s.Median != 5 { // (4+6)/2
+		t.Fatalf("median = %d, want 5", s.Median)
+	}
+	// Sample stddev of {2,4,6,8}: sqrt(20/3) ~ 2.58
+	if s.Stddev < 2 || s.Stddev > 3 {
+		t.Fatalf("stddev = %d, want ~2.58", s.Stddev)
+	}
+}
+
+func TestSummarizeOddMedian(t *testing.T) {
+	s := Summarize([]time.Duration{9, 1, 5})
+	if s.Median != 5 {
+		t.Fatalf("median = %d, want 5", s.Median)
+	}
+}
+
+func TestSummarizeDoesNotMutate(t *testing.T) {
+	ds := []time.Duration{3, 1, 2}
+	Summarize(ds)
+	if ds[0] != 3 || ds[1] != 1 || ds[2] != 2 {
+		t.Fatal("Summarize mutated its input")
+	}
+}
+
+func TestSummarizeInvariants(t *testing.T) {
+	check := func(raw []uint32) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		ds := make([]time.Duration, len(raw))
+		for i, v := range raw {
+			ds[i] = time.Duration(v)
+		}
+		s := Summarize(ds)
+		return s.N == len(ds) &&
+			s.Min <= s.Median && s.Median <= s.Max &&
+			s.Min <= s.Mean && s.Mean <= s.Max
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	if got := Speedup(10*time.Second, 2*time.Second); got != 5 {
+		t.Fatalf("Speedup = %g, want 5", got)
+	}
+	if got := Speedup(time.Second, 0); got != 0 {
+		t.Fatalf("Speedup with zero divisor = %g, want 0", got)
+	}
+}
+
+func TestEfficiency(t *testing.T) {
+	if got := Efficiency(8*time.Second, 2*time.Second, 4); got != 1 {
+		t.Fatalf("Efficiency = %g, want 1", got)
+	}
+	if got := Efficiency(time.Second, time.Second, 0); got != 0 {
+		t.Fatalf("Efficiency with 0 threads = %g, want 0", got)
+	}
+}

@@ -1,0 +1,122 @@
+package syncprim
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Latch is a single-use countdown latch: Wait blocks until the count
+// reaches zero. It is the join primitive beneath taskwait-style
+// synchronization (OpenMP taskwait, cilk_sync, std::future::get all
+// reduce to "wait until N outstanding children finish").
+type Latch struct {
+	count atomic.Int64
+	mu    sync.Mutex
+	cond  *sync.Cond
+}
+
+// NewLatch returns a latch that opens after n calls to Done.
+// n must be non-negative.
+func NewLatch(n int) *Latch {
+	if n < 0 {
+		panic("syncprim: negative latch count")
+	}
+	l := &Latch{}
+	l.count.Store(int64(n))
+	l.cond = sync.NewCond(&l.mu)
+	return l
+}
+
+// Add increases the outstanding count by delta. It must not be called
+// after the latch has opened.
+func (l *Latch) Add(delta int) {
+	if l.count.Add(int64(delta)) < 0 {
+		panic("syncprim: latch count went negative")
+	}
+}
+
+// Done decrements the count, opening the latch when it reaches zero.
+func (l *Latch) Done() {
+	n := l.count.Add(-1)
+	if n < 0 {
+		panic("syncprim: latch count went negative")
+	}
+	if n == 0 {
+		l.mu.Lock()
+		l.cond.Broadcast()
+		l.mu.Unlock()
+	}
+}
+
+// Count reports the current outstanding count.
+func (l *Latch) Count() int { return int(l.count.Load()) }
+
+// Wait blocks until the count reaches zero.
+func (l *Latch) Wait() {
+	if l.count.Load() == 0 {
+		return
+	}
+	l.mu.Lock()
+	for l.count.Load() != 0 {
+		l.cond.Wait()
+	}
+	l.mu.Unlock()
+}
+
+// Semaphore is a counting semaphore built on a mutex and condition
+// variable. It backs throttling in the runtimes (bounding outstanding
+// oversubscribed work, mirroring thread-pool size limits in
+// breadth-first OpenMP task scheduling).
+type Semaphore struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	permits int
+}
+
+// NewSemaphore returns a semaphore holding n permits. n must be
+// non-negative.
+func NewSemaphore(n int) *Semaphore {
+	if n < 0 {
+		panic("syncprim: negative semaphore permits")
+	}
+	s := &Semaphore{permits: n}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// Acquire takes one permit, blocking until one is available.
+func (s *Semaphore) Acquire() {
+	s.mu.Lock()
+	for s.permits == 0 {
+		s.cond.Wait()
+	}
+	s.permits--
+	s.mu.Unlock()
+}
+
+// TryAcquire takes one permit without blocking and reports whether it
+// succeeded.
+func (s *Semaphore) TryAcquire() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.permits == 0 {
+		return false
+	}
+	s.permits--
+	return true
+}
+
+// Release returns one permit.
+func (s *Semaphore) Release() {
+	s.mu.Lock()
+	s.permits++
+	s.cond.Signal()
+	s.mu.Unlock()
+}
+
+// Available reports the number of free permits.
+func (s *Semaphore) Available() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.permits
+}

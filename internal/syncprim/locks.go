@@ -1,0 +1,63 @@
+package syncprim
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// SpinLock is a test-and-test-and-set spin lock. It models the cheap
+// user-space locks threading runtimes use for short critical sections
+// (for example OpenMP's omp_lock in its speculative configurations).
+// The zero value is an unlocked SpinLock.
+type SpinLock struct {
+	state atomic.Uint32
+}
+
+// Lock acquires the lock, spinning with exponential yielding until it
+// is available.
+func (l *SpinLock) Lock() {
+	for {
+		if l.state.CompareAndSwap(0, 1) {
+			return
+		}
+		// Test-and-test-and-set: spin on the read to avoid hammering
+		// the cache line with CAS traffic.
+		for l.state.Load() != 0 {
+			runtime.Gosched()
+		}
+	}
+}
+
+// TryLock acquires the lock without blocking and reports whether it
+// succeeded.
+func (l *SpinLock) TryLock() bool {
+	return l.state.CompareAndSwap(0, 1)
+}
+
+// Unlock releases the lock. It must only be called by the holder.
+func (l *SpinLock) Unlock() {
+	l.state.Store(0)
+}
+
+// TicketLock is a FIFO spin lock: acquirers take a ticket and wait for
+// the grant counter to reach it, so the lock is fair under contention
+// (unlike SpinLock, where a fast core can barge repeatedly). The zero
+// value is an unlocked TicketLock.
+type TicketLock struct {
+	next  atomic.Uint64
+	grant atomic.Uint64
+}
+
+// Lock acquires the lock in FIFO order.
+func (l *TicketLock) Lock() {
+	ticket := l.next.Add(1) - 1
+	for l.grant.Load() != ticket {
+		runtime.Gosched()
+	}
+}
+
+// Unlock releases the lock to the next ticket holder. It must only be
+// called by the holder.
+func (l *TicketLock) Unlock() {
+	l.grant.Add(1)
+}

@@ -1,0 +1,217 @@
+// Package workspan implements a Cilkview-style scalability analyzer —
+// the "Tool support" column of the paper's Table III credits Cilk
+// Plus with Cilkview, which executes a program serially while
+// computing the *work* (total computation, T1) and *span* (critical
+// path, T-infinity) of its task DAG; their ratio is the program's
+// inherent parallelism, an upper bound on achievable speedup on any
+// number of processors.
+//
+// Profile runs a task graph serially on the calling goroutine,
+// tracking work and span online with the standard strand algebra:
+// a spawn forks the span path, a sync joins it with a max. Costs are
+// charged explicitly (Charge) for deterministic analysis, with
+// optional wall-clock strand timing for real code.
+//
+// The burdened span adds a fixed scheduling cost per spawn and per
+// sync, giving Cilkview's "burdened parallelism" — the realistic
+// bound once runtime overhead is priced in.
+package workspan
+
+import (
+	"fmt"
+	"time"
+)
+
+// Scope is the instrumented task surface: the same Spawn/Sync shape
+// as models.TaskScope plus explicit cost accounting.
+type Scope interface {
+	// Spawn declares a child task; in the serial profile it runs
+	// immediately, but its costs land on a parallel branch of the
+	// DAG.
+	Spawn(fn func(Scope))
+	// Sync joins all children spawned so far in this task.
+	Sync()
+	// Charge accounts d of computation on the current strand.
+	Charge(d time.Duration)
+}
+
+// Options configure a profile run.
+type Options struct {
+	// WallClock adds real elapsed time between scope events to the
+	// charged costs. Off by default so tests and analyses are
+	// deterministic.
+	WallClock bool
+	// SpawnBurden and SyncBurden are the per-event scheduling costs
+	// used for the burdened span (Cilkview's burdened parallelism).
+	// Zero values select 1 microsecond each.
+	SpawnBurden, SyncBurden time.Duration
+}
+
+// Report is the result of a profile run.
+type Report struct {
+	// Work is T1: the total computation of the DAG.
+	Work time.Duration
+	// Span is T-infinity: the critical path.
+	Span time.Duration
+	// BurdenedSpan is the critical path with per-spawn/sync burden.
+	BurdenedSpan time.Duration
+	// Tasks is the number of tasks (including the root).
+	Tasks int
+	// Spawns is the number of Spawn calls.
+	Spawns int
+	// Syncs is the number of explicit Sync calls (implicit
+	// task-return joins are not counted).
+	Syncs int
+	// MaxDepth is the deepest spawn nesting.
+	MaxDepth int
+}
+
+// Parallelism returns Work/Span — the inherent parallelism.
+func (r Report) Parallelism() float64 {
+	if r.Span <= 0 {
+		return 0
+	}
+	return float64(r.Work) / float64(r.Span)
+}
+
+// BurdenedParallelism returns Work/BurdenedSpan.
+func (r Report) BurdenedParallelism() float64 {
+	if r.BurdenedSpan <= 0 {
+		return 0
+	}
+	return float64(r.Work) / float64(r.BurdenedSpan)
+}
+
+// SpeedupBound returns the lesser of p and the parallelism — the
+// Cilkview speedup bound on p processors.
+func (r Report) SpeedupBound(p int) float64 {
+	par := r.Parallelism()
+	if float64(p) < par {
+		return float64(p)
+	}
+	return par
+}
+
+// String renders the report in Cilkview's style.
+func (r Report) String() string {
+	return fmt.Sprintf(
+		"work: %v\nspan: %v\nburdened span: %v\nparallelism: %.2f\nburdened parallelism: %.2f\ntasks: %d  spawns: %d  syncs: %d  max depth: %d",
+		r.Work, r.Span, r.BurdenedSpan,
+		r.Parallelism(), r.BurdenedParallelism(),
+		r.Tasks, r.Spawns, r.Syncs, r.MaxDepth)
+}
+
+// profiler carries the run-wide accumulators.
+type profiler struct {
+	opts   Options
+	work   time.Duration
+	tasks  int
+	spawns int
+	syncs  int
+	depth  int
+	last   time.Time
+}
+
+// scope is one task's frame in the serial execution.
+type scope struct {
+	p *profiler
+	// cspan: span from task start to the current point along the
+	// continuation; bspan is its burdened twin.
+	cspan, bspan time.Duration
+	// mspan/mbspan: max over children of (span at spawn + child
+	// span).
+	mspan, mbspan time.Duration
+	depth         int
+}
+
+// Profile executes root serially and returns its DAG metrics.
+func Profile(opts Options, root func(Scope)) Report {
+	if opts.SpawnBurden == 0 {
+		opts.SpawnBurden = time.Microsecond
+	}
+	if opts.SyncBurden == 0 {
+		opts.SyncBurden = time.Microsecond
+	}
+	p := &profiler{opts: opts, last: time.Now()}
+	rootSpan, rootBSpan := p.runTask(root, 0)
+	return Report{
+		Work:         p.work,
+		Span:         rootSpan,
+		BurdenedSpan: rootBSpan,
+		Tasks:        p.tasks,
+		Spawns:       p.spawns,
+		Syncs:        p.syncs,
+		MaxDepth:     p.depth,
+	}
+}
+
+// tick charges wall-clock time since the last event, when enabled.
+func (p *profiler) tick(s *scope) {
+	if !p.opts.WallClock {
+		return
+	}
+	now := time.Now()
+	d := now.Sub(p.last)
+	p.last = now
+	p.work += d
+	s.cspan += d
+	s.bspan += d
+}
+
+// runTask executes one task body and returns its total span and
+// burdened span (after the implicit final sync).
+func (p *profiler) runTask(fn func(Scope), depth int) (time.Duration, time.Duration) {
+	p.tasks++
+	if depth > p.depth {
+		p.depth = depth
+	}
+	s := &scope{p: p, depth: depth}
+	fn(s)
+	s.join() // implicit sync at task return
+	return s.cspan, s.bspan
+}
+
+func (s *scope) Charge(d time.Duration) {
+	if d < 0 {
+		panic("workspan: negative charge")
+	}
+	s.p.tick(s)
+	s.p.work += d
+	s.cspan += d
+	s.bspan += d
+}
+
+func (s *scope) Spawn(fn func(Scope)) {
+	s.p.tick(s)
+	s.p.spawns++
+	childSpan, childBSpan := s.p.runTask(fn, s.depth+1)
+	if sp := s.cspan + childSpan; sp > s.mspan {
+		s.mspan = sp
+	}
+	// Burden: the spawn itself costs scheduling time on the child's
+	// path.
+	if sp := s.bspan + s.p.opts.SpawnBurden + childBSpan; sp > s.mbspan {
+		s.mbspan = sp
+	}
+	if s.p.opts.WallClock {
+		s.p.last = time.Now() // child time was its own; restart strand
+	}
+}
+
+// join folds outstanding children into the continuation span.
+func (s *scope) join() {
+	s.p.tick(s)
+	if s.mspan > s.cspan {
+		s.cspan = s.mspan
+	}
+	if s.mbspan > s.bspan {
+		s.bspan = s.mbspan
+	}
+	s.mspan, s.mbspan = 0, 0
+}
+
+func (s *scope) Sync() {
+	s.p.syncs++
+	s.join()
+	s.bspan += s.p.opts.SyncBurden
+}

@@ -1,0 +1,248 @@
+package workspan
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+const ms = time.Millisecond
+
+func TestSerialChain(t *testing.T) {
+	// Three sequential strands: work == span, parallelism 1.
+	r := Profile(Options{}, func(s Scope) {
+		s.Charge(10 * ms)
+		s.Charge(20 * ms)
+		s.Charge(30 * ms)
+	})
+	if r.Work != 60*ms || r.Span != 60*ms {
+		t.Fatalf("work=%v span=%v, want 60ms both", r.Work, r.Span)
+	}
+	if p := r.Parallelism(); math.Abs(p-1) > 1e-9 {
+		t.Fatalf("parallelism = %g, want 1", p)
+	}
+}
+
+func TestTwoParallelChildren(t *testing.T) {
+	// Root spawns two 100ms children and does nothing itself:
+	// work 200ms, span 100ms, parallelism 2.
+	r := Profile(Options{}, func(s Scope) {
+		s.Spawn(func(c Scope) { c.Charge(100 * ms) })
+		s.Spawn(func(c Scope) { c.Charge(100 * ms) })
+		s.Sync()
+	})
+	if r.Work != 200*ms {
+		t.Fatalf("work = %v", r.Work)
+	}
+	if r.Span != 100*ms {
+		t.Fatalf("span = %v", r.Span)
+	}
+	if p := r.Parallelism(); math.Abs(p-2) > 1e-9 {
+		t.Fatalf("parallelism = %g, want 2", p)
+	}
+	if r.Tasks != 3 || r.Spawns != 2 || r.MaxDepth != 1 {
+		t.Fatalf("counts: %+v", r)
+	}
+}
+
+func TestSpawnPlusContinuation(t *testing.T) {
+	// Child does 100ms while the continuation does 40ms, then a 10ms
+	// tail after sync: span = max(100, 40) + 10 = 110; work = 150.
+	r := Profile(Options{}, func(s Scope) {
+		s.Spawn(func(c Scope) { c.Charge(100 * ms) })
+		s.Charge(40 * ms)
+		s.Sync()
+		s.Charge(10 * ms)
+	})
+	if r.Work != 150*ms {
+		t.Fatalf("work = %v", r.Work)
+	}
+	if r.Span != 110*ms {
+		t.Fatalf("span = %v, want 110ms", r.Span)
+	}
+}
+
+func TestSpawnOffsetOnSpanPath(t *testing.T) {
+	// 30ms of work before the spawn is on the child's path too:
+	// span = 30 + 100 = 130.
+	r := Profile(Options{}, func(s Scope) {
+		s.Charge(30 * ms)
+		s.Spawn(func(c Scope) { c.Charge(100 * ms) })
+		s.Sync()
+	})
+	if r.Span != 130*ms {
+		t.Fatalf("span = %v, want 130ms", r.Span)
+	}
+}
+
+func TestSequentialSpawnsWithSyncBetween(t *testing.T) {
+	// Sync between spawns serializes them: span = 100 + 100.
+	r := Profile(Options{}, func(s Scope) {
+		s.Spawn(func(c Scope) { c.Charge(100 * ms) })
+		s.Sync()
+		s.Spawn(func(c Scope) { c.Charge(100 * ms) })
+		s.Sync()
+	})
+	if r.Span != 200*ms {
+		t.Fatalf("span = %v, want 200ms", r.Span)
+	}
+	if r.Syncs != 2 { // explicit syncs only
+		t.Fatalf("syncs = %d", r.Syncs)
+	}
+}
+
+func TestImplicitSyncAtReturn(t *testing.T) {
+	// No explicit sync: the implicit join must still fold the child
+	// into the span.
+	r := Profile(Options{}, func(s Scope) {
+		s.Spawn(func(c Scope) { c.Charge(100 * ms) })
+	})
+	if r.Span != 100*ms || r.Work != 100*ms {
+		t.Fatalf("work=%v span=%v", r.Work, r.Span)
+	}
+}
+
+// balancedTree spawns a perfect binary tree of depth d with leaf
+// charge c: work = 2^d * c, span = d levels... all internal work is
+// zero so span = c (all leaves parallel).
+func balancedTree(s Scope, depth int, c time.Duration) {
+	if depth == 0 {
+		s.Charge(c)
+		return
+	}
+	s.Spawn(func(l Scope) { balancedTree(l, depth-1, c) })
+	balancedTree(s, depth-1, c)
+	s.Sync()
+}
+
+func TestBalancedTreeParallelism(t *testing.T) {
+	const depth = 6
+	r := Profile(Options{}, func(s Scope) { balancedTree(s, depth, 10*ms) })
+	wantWork := time.Duration(1<<depth) * 10 * ms
+	if r.Work != wantWork {
+		t.Fatalf("work = %v, want %v", r.Work, wantWork)
+	}
+	if r.Span != 10*ms {
+		t.Fatalf("span = %v, want 10ms (all leaves parallel)", r.Span)
+	}
+	if p := r.Parallelism(); math.Abs(p-64) > 1e-9 {
+		t.Fatalf("parallelism = %g, want 64", p)
+	}
+	if r.MaxDepth != depth {
+		t.Fatalf("depth = %d, want %d", r.MaxDepth, depth)
+	}
+}
+
+func TestBurdenedSpanExceedsSpan(t *testing.T) {
+	r := Profile(Options{SpawnBurden: ms, SyncBurden: ms}, func(s Scope) {
+		balancedTree(s, 4, 10*ms)
+	})
+	if r.BurdenedSpan <= r.Span {
+		t.Fatalf("burdened span %v not greater than span %v", r.BurdenedSpan, r.Span)
+	}
+	if r.BurdenedParallelism() >= r.Parallelism() {
+		t.Fatal("burdened parallelism should be lower")
+	}
+}
+
+func TestSpeedupBound(t *testing.T) {
+	r := Profile(Options{}, func(s Scope) {
+		s.Spawn(func(c Scope) { c.Charge(100 * ms) })
+		s.Spawn(func(c Scope) { c.Charge(100 * ms) })
+		s.Sync()
+	})
+	if b := r.SpeedupBound(1); b != 1 {
+		t.Fatalf("bound(1) = %g", b)
+	}
+	if b := r.SpeedupBound(16); math.Abs(b-2) > 1e-9 {
+		t.Fatalf("bound(16) = %g, want 2 (parallelism-limited)", b)
+	}
+}
+
+func TestNegativeChargePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative charge not rejected")
+		}
+	}()
+	Profile(Options{}, func(s Scope) { s.Charge(-ms) })
+}
+
+func TestWallClockAddsTime(t *testing.T) {
+	r := Profile(Options{WallClock: true}, func(s Scope) {
+		time.Sleep(5 * ms)
+		s.Charge(0)
+	})
+	if r.Work < 4*ms {
+		t.Fatalf("wall-clock work %v did not capture the sleep", r.Work)
+	}
+}
+
+func TestReportString(t *testing.T) {
+	r := Profile(Options{}, func(s Scope) { s.Charge(ms) })
+	out := r.String()
+	for _, want := range []string{"work:", "span:", "parallelism:", "tasks:"} {
+		if !contains(out, want) {
+			t.Fatalf("report %q lacks %q", out, want)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+// TestWorkInvariant: work is charge-order independent and equals the
+// sum of all charges regardless of graph shape.
+func TestWorkInvariant(t *testing.T) {
+	check := func(charges []uint16, spawnMask uint32) bool {
+		var total time.Duration
+		r := Profile(Options{}, func(s Scope) {
+			for i, c := range charges {
+				d := time.Duration(c) * time.Microsecond
+				total += d
+				if spawnMask&(1<<(i%32)) != 0 {
+					s.Spawn(func(cs Scope) { cs.Charge(d) })
+				} else {
+					s.Charge(d)
+				}
+			}
+			s.Sync()
+		})
+		return r.Work == total && r.Span <= r.Work &&
+			(len(charges) == 0 || r.Span > 0 || total == 0)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSpanLowerBound: span is at least the largest single charge.
+func TestSpanLowerBound(t *testing.T) {
+	check := func(charges []uint16) bool {
+		if len(charges) == 0 {
+			return true
+		}
+		var maxC time.Duration
+		r := Profile(Options{}, func(s Scope) {
+			for _, c := range charges {
+				d := time.Duration(c) * time.Microsecond
+				if d > maxC {
+					maxC = d
+				}
+				s.Spawn(func(cs Scope) { cs.Charge(d) })
+			}
+			s.Sync()
+		})
+		return r.Span >= maxC
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,69 @@
+package worksteal
+
+import (
+	"runtime"
+
+	"threading/internal/sched"
+)
+
+// Ctx is the handle a task uses to interact with the scheduler. A Ctx
+// is valid only for the duration of the task invocation it was passed
+// to and must not be retained or shared across tasks.
+type Ctx struct {
+	pool   *Pool
+	worker *worker
+	frame  *frame
+}
+
+// Pool returns the scheduler this context belongs to.
+func (c *Ctx) Pool() *Pool { return c.pool }
+
+// WorkerID returns the index of the worker executing the task,
+// in [0, Pool().Workers()). Useful for per-worker reducer views.
+func (c *Ctx) WorkerID() int { return c.worker.id }
+
+// Spawn schedules fn as a child task of the current one, equivalent to
+// cilk_spawn. The child may run on any worker; the current task
+// continues immediately. Children are joined by Sync, or implicitly
+// when the task returns.
+func (c *Ctx) Spawn(fn func(*Ctx)) {
+	c.frame.pending.Add(1)
+	c.worker.st.CountSpawn()
+	c.worker.dq.PushBottom(&task{fn: fn, parent: c.frame})
+	if c.pool.parkedCount.Load() > 0 {
+		c.pool.unparkOne()
+	}
+}
+
+// Sync blocks until every child spawned by this task has completed,
+// equivalent to cilk_sync. While waiting, the worker keeps executing
+// other tasks (its own deque first, then steals), so a Sync deep in a
+// recursive decomposition does not idle the core.
+func (c *Ctx) Sync() {
+	w := c.worker
+	f := c.frame
+	idle := 0
+	for f.pending.Load() > 0 {
+		if t := w.findWork(); t != nil {
+			idle = 0
+			w.run(t)
+			continue
+		}
+		idle++
+		if idle < c.pool.spin {
+			runtime.Gosched()
+			continue
+		}
+		// Nothing runnable anywhere: block until the last child
+		// signals. Children of this frame may be executing on other
+		// workers, so there is legitimately nothing to help with.
+		var pk sched.Parker
+		f.waiter.Store(&pk)
+		if f.pending.Load() > 0 {
+			c.worker.st.CountPark()
+			pk.Park()
+		}
+		f.waiter.Store(nil)
+		idle = 0
+	}
+}

@@ -1,0 +1,132 @@
+package worksteal
+
+// DefaultGrain computes the cilk_for default grain size for n
+// iterations on p workers: min(2048, ceil(n/(8p))), the heuristic the
+// Cilk Plus runtime documents. Small grains expose parallelism; the
+// cap bounds scheduling overhead on huge loops.
+func DefaultGrain(n, p int) int {
+	if p < 1 {
+		p = 1
+	}
+	g := (n + 8*p - 1) / (8 * p)
+	if g > 2048 {
+		g = 2048
+	}
+	if g < 1 {
+		g = 1
+	}
+	return g
+}
+
+// ForDAC executes body over [lo, hi) by recursive divide and conquer,
+// mirroring cilk_for: ranges larger than grain are halved, the upper
+// half spawned, and the lower half processed by the continuation. All
+// spawned halves are joined before ForDAC returns.
+//
+// Because every chunk reaches an idle worker only through a steal,
+// chunk distribution is serialized through the stealing protocol —
+// the behaviour the reproduced paper identifies as the reason
+// cilk_for trails work-sharing on flat data-parallel loops.
+//
+// body receives the context of the worker actually executing the
+// chunk (which differs from c for stolen chunks) and a half-open
+// subrange [l, h) with h-l <= grain. A grain < 1 selects DefaultGrain.
+func (c *Ctx) ForDAC(lo, hi, grain int, body func(cc *Ctx, l, h int)) {
+	if lo >= hi {
+		return
+	}
+	if grain < 1 {
+		grain = DefaultGrain(hi-lo, c.pool.Workers())
+	}
+	c.forDAC(lo, hi, grain, body)
+	c.Sync()
+}
+
+// forDAC is the splitting loop: spawn the upper half, keep the lower,
+// repeat until the range fits in one grain.
+func (c *Ctx) forDAC(lo, hi, grain int, body func(cc *Ctx, l, h int)) {
+	for hi-lo > grain {
+		mid := lo + (hi-lo)/2
+		l, h := mid, hi
+		c.Spawn(func(cc *Ctx) {
+			cc.forDAC(l, h, grain, body)
+			// Implicit sync at task return joins nested spawns.
+		})
+		hi = mid
+	}
+	body(c, lo, hi)
+}
+
+// ForEach is a convenience wrapper over ForDAC that invokes body once
+// per index rather than per chunk. As with ForDAC, body receives the
+// context of the worker executing the iteration.
+func (c *Ctx) ForEach(lo, hi, grain int, body func(cc *Ctx, i int)) {
+	c.ForDAC(lo, hi, grain, func(cc *Ctx, l, h int) {
+		for i := l; i < h; i++ {
+			body(cc, i)
+		}
+	})
+}
+
+// Reducer accumulates a value across tasks without locking, in the
+// manner of Cilk Plus reducers: each worker owns a private view,
+// updated without synchronization, and Value folds the views together
+// after the parallel phase. Unlike true Cilk reducers the combination
+// order is by worker index, so Combine must be associative and
+// commutative for a deterministic result.
+type Reducer[T any] struct {
+	views    []paddedView[T]
+	identity T
+	combine  func(a, b T) T
+}
+
+// paddedView keeps each worker's view on its own cache line; without
+// the padding, adjacent views would false-share and the reduction
+// benchmarks would measure cache-line ping-pong instead of scheduling.
+type paddedView[T any] struct {
+	v T
+	_ [64]byte
+}
+
+// NewReducer returns a reducer for the pool with the given identity
+// element and combining function.
+func NewReducer[T any](p *Pool, identity T, combine func(a, b T) T) *Reducer[T] {
+	r := &Reducer[T]{
+		views:    make([]paddedView[T], p.Workers()),
+		identity: identity,
+		combine:  combine,
+	}
+	for i := range r.views {
+		r.views[i].v = identity
+	}
+	return r
+}
+
+// Update folds v into the calling worker's private view.
+func (r *Reducer[T]) Update(c *Ctx, v T) {
+	id := c.WorkerID()
+	r.views[id].v = r.combine(r.views[id].v, v)
+}
+
+// View returns a pointer to the calling worker's private view, for
+// callers that want to accumulate in place within a chunk.
+func (r *Reducer[T]) View(c *Ctx) *T {
+	return &r.views[c.WorkerID()].v
+}
+
+// Value folds all views and returns the result. It must only be
+// called after the parallel phase using the reducer has synced.
+func (r *Reducer[T]) Value() T {
+	acc := r.identity
+	for i := range r.views {
+		acc = r.combine(acc, r.views[i].v)
+	}
+	return acc
+}
+
+// Reset restores every view to the identity element.
+func (r *Reducer[T]) Reset() {
+	for i := range r.views {
+		r.views[i].v = r.identity
+	}
+}

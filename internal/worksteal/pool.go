@@ -1,0 +1,307 @@
+// Package worksteal implements a Cilk-style work-stealing task
+// scheduler: each worker owns a deque of tasks, pushes and pops work
+// at the bottom, and steals from a random victim's top when its own
+// deque runs dry.
+//
+// The deque backend is pluggable (see internal/deque): the lock-free
+// Chase-Lev deque models the Cilk Plus runtime, while the mutex-based
+// deque models the Intel OpenMP task runtime. The reproduced paper
+// attributes the cilk_spawn vs omp-task gap on recursive task
+// parallelism (Fig. 5) to this difference, and the gap can be measured
+// here by flipping a single option.
+//
+// Loop parallelism is provided by ForDAC, which mirrors cilk_for:
+// the iteration space is split recursively into spawned halves until a
+// grain size is reached. Distribution of chunks therefore rides on the
+// stealing mechanism — the very property the paper blames for
+// cilk_for's poor showing on flat data-parallel loops (Figs. 1-4).
+package worksteal
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"threading/internal/deque"
+	"threading/internal/sched"
+)
+
+// task is one schedulable unit: a closure plus the frame whose Sync
+// is waiting on it. The task's own frame and context are embedded so
+// that a spawn costs one allocation for the whole record.
+type task struct {
+	fn     func(*Ctx)
+	parent *frame
+	own    frame
+	ctx    Ctx
+}
+
+// frame tracks the outstanding children of one task invocation. Sync
+// blocks until pending returns to zero.
+type frame struct {
+	pending atomic.Int64
+	waiter  atomic.Pointer[sched.Parker]
+}
+
+// childDone signals completion of one child, waking a blocked Sync if
+// this was the last one.
+func (f *frame) childDone() {
+	if f.pending.Add(-1) == 0 {
+		if p := f.waiter.Load(); p != nil {
+			p.Unpark()
+		}
+	}
+}
+
+// worker is one scheduler participant.
+type worker struct {
+	id     int
+	pool   *Pool
+	dq     deque.Deque[task]
+	rng    *sched.Rand
+	st     *sched.Shard
+	parker sched.Parker
+	parked atomic.Bool
+}
+
+// Options configure a Pool.
+type Options struct {
+	// DequeKind selects the deque implementation for every worker.
+	// The default, deque.KindChaseLev, models Cilk Plus; use
+	// deque.KindLocked to model the Intel OpenMP task runtime.
+	DequeKind deque.Kind
+	// SpinBeforePark is how many failed find-work rounds a worker or
+	// a Sync performs before blocking. Zero selects a default.
+	SpinBeforePark int
+}
+
+const defaultSpin = 32
+
+// Pool is a work-stealing scheduler with a fixed set of workers.
+// Create one with NewPool, submit roots with Run, release the workers
+// with Close.
+type Pool struct {
+	workers []*worker
+	inbox   *deque.Locked[task] // external submissions; stolen by any worker
+	stats   *sched.Stats
+	spin    int
+
+	parkedCount atomic.Int64 // workers currently parked (or about to)
+	closed      atomic.Bool
+
+	panicMu  sync.Mutex
+	panicVal any
+
+	wg sync.WaitGroup
+}
+
+// NewPool starts a scheduler with n workers. n must be at least 1.
+func NewPool(n int, opts Options) *Pool {
+	if n < 1 {
+		panic("worksteal: pool needs at least 1 worker")
+	}
+	spin := opts.SpinBeforePark
+	if spin <= 0 {
+		spin = defaultSpin
+	}
+	p := &Pool{
+		workers: make([]*worker, n),
+		inbox:   deque.NewLocked[task](),
+		stats:   sched.NewStats(n),
+		spin:    spin,
+	}
+	for i := range p.workers {
+		p.workers[i] = &worker{
+			id:   i,
+			pool: p,
+			dq:   deque.New[task](opts.DequeKind),
+			rng:  sched.NewRand(uint64(i)*0x9E3779B9 + 1),
+			st:   p.stats.Shard(i),
+		}
+	}
+	for _, w := range p.workers {
+		p.wg.Add(1)
+		go w.loop()
+	}
+	return p
+}
+
+// Workers reports the number of workers in the pool.
+func (p *Pool) Workers() int { return len(p.workers) }
+
+// Stats returns a snapshot of the scheduler counters.
+func (p *Pool) Stats() sched.Snapshot { return p.stats.Snapshot() }
+
+// ResetStats zeroes the scheduler counters.
+func (p *Pool) ResetStats() { p.stats.Reset() }
+
+// Close shuts the pool down. Outstanding Run calls must have returned;
+// Close waits for all workers to exit. The pool must not be used
+// afterwards.
+func (p *Pool) Close() {
+	p.closed.Store(true)
+	for _, w := range p.workers {
+		w.parker.Unpark()
+	}
+	p.wg.Wait()
+}
+
+// Run submits root as a task and blocks until it — and every task it
+// transitively spawned — has completed. If any task panicked, Run
+// re-panics with the first recorded panic value. Multiple Runs may be
+// issued concurrently.
+func (p *Pool) Run(root func(*Ctx)) {
+	if p.closed.Load() {
+		panic("worksteal: Run on closed pool")
+	}
+	f := &frame{}
+	f.pending.Store(1)
+	p.inbox.PushBottom(&task{fn: root, parent: f})
+	p.unparkAll()
+
+	// The submitting goroutine is not a worker, so it cannot help; it
+	// parks until the root frame drains.
+	if f.pending.Load() != 0 {
+		var pk sched.Parker
+		f.waiter.Store(&pk)
+		for f.pending.Load() != 0 {
+			pk.Park()
+		}
+		f.waiter.Store(nil)
+	}
+
+	p.panicMu.Lock()
+	pv := p.panicVal
+	p.panicVal = nil
+	p.panicMu.Unlock()
+	if pv != nil {
+		panic(pv)
+	}
+}
+
+// queuedWork reports whether any deque or the inbox holds a task.
+func (p *Pool) queuedWork() bool {
+	if p.inbox.Len() > 0 {
+		return true
+	}
+	for _, w := range p.workers {
+		if w.dq.Len() > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// unparkAll wakes every parked worker.
+func (p *Pool) unparkAll() {
+	for _, w := range p.workers {
+		if w.parked.Load() {
+			w.parker.Unpark()
+		}
+	}
+}
+
+// unparkOne wakes one parked worker, if any.
+func (p *Pool) unparkOne() {
+	for _, w := range p.workers {
+		if w.parked.CompareAndSwap(true, false) {
+			w.parker.Unpark()
+			return
+		}
+	}
+}
+
+// recordPanic stores the first panic observed by any task.
+func (p *Pool) recordPanic(v any) {
+	p.panicMu.Lock()
+	if p.panicVal == nil {
+		p.panicVal = fmt.Sprintf("worksteal: task panicked: %v", v)
+	}
+	p.panicMu.Unlock()
+}
+
+// loop is the worker main loop: pop own work, else steal, else park.
+func (w *worker) loop() {
+	defer w.pool.wg.Done()
+	idle := 0
+	for {
+		t := w.findWork()
+		if t != nil {
+			idle = 0
+			w.run(t)
+			continue
+		}
+		idle++
+		if idle < w.pool.spin {
+			runtime.Gosched()
+			continue
+		}
+		if w.pool.closed.Load() {
+			return
+		}
+		// Publish parked state, then re-check for queued work to close
+		// the race against a spawner that read parkedCount before our
+		// increment became visible.
+		w.pool.parkedCount.Add(1)
+		w.parked.Store(true)
+		if w.pool.queuedWork() || w.pool.closed.Load() {
+			w.parked.Store(false)
+			w.pool.parkedCount.Add(-1)
+			idle = 0
+			continue
+		}
+		w.st.CountPark()
+		w.parker.Park()
+		w.parked.Store(false)
+		w.pool.parkedCount.Add(-1)
+		idle = 0
+	}
+}
+
+// findWork returns the next task: own deque first, then the external
+// inbox, then a randomized sweep over the other workers' deques.
+func (w *worker) findWork() *task {
+	if t := w.dq.PopBottom(); t != nil {
+		return t
+	}
+	if t := w.pool.inbox.Steal(); t != nil {
+		return t
+	}
+	n := len(w.pool.workers)
+	if n == 1 {
+		w.st.CountFailedSteal()
+		return nil
+	}
+	start := w.rng.Intn(n)
+	for i := 0; i < n; i++ {
+		v := w.pool.workers[(start+i)%n]
+		if v == w {
+			continue
+		}
+		if t := v.dq.Steal(); t != nil {
+			w.st.CountSteal()
+			return t
+		}
+	}
+	w.st.CountFailedSteal()
+	return nil
+}
+
+// run executes t with its embedded frame, waits for its children (the
+// implicit sync at task return, as in Cilk), and signals the parent.
+func (w *worker) run(t *task) {
+	w.st.CountTask()
+	t.ctx = Ctx{pool: w.pool, worker: w, frame: &t.own}
+	c := &t.ctx
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				w.pool.recordPanic(r)
+			}
+		}()
+		t.fn(c)
+	}()
+	c.Sync() // implicit sync: children must not outlive the task
+	t.parent.childDone()
+}

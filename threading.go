@@ -1,0 +1,216 @@
+// Package threading is a study of threading programming models in Go,
+// reproducing "Comparison of Threading Programming Models" (Salehian,
+// Liu, Yan; 2017). It provides, from scratch and over goroutines:
+//
+//   - a fork-join work-sharing runtime in the style of OpenMP
+//     (persistent teams, static/dynamic/guided loop schedules,
+//     barriers, critical/single/master, explicit tasks with taskwait);
+//   - a Cilk-style work-stealing runtime (spawn/sync over lock-free
+//     Chase-Lev deques, divide-and-conquer loops, reducers), with a
+//     lock-based deque backend modelling the Intel OpenMP task
+//     runtime;
+//   - a C++11-style layer (Thread/Join, Promise/Future, Async with
+//     launch policies, PackagedTask);
+//   - six benchmark-ready model configurations (omp_for, omp_task,
+//     cilk_for, cilk_spawn, cpp_thread, cpp_async) behind one Model
+//     interface;
+//   - the paper's qualitative feature comparison (Tables I-III) as
+//     queryable data; and
+//   - a harness that regenerates each of the paper's performance
+//     figures (five kernels and five Rodinia applications).
+//
+// This root package is the stable public surface: it re-exports the
+// pieces a downstream user needs. Internal packages hold the
+// implementations.
+//
+// Quick start:
+//
+//	m, err := threading.NewModel(threading.OMPFor, runtime.GOMAXPROCS(0))
+//	if err != nil { ... }
+//	defer m.Close()
+//	m.ParallelFor(len(data), func(lo, hi int) {
+//		for i := lo; i < hi; i++ { data[i] *= 2 }
+//	})
+package threading
+
+import (
+	"io"
+
+	"threading/internal/core"
+	"threading/internal/forkjoin"
+	"threading/internal/futures"
+	"threading/internal/harness"
+	"threading/internal/models"
+	"threading/internal/offload"
+	"threading/internal/pipeline"
+	"threading/internal/workspan"
+	"threading/internal/worksteal"
+)
+
+// Model is one threading-model configuration; see internal/models.
+type Model = models.Model
+
+// TaskScope is the recursive spawn/join surface of task-capable
+// models.
+type TaskScope = models.TaskScope
+
+// Model names accepted by NewModel.
+const (
+	OMPFor    = models.OMPFor
+	OMPTask   = models.OMPTask
+	CilkFor   = models.CilkFor
+	CilkSpawn = models.CilkSpawn
+	CPPThread = models.CPPThread
+	CPPAsync  = models.CPPAsync
+)
+
+// NewModel constructs a threading model by name with the given degree
+// of parallelism.
+func NewModel(name string, threads int) (Model, error) {
+	return models.New(name, threads)
+}
+
+// ModelNames returns all model names (sorted).
+func ModelNames() []string { return models.Names() }
+
+// Team is the OpenMP-style fork-join runtime; construct with NewTeam.
+type Team = forkjoin.Team
+
+// TeamCtx is a member's handle inside a parallel region.
+type TeamCtx = forkjoin.Ctx
+
+// TeamOptions configure a Team.
+type TeamOptions = forkjoin.Options
+
+// NewTeam creates a fork-join team of n members.
+func NewTeam(n int, opts TeamOptions) *Team { return forkjoin.NewTeam(n, opts) }
+
+// Work-sharing loop schedules for Team loops.
+var (
+	// Static is the default OpenMP-style static schedule.
+	Static = forkjoin.Static
+)
+
+// Dynamic returns a dynamic work-sharing schedule with the given
+// chunk size.
+func Dynamic(chunk int) forkjoin.Schedule { return forkjoin.Dynamic(chunk) }
+
+// Guided returns a guided work-sharing schedule with the given
+// minimum chunk size.
+func Guided(chunk int) forkjoin.Schedule { return forkjoin.Guided(chunk) }
+
+// Pool is the Cilk-style work-stealing runtime; construct with
+// NewPool.
+type Pool = worksteal.Pool
+
+// PoolCtx is a task's handle inside the work-stealing scheduler.
+type PoolCtx = worksteal.Ctx
+
+// PoolOptions configure a Pool.
+type PoolOptions = worksteal.Options
+
+// NewPool creates a work-stealing pool of n workers.
+func NewPool(n int, opts PoolOptions) *Pool { return worksteal.NewPool(n, opts) }
+
+// Thread is a C++11-style thread of execution; see internal/futures.
+type Thread = futures.Thread
+
+// NewThread starts fn on a new thread of execution.
+func NewThread(fn func()) *Thread { return futures.NewThread(fn) }
+
+// Async runs fn under the given launch policy and returns a future.
+func Async[T any](policy futures.Policy, fn func() (T, error)) *futures.Future[T] {
+	return futures.Async(policy, fn)
+}
+
+// Launch policies for Async.
+const (
+	LaunchAsync    = futures.LaunchAsync
+	LaunchDeferred = futures.LaunchDeferred
+)
+
+// Deps declares an explicit task's dependences for TeamCtx.TaskDepend
+// (OpenMP depend(in/out) semantics).
+type Deps = forkjoin.Deps
+
+// Future is the receiving end of an asynchronous computation.
+type Future[T any] = futures.Future[T]
+
+// WhenAll returns a future resolving once every input has resolved,
+// carrying all values in order.
+func WhenAll[T any](fs ...*Future[T]) *Future[[]T] { return futures.WhenAll(fs...) }
+
+// WhenAny returns a future resolving as soon as any input settles.
+func WhenAny[T any](fs ...*Future[T]) *Future[futures.AnyResult[T]] {
+	return futures.WhenAny(fs...)
+}
+
+// Then attaches a continuation to a future.
+func Then[T, U any](f *Future[T], fn func(T) (U, error)) *Future[U] {
+	return futures.Then(f, fn)
+}
+
+// Pipeline is a TBB-style parallel pipeline; construct with
+// NewPipeline and filters AddSerial / AddParallel.
+type Pipeline = pipeline.Pipeline
+
+// NewPipeline returns an empty pipeline.
+func NewPipeline() *Pipeline { return pipeline.New() }
+
+// Device is a simulated accelerator with a discrete address space;
+// see internal/offload.
+type Device = offload.Device
+
+// DeviceOptions configure a simulated accelerator.
+type DeviceOptions = offload.Options
+
+// NewDevice creates a simulated accelerator for offloading-pattern
+// code (target regions, explicit data movement, streams).
+func NewDevice(name string, opts DeviceOptions) *Device {
+	return offload.NewDevice(name, opts)
+}
+
+// Mapping binds a host slice to OpenMP-style map semantics for a
+// Device.Target region.
+type Mapping = offload.Mapping
+
+// Map directions for Mapping.
+const (
+	MapTo     = offload.MapTo
+	MapFrom   = offload.MapFrom
+	MapToFrom = offload.MapToFrom
+	MapAlloc  = offload.MapAlloc
+)
+
+// SpanScope is the instrumented task surface of the work/span
+// analyzer.
+type SpanScope = workspan.Scope
+
+// SpanOptions configure a work/span profile run.
+type SpanOptions = workspan.Options
+
+// SpanReport is the result of a work/span profile: work (T1), span
+// (T-infinity), parallelism, burdened parallelism and speedup bounds.
+type SpanReport = workspan.Report
+
+// ProfileSpan executes a task graph serially and returns its DAG
+// metrics — a Cilkview-style scalability analysis (Table III's tool
+// support for Cilk Plus).
+func ProfileSpan(opts SpanOptions, root func(SpanScope)) SpanReport {
+	return workspan.Profile(opts, root)
+}
+
+// SuiteConfig selects what RunSuite executes; see internal/core.
+type SuiteConfig = core.SuiteConfig
+
+// RunSuite regenerates the paper's performance figures, writing
+// tables to out.
+func RunSuite(cfg SuiteConfig, out io.Writer) ([]*harness.Result, error) {
+	return core.RunSuite(cfg, out)
+}
+
+// FeatureReport writes the paper's qualitative comparison tables
+// (1..3; empty selects all) to out.
+func FeatureReport(tables []int, out io.Writer) error {
+	return core.FeatureReport(tables, out)
+}

@@ -1,0 +1,111 @@
+package threading_test
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"threading"
+)
+
+// TestPublicSurface exercises the root package the way a downstream
+// user would, touching every re-exported constructor.
+func TestPublicSurface(t *testing.T) {
+	if len(threading.ModelNames()) != 6 {
+		t.Fatalf("ModelNames = %v", threading.ModelNames())
+	}
+
+	m, err := threading.NewModel(threading.OMPFor, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total atomic.Int64
+	m.ParallelFor(1000, func(lo, hi int) { total.Add(int64(hi - lo)) })
+	m.Close()
+	if total.Load() != 1000 {
+		t.Fatalf("ParallelFor covered %d", total.Load())
+	}
+
+	team := threading.NewTeam(2, threading.TeamOptions{})
+	var members atomic.Int64
+	team.Parallel(func(tc *threading.TeamCtx) {
+		members.Add(1)
+		tc.For(threading.Dynamic(16), 0, 100, func(i int) {})
+		tc.For(threading.Guided(4), 0, 100, func(i int) {})
+		tc.For(threading.Static, 0, 100, func(i int) {})
+	})
+	team.Close()
+	if members.Load() != 2 {
+		t.Fatalf("team ran %d members", members.Load())
+	}
+
+	pool := threading.NewPool(2, threading.PoolOptions{})
+	var spawned atomic.Int64
+	pool.Run(func(c *threading.PoolCtx) {
+		c.Spawn(func(*threading.PoolCtx) { spawned.Add(1) })
+		c.Sync()
+	})
+	pool.Close()
+	if spawned.Load() != 1 {
+		t.Fatal("pool spawn did not run")
+	}
+
+	th := threading.NewThread(func() { spawned.Add(1) })
+	th.Join()
+
+	f := threading.Async(threading.LaunchAsync, func() (int, error) { return 5, nil })
+	if v, err := f.Get(); err != nil || v != 5 {
+		t.Fatalf("Async Get = (%d, %v)", v, err)
+	}
+	fd := threading.Async(threading.LaunchDeferred, func() (int, error) { return 6, nil })
+	if v, _ := fd.Get(); v != 6 {
+		t.Fatal("deferred Async broken")
+	}
+
+	var sb strings.Builder
+	if err := threading.FeatureReport(nil, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "OpenMP") {
+		t.Error("feature report empty")
+	}
+
+	var out strings.Builder
+	results, err := threading.RunSuite(threading.SuiteConfig{
+		Experiments: []string{"fig1"},
+		Threads:     []int{1},
+		Reps:        1,
+		Scale:       0.001,
+	}, &out)
+	if err != nil || len(results) != 1 {
+		t.Fatalf("RunSuite: %v, %d results", err, len(results))
+	}
+}
+
+// TestProfileSpanFacade exercises the work/span analyzer through the
+// public facade on a fib-shaped DAG.
+func TestProfileSpanFacade(t *testing.T) {
+	var build func(s threading.SpanScope, n int)
+	build = func(s threading.SpanScope, n int) {
+		if n < 2 {
+			s.Charge(time.Microsecond)
+			return
+		}
+		s.Spawn(func(cs threading.SpanScope) { build(cs, n-1) })
+		build(s, n-2)
+		s.Sync()
+	}
+	r := threading.ProfileSpan(threading.SpanOptions{}, func(s threading.SpanScope) {
+		build(s, 12)
+	})
+	if r.Work <= 0 || r.Span <= 0 || r.Parallelism() <= 1 {
+		t.Fatalf("degenerate report: %+v", r)
+	}
+	if r.Span > r.Work {
+		t.Fatal("span exceeds work")
+	}
+	if b := r.SpeedupBound(4); b > 4 {
+		t.Fatalf("bound(4) = %g > 4", b)
+	}
+}
