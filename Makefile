@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: all build test race vet bench-smoke clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# A fast, single-repetition pass over two figures — enough to catch a
+# harness regression without a full sweep.
+bench-smoke:
+	$(GO) run ./cmd/threadbench -fig fig1,fig5 -threads 1,2 -reps 1 -scale 0.1
+
+clean:
+	$(GO) clean ./...

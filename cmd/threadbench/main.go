@@ -16,11 +16,15 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"threading/internal/core"
 	"threading/internal/harness"
@@ -66,8 +70,17 @@ func main() {
 		}
 	}
 
-	results, err := core.RunSuite(cfg, os.Stdout)
+	// Ctrl-C cancels the suite at the next measurement boundary
+	// instead of killing the process mid-sweep.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	results, err := core.RunSuiteCtx(ctx, cfg, os.Stdout)
 	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "threadbench: interrupted; partial results above")
+			os.Exit(130)
+		}
 		fmt.Fprintf(os.Stderr, "threadbench: %v\n", err)
 		os.Exit(1)
 	}

@@ -8,6 +8,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
@@ -36,6 +37,15 @@ type SuiteConfig struct {
 // RunSuite executes the selected experiments and writes their tables
 // to out. It returns the collected results for programmatic use.
 func RunSuite(cfg SuiteConfig, out io.Writer) ([]*harness.Result, error) {
+	return RunSuiteCtx(context.Background(), cfg, out)
+}
+
+// RunSuiteCtx is RunSuite with cooperative cancellation: a canceled
+// or expired context aborts the suite at the next measurement
+// boundary and the context's error is returned. Results of
+// experiments that completed before the cancellation are returned
+// alongside the error.
+func RunSuiteCtx(ctx context.Context, cfg SuiteConfig, out io.Writer) ([]*harness.Result, error) {
 	ids := cfg.Experiments
 	if len(ids) == 0 {
 		ids = harness.IDs()
@@ -47,14 +57,14 @@ func RunSuite(cfg SuiteConfig, out io.Writer) ([]*harness.Result, error) {
 			return nil, fmt.Errorf("core: unknown experiment %q (have %v)", id, harness.IDs())
 		}
 		start := time.Now()
-		res, err := harness.Run(e, harness.Config{
+		res, err := harness.RunCtx(ctx, e, harness.Config{
 			Threads: cfg.Threads,
 			Reps:    cfg.Reps,
 			Scale:   cfg.Scale,
 			Verify:  cfg.Verify,
 		})
 		if err != nil {
-			return nil, err
+			return results, err
 		}
 		if cfg.CSV {
 			res.RenderCSV(out)

@@ -23,6 +23,32 @@ func (tc *Ctx) ID() int { return tc.m.id }
 // Team returns the executing team.
 func (tc *Ctx) Team() *Team { return tc.m.team }
 
+// Canceled reports whether the region has been canceled — by the
+// context passed to ParallelCtx or by a panic elsewhere in the
+// region. Long-running chunk bodies can poll it to stop early; the
+// runtime itself checks it at every chunk and task boundary.
+func (tc *Ctx) Canceled() bool { return tc.m.reg.Canceled() }
+
+// guard wraps a chunk body with the region's cancellation check and
+// panic capture: a canceled region skips remaining chunks, and a
+// panicking chunk records a *sched.PanicError and cancels the region
+// while its siblings drain — the shared chunk-boundary semantics of
+// every work-sharing schedule.
+func (tc *Ctx) guard(body func(l, h int)) func(l, h int) {
+	reg := tc.m.reg
+	return func(l, h int) {
+		if reg.Canceled() {
+			return
+		}
+		defer func() {
+			if p := recover(); p != nil {
+				reg.RecordPanic(p)
+			}
+		}()
+		body(l, h)
+	}
+}
+
 // Barrier blocks until every member of the region arrives —
 // the OpenMP "barrier" construct. It returns true on exactly one
 // member per phase.
@@ -40,10 +66,11 @@ func (tc *Ctx) Critical(fn func()) {
 }
 
 // Master executes fn on member 0 only, without synchronization — the
-// OpenMP "master" construct.
+// OpenMP "master" construct. A panic in fn is recorded and cancels
+// the region rather than unwinding past the region's barriers.
 func (tc *Ctx) Master(fn func()) {
 	if tc.m.id == 0 {
-		fn()
+		tc.guard(func(_, _ int) { fn() })(0, 1)
 	}
 }
 
@@ -53,7 +80,7 @@ func (tc *Ctx) Single(fn func()) {
 	d := tc.r.getSingle(tc.singleSeq)
 	tc.singleSeq++
 	if d.claimed.CompareAndSwap(false, true) {
-		fn()
+		tc.guard(func(_, _ int) { fn() })(0, 1)
 	}
 	tc.Barrier()
 }
@@ -66,12 +93,13 @@ func (tc *Ctx) Sections(fns ...func()) {
 	seq := tc.loopSeq
 	tc.loopSeq++
 	d := tc.r.getLoop(seq, tc.m.team, 0, len(fns))
-	for {
+	run := tc.guard(func(l, _ int) { fns[l]() })
+	for !tc.m.reg.Canceled() {
 		i := d.next.Add(1) - 1
 		if i >= d.hi {
 			break
 		}
-		fns[i]()
+		run(int(i), int(i)+1)
 	}
 	tc.Barrier()
 }
@@ -93,18 +121,19 @@ func (tc *Ctx) ForRangeNoWait(s Schedule, lo, hi int, body func(l, h int)) {
 func (tc *Ctx) forRange(s Schedule, lo, hi int, body func(l, h int)) {
 	seq := tc.loopSeq
 	tc.loopSeq++
+	run := tc.guard(body)
 	switch s.Kind {
 	case ScheduleStatic:
 		// No shared descriptor needed: assignment is a pure function
 		// of the member id, which is what makes static cheap.
 		tc.m.st.CountLoopChunk()
-		forStatic(tc.m.id, tc.m.team.n, lo, hi, s.Chunk, body)
+		forStatic(tc.m.id, tc.m.team.n, lo, hi, s.Chunk, run)
 	case ScheduleDynamic:
 		d := tc.r.getLoop(seq, tc.m.team, lo, hi)
-		forDynamic(d, tc.m, s.Chunk, body)
+		forDynamic(d, tc.m, s.Chunk, run)
 	case ScheduleGuided:
 		d := tc.r.getLoop(seq, tc.m.team, lo, hi)
-		forGuided(d, tc.m, s.Chunk, body)
+		forGuided(d, tc.m, s.Chunk, run)
 	}
 }
 

@@ -138,7 +138,7 @@ func forDynamic(d *loopDesc, m *member, chunk int, body func(l, h int)) {
 		chunk = 1
 	}
 	c64 := int64(chunk)
-	for {
+	for !m.reg.Canceled() {
 		start := d.next.Add(c64) - c64
 		if start >= d.hi {
 			return
@@ -158,7 +158,7 @@ func forGuided(d *loopDesc, m *member, minChunk int, body func(l, h int)) {
 	if minChunk <= 0 {
 		minChunk = 1
 	}
-	for {
+	for !m.reg.Canceled() {
 		cur := d.next.Load()
 		if cur >= d.hi {
 			return

@@ -13,6 +13,8 @@
 package forkjoin
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -38,6 +40,11 @@ const (
 )
 
 // Options configure a Team.
+//
+// Deprecated: prefer the functional options (WithLockFreeTasks,
+// WithTaskPolicy, WithCentralBarrier, WithSpinBeforeYield,
+// WithSchedule). Options remains usable — a literal passed to NewTeam
+// still applies wholesale — so existing callers compile unchanged.
 type Options struct {
 	// TaskDeque selects the deque backing explicit tasks. The default
 	// deque.KindChaseLev is overridden to deque.KindLocked by NewTeam
@@ -52,6 +59,49 @@ type Options struct {
 	// SpinBeforeYield is how many find-work failures a draining member
 	// tolerates before yielding the processor. Zero selects a default.
 	SpinBeforeYield int
+	// DefaultSchedule is the work-sharing schedule used by callers
+	// that ask the team for its default (Team.DefaultSchedule). The
+	// zero value is the static schedule.
+	DefaultSchedule Schedule
+}
+
+// Option configures a Team at construction. The legacy Options struct
+// itself implements Option (applying every field at once), so both
+// NewTeam(n, Options{...}) and NewTeam(n, WithCentralBarrier()) are
+// valid.
+type Option interface{ applyTeam(*Options) }
+
+func (o Options) applyTeam(dst *Options) { *dst = o }
+
+type teamOption func(*Options)
+
+func (f teamOption) applyTeam(o *Options) { f(o) }
+
+// WithLockFreeTasks backs explicit tasks with lock-free Chase-Lev
+// deques instead of the default lock-based deques.
+func WithLockFreeTasks() Option {
+	return teamOption(func(o *Options) { o.LockFreeTasks = true })
+}
+
+// WithTaskPolicy selects deferred or immediate task execution.
+func WithTaskPolicy(p TaskPolicy) Option {
+	return teamOption(func(o *Options) { o.Policy = p })
+}
+
+// WithCentralBarrier selects the lock-based central barrier.
+func WithCentralBarrier() Option {
+	return teamOption(func(o *Options) { o.CentralBarrier = true })
+}
+
+// WithSpinBeforeYield sets how many find-work failures a draining
+// member tolerates before yielding the processor.
+func WithSpinBeforeYield(n int) Option {
+	return teamOption(func(o *Options) { o.SpinBeforeYield = n })
+}
+
+// WithSchedule sets the team's default work-sharing schedule.
+func WithSchedule(s Schedule) Option {
+	return teamOption(func(o *Options) { o.DefaultSchedule = s })
 }
 
 // Team is a fixed-size group of workers executing parallel regions.
@@ -75,9 +125,6 @@ type Team struct {
 	inRegion    atomic.Bool  // guards against nested/concurrent Parallel
 	closed      atomic.Bool
 
-	panicMu  sync.Mutex
-	panicVal any
-
 	wg sync.WaitGroup
 }
 
@@ -90,13 +137,16 @@ type member struct {
 	dq   deque.Deque[task]
 	rng  *sched.Rand
 	st   *sched.Shard
-	cur  *taskNode // node whose children a taskwait would join
+	cur  *taskNode     // node whose children a taskwait would join
+	reg  *sched.Region // cancellation state of the region being run
 }
 
-// region is the shared state of one parallel region: the body and the
-// lazily created descriptors for each work-sharing construct in it.
+// region is the shared state of one parallel region: the body, the
+// cancellation/failure state, and the lazily created descriptors for
+// each work-sharing construct in it.
 type region struct {
 	fn      func(*Ctx)
+	reg     *sched.Region
 	mu      sync.Mutex
 	loops   map[int]*loopDesc
 	singles map[int]*singleDesc
@@ -105,10 +155,15 @@ type region struct {
 const defaultDrainSpin = 64
 
 // NewTeam creates a team of n members (including the master). n must
-// be at least 1.
-func NewTeam(n int, opts Options) *Team {
+// be at least 1. Options may be given either as functional options or
+// as a legacy Options literal.
+func NewTeam(n int, options ...Option) *Team {
 	if n < 1 {
 		panic("forkjoin: team needs at least 1 member")
+	}
+	var opts Options
+	for _, o := range options {
+		o.applyTeam(&opts)
 	}
 	if opts.SpinBeforeYield <= 0 {
 		opts.SpinBeforeYield = defaultDrainSpin
@@ -147,6 +202,10 @@ func NewTeam(n int, opts Options) *Team {
 // Size reports the number of team members.
 func (t *Team) Size() int { return t.n }
 
+// DefaultSchedule returns the team's default work-sharing schedule
+// (set with WithSchedule; the zero value is Static).
+func (t *Team) DefaultSchedule() Schedule { return t.opts.DefaultSchedule }
+
 // Stats returns a snapshot of the runtime counters.
 func (t *Team) Stats() sched.Snapshot { return t.stats.Snapshot() }
 
@@ -172,6 +231,26 @@ func (t *Team) Close() {
 // any member or task panicked, Parallel re-panics on the caller with
 // the first recorded value.
 func (t *Team) Parallel(fn func(tc *Ctx)) {
+	if err := t.ParallelCtx(context.Background(), fn); err != nil {
+		var pe *sched.PanicError
+		if errors.As(err, &pe) {
+			panic(fmt.Sprintf("forkjoin: parallel region panicked: %v", pe.Value))
+		}
+		panic(fmt.Sprintf("forkjoin: parallel region failed: %v", err))
+	}
+}
+
+// ParallelCtx is Parallel with cooperative cancellation and structured
+// error propagation. Cancellation (including deadline expiry) is
+// observed at work-sharing chunk boundaries and explicit-task
+// boundaries: in-flight chunk bodies run to completion, queued chunks
+// and tasks are skipped, every member still joins the end-of-region
+// barrier, and the team remains reusable. The returned error is the
+// first failure: the context's error, or a *sched.PanicError wrapping
+// the first panic recovered from any member or task (a panic also
+// cancels the rest of the region). A nil return means every chunk and
+// task ran to completion.
+func (t *Team) ParallelCtx(ctx context.Context, fn func(tc *Ctx)) error {
 	if t.closed.Load() {
 		panic("forkjoin: Parallel on closed team")
 	}
@@ -181,6 +260,7 @@ func (t *Team) Parallel(fn func(tc *Ctx)) {
 	defer t.inRegion.Store(false)
 	r := &region{
 		fn:      fn,
+		reg:     sched.NewRegion(ctx),
 		loops:   make(map[int]*loopDesc),
 		singles: make(map[int]*singleDesc),
 	}
@@ -188,14 +268,7 @@ func (t *Team) Parallel(fn func(tc *Ctx)) {
 		t.members[i].cmds <- r
 	}
 	t.members[0].runRegion(r)
-
-	t.panicMu.Lock()
-	pv := t.panicVal
-	t.panicVal = nil
-	t.panicMu.Unlock()
-	if pv != nil {
-		panic(pv)
-	}
+	return r.reg.Finish()
 }
 
 // loop is the worker main loop: run regions until the team closes.
@@ -211,11 +284,12 @@ func (m *member) loop() {
 func (m *member) runRegion(r *region) {
 	root := &taskNode{}
 	m.cur = root
+	m.reg = r.reg
 	tc := &Ctx{m: m, r: r}
 	func() {
 		defer func() {
 			if p := recover(); p != nil {
-				m.team.recordPanic(p)
+				m.reg.RecordPanic(p)
 			}
 		}()
 		r.fn(tc)
@@ -226,15 +300,7 @@ func (m *member) runRegion(r *region) {
 	m.st.CountBarrierWait()
 	m.team.barrier.Wait()
 	m.cur = nil
-}
-
-// recordPanic stores the first panic observed in a region.
-func (t *Team) recordPanic(v any) {
-	t.panicMu.Lock()
-	if t.panicVal == nil {
-		t.panicVal = fmt.Sprintf("forkjoin: parallel region panicked: %v", v)
-	}
-	t.panicMu.Unlock()
+	m.reg = nil
 }
 
 // drainAllTasks executes or waits out every outstanding explicit task
@@ -281,19 +347,23 @@ func (m *member) findTask() *task {
 }
 
 // execute runs one explicit task body with parent tracking so that a
-// taskwait inside the body joins the right children.
+// taskwait inside the body joins the right children. In a canceled
+// region the body is skipped but the bookkeeping still runs, so
+// queued tasks drain and taskwait/region-end conditions resolve.
 func (m *member) execute(tc *Ctx, tk *task) {
 	m.st.CountTask()
 	saved := m.cur
 	m.cur = tk.node
-	func() {
-		defer func() {
-			if p := recover(); p != nil {
-				m.team.recordPanic(p)
-			}
+	if !m.reg.Canceled() {
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					m.reg.RecordPanic(p)
+				}
+			}()
+			tk.fn(tc)
 		}()
-		tk.fn(tc)
-	}()
+	}
 	m.cur = saved
 	tk.node.parent.children.Add(-1)
 	m.team.outstanding.Add(-1)

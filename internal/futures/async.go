@@ -1,8 +1,9 @@
 package futures
 
 import (
-	"fmt"
 	"sync"
+
+	"threading/internal/sched"
 )
 
 // Policy selects how Async runs its function, mirroring std::launch.
@@ -30,20 +31,19 @@ func (p Policy) String() string {
 }
 
 // Async runs fn under the given policy and returns a future for its
-// result. A panic in fn surfaces as an error from Get.
+// result. A panic in fn surfaces as a *sched.PanicError (wrapping the
+// recovered value and the panicking goroutine's stack) from Get.
 func Async[T any](policy Policy, fn func() (T, error)) *Future[T] {
 	safe := func() (v T, err error) {
 		defer func() {
 			if r := recover(); r != nil {
-				err = fmt.Errorf("futures: async task panicked: %v", r)
+				err = sched.NewPanicError(r)
 			}
 		}()
 		return fn()
 	}
 	if policy == LaunchDeferred {
-		st := &futureState[T]{}
-		st.cond = sync.NewCond(&st.mu)
-		return &Future[T]{st: st, deferredOnce: &sync.Once{}, deferredFn: safe}
+		return &Future[T]{st: newFutureState[T](), deferredOnce: &sync.Once{}, deferredFn: safe}
 	}
 	p := NewPromise[T]()
 	go func() {
@@ -75,12 +75,13 @@ func NewPackagedTask[T any](fn func() (T, error)) *PackagedTask[T] {
 func (t *PackagedTask[T]) Future() *Future[T] { return t.promise.Future() }
 
 // Invoke runs the wrapped function on the calling goroutine and
-// fulfills the future. Subsequent invocations are no-ops.
+// fulfills the future. Subsequent invocations are no-ops. A panic in
+// the wrapped function surfaces as a *sched.PanicError from Get.
 func (t *PackagedTask[T]) Invoke() {
 	t.once.Do(func() {
 		defer func() {
 			if r := recover(); r != nil {
-				t.promise.SetError(fmt.Errorf("futures: packaged task panicked: %v", r))
+				t.promise.SetError(sched.NewPanicError(r))
 			}
 		}()
 		v, err := t.fn()

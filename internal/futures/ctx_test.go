@@ -1,0 +1,95 @@
+package futures
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"threading/internal/sched"
+)
+
+func TestGetCtxDelivered(t *testing.T) {
+	f := Async(LaunchAsync, func() (int, error) { return 7, nil })
+	v, err := f.GetCtx(context.Background())
+	if err != nil || v != 7 {
+		t.Fatalf("GetCtx = (%v, %v), want (7, nil)", v, err)
+	}
+}
+
+func TestGetCtxCanceledBoundsTheWait(t *testing.T) {
+	release := make(chan struct{})
+	f := Async(LaunchAsync, func() (int, error) { <-release; return 7, nil })
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if _, err := f.GetCtx(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+
+	// Cancellation bounded the wait, not the work: the value is still
+	// deliverable afterwards.
+	close(release)
+	if v, err := f.Get(); err != nil || v != 7 {
+		t.Fatalf("Get after expired GetCtx = (%v, %v), want (7, nil)", v, err)
+	}
+}
+
+func TestGetCtxExpiredDoesNotForceDeferred(t *testing.T) {
+	ran := false
+	f := Async(LaunchDeferred, func() (int, error) { ran = true; return 1, nil })
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := f.GetCtx(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran {
+		t.Fatal("expired GetCtx forced the deferred function")
+	}
+}
+
+func TestJoinCtxDeadlineThenJoin(t *testing.T) {
+	release := make(chan struct{})
+	th := NewThread(func() { <-release })
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if err := th.JoinCtx(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if !th.Joinable() {
+		t.Fatal("thread not joinable after an expired JoinCtx")
+	}
+
+	close(release)
+	if err := th.JoinCtx(context.Background()); err != nil {
+		t.Fatalf("JoinCtx after release: %v", err)
+	}
+	if th.Joinable() {
+		t.Fatal("thread still joinable after a consumed JoinCtx")
+	}
+}
+
+func TestJoinCtxPanicTyped(t *testing.T) {
+	th := NewThread(func() { panic("thread-boom") })
+	err := th.JoinCtx(context.Background())
+	var pe *sched.PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *sched.PanicError", err)
+	}
+	if pe.Value != "thread-boom" {
+		t.Fatalf("PanicError.Value = %v, want thread-boom", pe.Value)
+	}
+}
+
+func TestAsyncPanicIsPanicError(t *testing.T) {
+	f := Async(LaunchAsync, func() (int, error) { panic("async-boom") })
+	_, err := f.Get()
+	var pe *sched.PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *sched.PanicError", err)
+	}
+	if pe.Value != "async-boom" {
+		t.Fatalf("PanicError.Value = %v, want async-boom", pe.Value)
+	}
+}

@@ -11,11 +11,14 @@
 package futures
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"threading/internal/sched"
 )
 
 // Thread runs a function concurrently, like std::thread: it starts
@@ -23,7 +26,7 @@ import (
 // detached) exactly once before it is discarded.
 type Thread struct {
 	done     chan struct{}
-	panicVal any
+	panicErr *sched.PanicError
 	joined   atomic.Bool
 	detached atomic.Bool
 }
@@ -35,7 +38,7 @@ func NewThread(fn func()) *Thread {
 		defer close(t.done)
 		defer func() {
 			if r := recover(); r != nil {
-				t.panicVal = fmt.Sprintf("futures: thread panicked: %v", r)
+				t.panicErr = sched.NewPanicError(r)
 			}
 		}()
 		fn()
@@ -55,9 +58,34 @@ func (t *Thread) Join() {
 		panic("futures: thread joined twice")
 	}
 	<-t.done
-	if t.panicVal != nil {
-		panic(t.panicVal)
+	if t.panicErr != nil {
+		panic(fmt.Sprintf("futures: thread panicked: %v", t.panicErr.Value))
 	}
+}
+
+// JoinCtx waits for the thread's function to return or for ctx to be
+// done, whichever happens first. If the thread finished, the join is
+// consumed and JoinCtx returns nil — or the thread's panic as a
+// *sched.PanicError instead of re-panicking. If ctx expired first,
+// JoinCtx returns the context's error and the thread keeps running
+// and remains joinable (a goroutine cannot be killed; cancellation
+// here bounds the wait, not the work).
+func (t *Thread) JoinCtx(ctx context.Context) error {
+	if t.detached.Load() {
+		panic("futures: Join after Detach")
+	}
+	select {
+	case <-t.done:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	if t.joined.Swap(true) {
+		panic("futures: thread joined twice")
+	}
+	if t.panicErr != nil {
+		return t.panicErr
+	}
+	return nil
 }
 
 // Detach lets the thread run to completion unobserved. After Detach
@@ -79,13 +107,37 @@ func (t *Thread) Joinable() bool {
 // broken_promise.
 var ErrBrokenPromise = errors.New("futures: broken promise")
 
-// future is the shared state between a Promise and its Future.
+// futureState is the shared state between a Promise and its Future.
+// done is closed once val/err are written, so waiters can block on a
+// channel receive — which also lets GetCtx select against a
+// context's cancellation.
 type futureState[T any] struct {
 	mu    sync.Mutex
-	cond  *sync.Cond
+	done  chan struct{}
 	ready bool
 	val   T
 	err   error
+}
+
+func newFutureState[T any]() *futureState[T] {
+	return &futureState[T]{done: make(chan struct{})}
+}
+
+// deliver writes the outcome and closes done. It reports whether this
+// call was the one that delivered; if strict, a second delivery
+// panics instead.
+func (st *futureState[T]) deliver(v T, err error, strict bool) bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.ready {
+		if strict {
+			panic("futures: promise satisfied twice")
+		}
+		return false
+	}
+	st.val, st.err, st.ready = v, err, true
+	close(st.done)
+	return true
 }
 
 // Future is the receiving end of a Promise: Get blocks until a value
@@ -106,9 +158,7 @@ type Promise[T any] struct {
 
 // NewPromise returns an unfulfilled promise.
 func NewPromise[T any]() *Promise[T] {
-	st := &futureState[T]{}
-	st.cond = sync.NewCond(&st.mu)
-	return &Promise[T]{st: st}
+	return &Promise[T]{st: newFutureState[T]()}
 }
 
 // Future returns the future associated with this promise.
@@ -119,110 +169,95 @@ func (p *Promise[T]) Future() *Future[T] {
 // Set delivers the value, waking all waiters. Setting a promise twice
 // panics.
 func (p *Promise[T]) Set(v T) {
-	p.st.mu.Lock()
-	defer p.st.mu.Unlock()
-	if p.st.ready {
-		panic("futures: promise satisfied twice")
-	}
-	p.st.val = v
-	p.st.ready = true
-	p.st.cond.Broadcast()
+	p.st.deliver(v, nil, true)
 }
 
 // SetError delivers an error instead of a value.
 func (p *Promise[T]) SetError(err error) {
-	p.st.mu.Lock()
-	defer p.st.mu.Unlock()
-	if p.st.ready {
-		panic("futures: promise satisfied twice")
-	}
-	p.st.err = err
-	p.st.ready = true
-	p.st.cond.Broadcast()
+	var zero T
+	p.st.deliver(zero, err, true)
 }
 
 // Break marks the promise abandoned: waiters receive
 // ErrBrokenPromise. Breaking an already satisfied promise is a no-op.
 func (p *Promise[T]) Break() {
-	p.st.mu.Lock()
-	defer p.st.mu.Unlock()
-	if p.st.ready {
+	var zero T
+	p.st.deliver(zero, ErrBrokenPromise, false)
+}
+
+// force runs a deferred future's function on the calling goroutine,
+// once — std::launch::deferred.
+func (f *Future[T]) force() {
+	if f.deferredFn == nil {
 		return
 	}
-	p.st.err = ErrBrokenPromise
-	p.st.ready = true
-	p.st.cond.Broadcast()
+	f.deferredOnce.Do(func() {
+		v, err := f.deferredFn()
+		f.st.deliver(v, err, false)
+	})
 }
 
 // Get blocks until the value is available and returns it. For a
 // deferred future, Get runs the deferred function on the calling
 // goroutine the first time — std::launch::deferred.
 func (f *Future[T]) Get() (T, error) {
-	if f.deferredFn != nil {
-		f.deferredOnce.Do(func() {
-			v, err := f.deferredFn()
-			st := f.st
-			st.mu.Lock()
-			st.val, st.err = v, err
-			st.ready = true
-			st.cond.Broadcast()
-			st.mu.Unlock()
-		})
+	f.force()
+	<-f.st.done
+	return f.st.val, f.st.err
+}
+
+// GetCtx is Get with a bounded wait: it returns the value once
+// delivered, or the context's error if ctx is done first (the
+// producing task keeps running; cancellation bounds the wait, not the
+// work). A deferred future is forced on the calling goroutine, as
+// with Get, unless ctx is already done.
+func (f *Future[T]) GetCtx(ctx context.Context) (T, error) {
+	if err := ctx.Err(); err != nil {
+		var zero T
+		return zero, err
 	}
-	st := f.st
-	st.mu.Lock()
-	for !st.ready {
-		st.cond.Wait()
+	f.force()
+	select {
+	case <-f.st.done:
+		return f.st.val, f.st.err
+	case <-ctx.Done():
+		var zero T
+		return zero, ctx.Err()
 	}
-	v, err := st.val, st.err
-	st.mu.Unlock()
-	return v, err
 }
 
 // waitReady blocks until a value or error has been delivered, without
 // forcing a deferred future (used by WhenAny, which must not execute
 // deferred work on behalf of the caller).
 func (f *Future[T]) waitReady() (T, error) {
-	st := f.st
-	st.mu.Lock()
-	for !st.ready {
-		st.cond.Wait()
-	}
-	v, err := st.val, st.err
-	st.mu.Unlock()
-	return v, err
+	<-f.st.done
+	return f.st.val, f.st.err
 }
 
 // Ready reports whether a value or error has been delivered. A
 // deferred future is never ready until Get forces it.
 func (f *Future[T]) Ready() bool {
-	st := f.st
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	return st.ready
+	select {
+	case <-f.st.done:
+		return true
+	default:
+		return false
+	}
 }
 
 // WaitFor blocks up to d for the result and reports whether it became
 // available — std::future::wait_for. It does not force a deferred
 // future.
 func (f *Future[T]) WaitFor(d time.Duration) bool {
-	deadline := time.Now().Add(d)
-	st := f.st
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	for !st.ready {
-		remaining := time.Until(deadline)
-		if remaining <= 0 {
-			return false
-		}
-		// sync.Cond has no timed wait; poll with a capped interval.
-		st.mu.Unlock()
-		sleep := remaining
-		if sleep > time.Millisecond {
-			sleep = time.Millisecond
-		}
-		time.Sleep(sleep)
-		st.mu.Lock()
+	if f.Ready() {
+		return true
 	}
-	return true
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-f.st.done:
+		return true
+	case <-timer.C:
+		return false
+	}
 }

@@ -6,6 +6,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"runtime"
@@ -103,12 +104,24 @@ type Result struct {
 
 // Run executes the experiment under cfg.
 func Run(e *Experiment, cfg Config) (*Result, error) {
+	return RunCtx(context.Background(), e, cfg)
+}
+
+// RunCtx is Run with cooperative cancellation: the sweep checks ctx
+// between repetitions and between (model, threads) cells, so a
+// canceled or expired context aborts the experiment at the next
+// measurement boundary (an in-flight repetition runs to completion)
+// and the context's error is returned.
+func RunCtx(ctx context.Context, e *Experiment, cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
 	w := e.Prepare(cfg.Scale)
 
 	// Sequential baseline: best of Reps.
 	var seqTimes []time.Duration
 	for r := 0; r < cfg.Reps; r++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		start := time.Now()
 		w.Seq()
 		seqTimes = append(seqTimes, time.Since(start))
@@ -126,6 +139,9 @@ func Run(e *Experiment, cfg Config) (*Result, error) {
 	for _, name := range e.Models {
 		res.Cells[name] = make(map[int]stats.Sample)
 		for _, threads := range cfg.Threads {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			m, err := models.New(name, threads)
 			if err != nil {
 				return nil, err
@@ -139,6 +155,10 @@ func Run(e *Experiment, cfg Config) (*Result, error) {
 			w.Run(m) // warm-up, untimed
 			var ts []time.Duration
 			for r := 0; r < cfg.Reps; r++ {
+				if err := ctx.Err(); err != nil {
+					m.Close()
+					return nil, err
+				}
 				start := time.Now()
 				w.Run(m)
 				ts = append(ts, time.Since(start))

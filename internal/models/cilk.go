@@ -1,6 +1,9 @@
 package models
 
 import (
+	"context"
+	"fmt"
+
 	"threading/internal/deque"
 	"threading/internal/sched"
 	"threading/internal/worksteal"
@@ -38,7 +41,11 @@ func (m *cilkFor) Name() string { return CilkFor }
 func (m *cilkFor) Threads() int { return m.n }
 
 func (m *cilkFor) ParallelFor(n int, body func(lo, hi int)) {
-	m.pool.Run(func(c *worksteal.Ctx) {
+	mustRun(m.ParallelForCtx(context.Background(), n, body))
+}
+
+func (m *cilkFor) ParallelForCtx(ctx context.Context, n int, body func(lo, hi int)) error {
+	return m.pool.RunCtx(ctx, func(c *worksteal.Ctx) {
 		c.ForDAC(0, n, m.grain, func(_ *worksteal.Ctx, l, h int) { body(l, h) })
 	})
 }
@@ -47,20 +54,36 @@ func (m *cilkFor) ParallelReduce(n int, identity float64,
 	body func(lo, hi int, acc float64) float64,
 	combine func(a, b float64) float64) float64 {
 
+	v, err := m.ParallelReduceCtx(context.Background(), n, identity, body, combine)
+	mustRun(err)
+	return v
+}
+
+func (m *cilkFor) ParallelReduceCtx(ctx context.Context, n int, identity float64,
+	body func(lo, hi int, acc float64) float64,
+	combine func(a, b float64) float64) (float64, error) {
+
 	r := worksteal.NewReducer(m.pool, identity, combine)
-	m.pool.Run(func(c *worksteal.Ctx) {
+	err := m.pool.RunCtx(ctx, func(c *worksteal.Ctx) {
 		c.ForDAC(0, n, m.grain, func(cc *worksteal.Ctx, l, h int) {
 			v := r.View(cc)
 			*v = body(l, h, *v)
 		})
 	})
-	return r.Value()
+	if err != nil {
+		return identity, err
+	}
+	return r.Value(), nil
 }
 
 func (m *cilkFor) SupportsTasks() bool { return false }
 
 func (m *cilkFor) TaskRun(func(TaskScope)) {
 	panic("models: cilk_for is a loop model; use cilk_spawn for task parallelism")
+}
+
+func (m *cilkFor) TaskRunCtx(context.Context, func(TaskScope)) error {
+	return fmt.Errorf("models: %s: %w", CilkFor, ErrTasksUnsupported)
 }
 
 func (m *cilkFor) SchedulerStats() (sched.Snapshot, bool) { return m.pool.Stats(), true }
@@ -100,8 +123,12 @@ func (m *cilkSpawn) Name() string { return CilkSpawn }
 func (m *cilkSpawn) Threads() int { return m.n }
 
 func (m *cilkSpawn) ParallelFor(n int, body func(lo, hi int)) {
+	mustRun(m.ParallelForCtx(context.Background(), n, body))
+}
+
+func (m *cilkSpawn) ParallelForCtx(ctx context.Context, n int, body func(lo, hi int)) error {
 	k := m.n
-	m.pool.Run(func(c *worksteal.Ctx) {
+	return m.pool.RunCtx(ctx, func(c *worksteal.Ctx) {
 		for i := 0; i < k; i++ {
 			lo, hi := chunkFor(n, k, i)
 			if lo >= hi {
@@ -117,9 +144,18 @@ func (m *cilkSpawn) ParallelReduce(n int, identity float64,
 	body func(lo, hi int, acc float64) float64,
 	combine func(a, b float64) float64) float64 {
 
+	v, err := m.ParallelReduceCtx(context.Background(), n, identity, body, combine)
+	mustRun(err)
+	return v
+}
+
+func (m *cilkSpawn) ParallelReduceCtx(ctx context.Context, n int, identity float64,
+	body func(lo, hi int, acc float64) float64,
+	combine func(a, b float64) float64) (float64, error) {
+
 	k := m.n
 	partials := make([]float64, k)
-	m.pool.Run(func(c *worksteal.Ctx) {
+	err := m.pool.RunCtx(ctx, func(c *worksteal.Ctx) {
 		for i := 0; i < k; i++ {
 			i := i
 			lo, hi := chunkFor(n, k, i)
@@ -131,11 +167,14 @@ func (m *cilkSpawn) ParallelReduce(n int, identity float64,
 		}
 		c.Sync()
 	})
+	if err != nil {
+		return identity, err
+	}
 	acc := identity
 	for _, p := range partials {
 		acc = combine(acc, p)
 	}
-	return acc
+	return acc, nil
 }
 
 func (m *cilkSpawn) SupportsTasks() bool { return true }
@@ -154,7 +193,11 @@ func (s *cilkScope) Spawn(fn func(TaskScope)) {
 func (s *cilkScope) Sync() { s.c.Sync() }
 
 func (m *cilkSpawn) TaskRun(root func(TaskScope)) {
-	m.pool.Run(func(c *worksteal.Ctx) {
+	mustRun(m.TaskRunCtx(context.Background(), root))
+}
+
+func (m *cilkSpawn) TaskRunCtx(ctx context.Context, root func(TaskScope)) error {
+	return m.pool.RunCtx(ctx, func(c *worksteal.Ctx) {
 		root(&cilkScope{c: c})
 		// The pool's implicit sync at task return joins stragglers.
 	})

@@ -1,6 +1,8 @@
 package models
 
 import (
+	"context"
+
 	"threading/internal/futures"
 	"threading/internal/sched"
 )
@@ -21,6 +23,11 @@ func (m *cppThread) Name() string { return CPPThread }
 func (m *cppThread) Threads() int { return m.n }
 
 func (m *cppThread) ParallelFor(n int, body func(lo, hi int)) {
+	mustRun(m.ParallelForCtx(context.Background(), n, body))
+}
+
+func (m *cppThread) ParallelForCtx(ctx context.Context, n int, body func(lo, hi int)) error {
+	reg := sched.NewRegion(ctx)
 	k := m.n
 	ths := make([]*futures.Thread, 0, k)
 	for i := 0; i < k; i++ {
@@ -28,17 +35,28 @@ func (m *cppThread) ParallelFor(n int, body func(lo, hi int)) {
 		if lo >= hi {
 			continue
 		}
-		ths = append(ths, futures.NewThread(func() { body(lo, hi) }))
+		ths = append(ths, futures.NewThread(guarded(reg, func() { body(lo, hi) })))
 	}
 	for _, th := range ths {
 		th.Join()
 	}
+	return reg.Finish()
 }
 
 func (m *cppThread) ParallelReduce(n int, identity float64,
 	body func(lo, hi int, acc float64) float64,
 	combine func(a, b float64) float64) float64 {
 
+	v, err := m.ParallelReduceCtx(context.Background(), n, identity, body, combine)
+	mustRun(err)
+	return v
+}
+
+func (m *cppThread) ParallelReduceCtx(ctx context.Context, n int, identity float64,
+	body func(lo, hi int, acc float64) float64,
+	combine func(a, b float64) float64) (float64, error) {
+
+	reg := sched.NewRegion(ctx)
 	k := m.n
 	partials := make([]float64, k)
 	ths := make([]*futures.Thread, 0, k)
@@ -49,16 +67,19 @@ func (m *cppThread) ParallelReduce(n int, identity float64,
 		if lo >= hi {
 			continue
 		}
-		ths = append(ths, futures.NewThread(func() { partials[i] = body(lo, hi, identity) }))
+		ths = append(ths, futures.NewThread(guarded(reg, func() { partials[i] = body(lo, hi, identity) })))
 	}
 	for _, th := range ths {
 		th.Join()
+	}
+	if err := reg.Finish(); err != nil {
+		return identity, err
 	}
 	acc := identity
 	for _, p := range partials {
 		acc = combine(acc, p)
 	}
-	return acc
+	return acc, nil
 }
 
 func (m *cppThread) SupportsTasks() bool { return true }
@@ -67,16 +88,24 @@ func (m *cppThread) SupportsTasks() bool { return true }
 // spawn. This is the configuration the paper reports as hanging for
 // fib(20)+ without a cut-off: the thread count equals the task count.
 // Callers are expected to bound recursion depth (see kernels.FibTask).
+// Every scope in a run shares the run's region: Spawn drops new tasks
+// once the region is canceled, and a task panic is recorded into the
+// region rather than re-panicking out of Join.
 type threadScope struct {
+	reg      *sched.Region
 	children []*futures.Thread
 }
 
 func (s *threadScope) Spawn(fn func(TaskScope)) {
-	s.children = append(s.children, futures.NewThread(func() {
-		child := &threadScope{}
+	if s.reg.Canceled() {
+		return
+	}
+	reg := s.reg
+	s.children = append(s.children, futures.NewThread(guarded(reg, func() {
+		child := &threadScope{reg: reg}
 		fn(child)
 		child.Sync() // a thread joins its own children before exiting
-	}))
+	})))
 }
 
 func (s *threadScope) Sync() {
@@ -87,9 +116,15 @@ func (s *threadScope) Sync() {
 }
 
 func (m *cppThread) TaskRun(root func(TaskScope)) {
-	s := &threadScope{}
-	root(s)
-	s.Sync()
+	mustRun(m.TaskRunCtx(context.Background(), root))
+}
+
+func (m *cppThread) TaskRunCtx(ctx context.Context, root func(TaskScope)) error {
+	reg := sched.NewRegion(ctx)
+	s := &threadScope{reg: reg}
+	guarded(reg, func() { root(s) })()
+	s.Sync() // drain spawned threads even when root panicked or was skipped
+	return reg.Finish()
 }
 
 func (m *cppThread) SchedulerStats() (sched.Snapshot, bool) {
@@ -115,6 +150,11 @@ func (m *cppAsync) Name() string { return CPPAsync }
 func (m *cppAsync) Threads() int { return m.n }
 
 func (m *cppAsync) ParallelFor(n int, body func(lo, hi int)) {
+	mustRun(m.ParallelForCtx(context.Background(), n, body))
+}
+
+func (m *cppAsync) ParallelForCtx(ctx context.Context, n int, body func(lo, hi int)) error {
+	reg := sched.NewRegion(ctx)
 	k := m.n
 	fs := make([]*futures.Future[struct{}], 0, k)
 	for i := 0; i < k; i++ {
@@ -123,21 +163,32 @@ func (m *cppAsync) ParallelFor(n int, body func(lo, hi int)) {
 			continue
 		}
 		fs = append(fs, futures.Async(futures.LaunchAsync, func() (struct{}, error) {
-			body(lo, hi)
+			guarded(reg, func() { body(lo, hi) })()
 			return struct{}{}, nil
 		}))
 	}
 	for _, f := range fs {
 		if _, err := f.Get(); err != nil {
-			panic(err)
+			reg.RecordError(err)
 		}
 	}
+	return reg.Finish()
 }
 
 func (m *cppAsync) ParallelReduce(n int, identity float64,
 	body func(lo, hi int, acc float64) float64,
 	combine func(a, b float64) float64) float64 {
 
+	v, err := m.ParallelReduceCtx(context.Background(), n, identity, body, combine)
+	mustRun(err)
+	return v
+}
+
+func (m *cppAsync) ParallelReduceCtx(ctx context.Context, n int, identity float64,
+	body func(lo, hi int, acc float64) float64,
+	combine func(a, b float64) float64) (float64, error) {
+
+	reg := sched.NewRegion(ctx)
 	k := m.n
 	fs := make([]*futures.Future[float64], 0, k)
 	for i := 0; i < k; i++ {
@@ -145,34 +196,50 @@ func (m *cppAsync) ParallelReduce(n int, identity float64,
 		if lo >= hi {
 			continue
 		}
-		fs = append(fs, futures.Async(futures.LaunchAsync, func() (float64, error) {
-			return body(lo, hi, identity), nil
+		fs = append(fs, futures.Async(futures.LaunchAsync, func() (v float64, _ error) {
+			v = identity
+			guarded(reg, func() { v = body(lo, hi, identity) })()
+			return v, nil
 		}))
 	}
 	acc := identity
 	for _, f := range fs {
 		v, err := f.Get()
 		if err != nil {
-			panic(err)
+			reg.RecordError(err)
+			continue
 		}
 		acc = combine(acc, v)
 	}
-	return acc
+	if err := reg.Finish(); err != nil {
+		return identity, err
+	}
+	return acc, nil
 }
 
 func (m *cppAsync) SupportsTasks() bool { return true }
 
 // asyncScope implements TaskScope over std::async-style futures.
+// Every scope in a run shares the run's region: Spawn drops new tasks
+// once the region is canceled, and a task panic is recorded into the
+// region rather than surfacing as a future error.
 type asyncScope struct {
+	reg      *sched.Region
 	children []*futures.Future[struct{}]
 }
 
 func (s *asyncScope) Spawn(fn func(TaskScope)) {
+	if s.reg.Canceled() {
+		return
+	}
+	reg := s.reg
 	s.children = append(s.children, futures.Async(futures.LaunchAsync,
 		func() (struct{}, error) {
-			child := &asyncScope{}
-			fn(child)
-			child.Sync()
+			guarded(reg, func() {
+				child := &asyncScope{reg: reg}
+				fn(child)
+				child.Sync()
+			})()
 			return struct{}{}, nil
 		}))
 }
@@ -180,16 +247,22 @@ func (s *asyncScope) Spawn(fn func(TaskScope)) {
 func (s *asyncScope) Sync() {
 	for _, f := range s.children {
 		if _, err := f.Get(); err != nil {
-			panic(err)
+			s.reg.RecordError(err)
 		}
 	}
 	s.children = s.children[:0]
 }
 
 func (m *cppAsync) TaskRun(root func(TaskScope)) {
-	s := &asyncScope{}
-	root(s)
-	s.Sync()
+	mustRun(m.TaskRunCtx(context.Background(), root))
+}
+
+func (m *cppAsync) TaskRunCtx(ctx context.Context, root func(TaskScope)) error {
+	reg := sched.NewRegion(ctx)
+	s := &asyncScope{reg: reg}
+	guarded(reg, func() { root(s) })()
+	s.Sync() // drain spawned futures even when root panicked or was skipped
+	return reg.Finish()
 }
 
 func (m *cppAsync) SchedulerStats() (sched.Snapshot, bool) {

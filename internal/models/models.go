@@ -16,15 +16,31 @@
 package models
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 
 	"threading/internal/sched"
 )
 
+// ErrTasksUnsupported is returned (wrapped with the model's name) by
+// TaskRunCtx on pure loop models — omp_for and cilk_for — which
+// cannot express recursive task parallelism. Test with errors.Is.
+var ErrTasksUnsupported = errors.New("model does not support task parallelism")
+
 // Model is one threading-model configuration. Implementations are
 // safe for repeated use but not for concurrent calls; Close releases
 // any persistent workers.
+//
+// Every blocking operation comes in two forms: a context-aware
+// variant (ParallelForCtx, ParallelReduceCtx, TaskRunCtx) that
+// supports cooperative cancellation and returns the region's first
+// failure as an error, and a legacy variant that runs under
+// context.Background and panics on failure. Cancellation is observed
+// at chunk/task boundaries through the shared sched.Region flag, so
+// every model pays the same one-atomic-load cost and cross-model
+// timings remain comparable.
 type Model interface {
 	// Name returns the model's identifier, e.g. "omp_for".
 	Name() string
@@ -35,12 +51,25 @@ type Model interface {
 	// invokes body on disjoint chunks covering the range. It returns
 	// after every chunk completes.
 	ParallelFor(n int, body func(lo, hi int))
+	// ParallelForCtx is ParallelFor with cooperative cancellation:
+	// once ctx is done, unstarted chunks are skipped, in-flight chunks
+	// drain, and the context's error is returned. A panic in body
+	// cancels the loop and is returned as a *sched.PanicError. The
+	// model remains usable after a canceled or failed loop.
+	ParallelForCtx(ctx context.Context, n int, body func(lo, hi int)) error
 	// ParallelReduce folds [0, n) into a float64: body folds one
 	// chunk starting from acc, combine merges per-thread partials.
 	// combine must be associative and commutative.
 	ParallelReduce(n int, identity float64,
 		body func(lo, hi int, acc float64) float64,
 		combine func(a, b float64) float64) float64
+	// ParallelReduceCtx is ParallelReduce with cooperative
+	// cancellation. On failure it returns identity together with the
+	// region's first error; the partial sums of a canceled reduction
+	// are never observable.
+	ParallelReduceCtx(ctx context.Context, n int, identity float64,
+		body func(lo, hi int, acc float64) float64,
+		combine func(a, b float64) float64) (float64, error)
 	// SupportsTasks reports whether the model can express recursive
 	// task parallelism. Pure loop models (omp_for, cilk_for) cannot,
 	// mirroring the paper's Fibonacci experiment which runs only the
@@ -50,6 +79,12 @@ type Model interface {
 	// Sync children. It panics for models where SupportsTasks is
 	// false.
 	TaskRun(root func(TaskScope))
+	// TaskRunCtx is TaskRun with cooperative cancellation: once ctx
+	// is done, further Spawns are dropped and the context's error is
+	// returned; a task panic is returned as a *sched.PanicError. On
+	// loop-only models it returns ErrTasksUnsupported (wrapped with
+	// the model's name) instead of panicking.
+	TaskRunCtx(ctx context.Context, root func(TaskScope)) error
 	// SchedulerStats returns scheduler counters when the model's
 	// runtime collects them (the pooled runtimes do; the raw
 	// thread-per-chunk models do not).
@@ -133,6 +168,40 @@ func MustNew(name string, threads int) Model {
 		panic(err)
 	}
 	return m
+}
+
+// mustRun adapts a ctx-variant failure to the legacy panicking
+// surface: a recorded task panic re-panics with its original value in
+// the message, any other error panics wholesale. The legacy Model
+// methods are thin wrappers built from this.
+func mustRun(err error) {
+	if err == nil {
+		return
+	}
+	var pe *sched.PanicError
+	if errors.As(err, &pe) {
+		panic(fmt.Sprintf("models: parallel operation panicked: %v", pe.Value))
+	}
+	panic(fmt.Sprintf("models: parallel operation failed: %v", err))
+}
+
+// guarded wraps fn for execution on a raw thread or async task under
+// reg: the body is skipped once the region is canceled, and a panic
+// is recorded into the region instead of crossing the thread
+// boundary — the same per-chunk guard the pooled runtimes apply
+// internally, so all six models share cancellation semantics.
+func guarded(reg *sched.Region, fn func()) func() {
+	return func() {
+		if reg.Canceled() {
+			return
+		}
+		defer func() {
+			if r := recover(); r != nil {
+				reg.RecordPanic(r)
+			}
+		}()
+		fn()
+	}
 }
 
 // chunkFor returns the manual-chunking bounds of chunk i of k over n

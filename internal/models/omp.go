@@ -1,6 +1,9 @@
 package models
 
 import (
+	"context"
+	"fmt"
+
 	"threading/internal/forkjoin"
 	"threading/internal/sched"
 )
@@ -30,8 +33,12 @@ func (m *ompFor) Name() string { return OMPFor }
 func (m *ompFor) Threads() int { return m.n }
 
 func (m *ompFor) ParallelFor(n int, body func(lo, hi int)) {
-	m.team.Parallel(func(tc *forkjoin.Ctx) {
-		tc.ForRangeNoWait(forkjoin.Static, 0, n, body)
+	mustRun(m.ParallelForCtx(context.Background(), n, body))
+}
+
+func (m *ompFor) ParallelForCtx(ctx context.Context, n int, body func(lo, hi int)) error {
+	return m.team.ParallelCtx(ctx, func(tc *forkjoin.Ctx) {
+		tc.ForRangeNoWait(m.team.DefaultSchedule(), 0, n, body)
 		// The region's end barrier is the loop's implicit barrier.
 	})
 }
@@ -55,18 +62,34 @@ func (m *ompFor) ParallelReduce(n int, identity float64,
 	body func(lo, hi int, acc float64) float64,
 	combine func(a, b float64) float64) float64 {
 
+	v, err := m.ParallelReduceCtx(context.Background(), n, identity, body, combine)
+	mustRun(err)
+	return v
+}
+
+func (m *ompFor) ParallelReduceCtx(ctx context.Context, n int, identity float64,
+	body func(lo, hi int, acc float64) float64,
+	combine func(a, b float64) float64) (float64, error) {
+
 	var result float64
-	m.team.Parallel(func(tc *forkjoin.Ctx) {
-		r := tc.ReduceFloat64(forkjoin.Static, 0, n, identity, body, combine)
+	err := m.team.ParallelCtx(ctx, func(tc *forkjoin.Ctx) {
+		r := tc.ReduceFloat64(m.team.DefaultSchedule(), 0, n, identity, body, combine)
 		tc.Master(func() { result = r })
 	})
-	return result
+	if err != nil {
+		return identity, err
+	}
+	return result, nil
 }
 
 func (m *ompFor) SupportsTasks() bool { return false }
 
 func (m *ompFor) TaskRun(func(TaskScope)) {
 	panic("models: omp_for is a work-sharing model; use omp_task for task parallelism")
+}
+
+func (m *ompFor) TaskRunCtx(context.Context, func(TaskScope)) error {
+	return fmt.Errorf("models: %s: %w", OMPFor, ErrTasksUnsupported)
 }
 
 func (m *ompFor) SchedulerStats() (sched.Snapshot, bool) { return m.team.Stats(), true }
@@ -99,8 +122,12 @@ func (m *ompTask) Name() string { return OMPTask }
 func (m *ompTask) Threads() int { return m.n }
 
 func (m *ompTask) ParallelFor(n int, body func(lo, hi int)) {
+	mustRun(m.ParallelForCtx(context.Background(), n, body))
+}
+
+func (m *ompTask) ParallelForCtx(ctx context.Context, n int, body func(lo, hi int)) error {
 	k := m.n
-	m.team.Parallel(func(tc *forkjoin.Ctx) {
+	return m.team.ParallelCtx(ctx, func(tc *forkjoin.Ctx) {
 		tc.Master(func() {
 			for i := 0; i < k; i++ {
 				lo, hi := chunkFor(n, k, i)
@@ -118,9 +145,18 @@ func (m *ompTask) ParallelReduce(n int, identity float64,
 	body func(lo, hi int, acc float64) float64,
 	combine func(a, b float64) float64) float64 {
 
+	v, err := m.ParallelReduceCtx(context.Background(), n, identity, body, combine)
+	mustRun(err)
+	return v
+}
+
+func (m *ompTask) ParallelReduceCtx(ctx context.Context, n int, identity float64,
+	body func(lo, hi int, acc float64) float64,
+	combine func(a, b float64) float64) (float64, error) {
+
 	k := m.n
 	partials := make([]float64, k)
-	m.team.Parallel(func(tc *forkjoin.Ctx) {
+	err := m.team.ParallelCtx(ctx, func(tc *forkjoin.Ctx) {
 		tc.Master(func() {
 			for i := 0; i < k; i++ {
 				i := i
@@ -134,11 +170,14 @@ func (m *ompTask) ParallelReduce(n int, identity float64,
 			tc.Taskwait()
 		})
 	})
+	if err != nil {
+		return identity, err
+	}
 	acc := identity
 	for _, p := range partials {
 		acc = combine(acc, p)
 	}
-	return acc
+	return acc, nil
 }
 
 func (m *ompTask) SupportsTasks() bool { return true }
@@ -160,7 +199,11 @@ func (s *ompScope) Spawn(fn func(TaskScope)) {
 func (s *ompScope) Sync() { s.tc.Taskwait() }
 
 func (m *ompTask) TaskRun(root func(TaskScope)) {
-	m.team.Parallel(func(tc *forkjoin.Ctx) {
+	mustRun(m.TaskRunCtx(context.Background(), root))
+}
+
+func (m *ompTask) TaskRunCtx(ctx context.Context, root func(TaskScope)) error {
+	return m.team.ParallelCtx(ctx, func(tc *forkjoin.Ctx) {
 		tc.Master(func() {
 			root(&ompScope{tc: tc})
 			tc.Taskwait()

@@ -14,14 +14,21 @@
 package offload
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
 
+	"threading/internal/sched"
 	"threading/internal/worksteal"
 )
 
 // Options configure a simulated device.
+//
+// Deprecated: prefer the functional options (WithUnits, WithLatency).
+// Options remains usable — a literal passed to NewDevice still
+// applies wholesale — so existing callers compile unchanged.
 type Options struct {
 	// Units is the number of compute units (kernel-executing
 	// workers). Zero selects 4.
@@ -29,6 +36,29 @@ type Options struct {
 	// TransferLatency is added to every host<->device copy to model
 	// interconnect latency. Zero means copies cost only the memcpy.
 	TransferLatency time.Duration
+}
+
+// Option configures a Device at construction. The legacy Options
+// struct itself implements Option (applying every field at once), so
+// both NewDevice(name, Options{...}) and NewDevice(name, WithUnits(8))
+// are valid.
+type Option interface{ applyDevice(*Options) }
+
+func (o Options) applyDevice(dst *Options) { *dst = o }
+
+type deviceOption func(*Options)
+
+func (f deviceOption) applyDevice(o *Options) { f(o) }
+
+// WithUnits sets the number of compute units.
+func WithUnits(n int) Option {
+	return deviceOption(func(o *Options) { o.Units = n })
+}
+
+// WithLatency sets the simulated interconnect latency added to every
+// host<->device copy.
+func WithLatency(d time.Duration) Option {
+	return deviceOption(func(o *Options) { o.TransferLatency = d })
 }
 
 // Device is a simulated accelerator.
@@ -48,8 +78,13 @@ type Device struct {
 	workItems int64
 }
 
-// NewDevice creates a simulated accelerator.
-func NewDevice(name string, opts Options) *Device {
+// NewDevice creates a simulated accelerator. Options may be given
+// either as functional options or as a legacy Options literal.
+func NewDevice(name string, options ...Option) *Device {
+	var opts Options
+	for _, o := range options {
+		o.applyDevice(&opts)
+	}
 	if opts.Units <= 0 {
 		opts.Units = 4
 	}
@@ -185,8 +220,24 @@ type Kernel func(i int, args [][]float64)
 
 // Launch executes kernel over n work items on the device's compute
 // units and blocks until completion — a synchronous kernel launch.
-// Buffers must belong to this device.
+// Buffers must belong to this device. A panic in the kernel re-panics
+// on the launcher; LaunchCtx surfaces it as an error instead.
 func (d *Device) Launch(n int, kernel Kernel, args ...*Buffer) {
+	if err := d.LaunchCtx(context.Background(), n, kernel, args...); err != nil {
+		var pe *sched.PanicError
+		if errors.As(err, &pe) {
+			panic(fmt.Sprintf("offload: kernel panicked: %v", pe.Value))
+		}
+		panic(fmt.Sprintf("offload: launch failed: %v", err))
+	}
+}
+
+// LaunchCtx is Launch with cooperative cancellation: once ctx is done
+// remaining work items are skipped at chunk boundaries, in-flight
+// items drain, and the context's error is returned. A panic in the
+// kernel cancels the launch and is returned as a *sched.PanicError.
+// The device remains usable afterwards.
+func (d *Device) LaunchCtx(ctx context.Context, n int, kernel Kernel, args ...*Buffer) error {
 	views := make([][]float64, len(args))
 	for i, b := range args {
 		if b.dev != d {
@@ -201,7 +252,7 @@ func (d *Device) Launch(n int, kernel Kernel, args ...*Buffer) {
 	d.launches++
 	d.workItems += int64(n)
 	d.statsMu.Unlock()
-	d.pool.Run(func(c *worksteal.Ctx) {
+	return d.pool.RunCtx(ctx, func(c *worksteal.Ctx) {
 		c.ForEach(0, n, 0, func(_ *worksteal.Ctx, i int) {
 			kernel(i, views)
 		})
@@ -232,8 +283,31 @@ type Mapping struct {
 // slices, implementing the OpenMP target-region data environment:
 // alloc/to copies in as requested, body runs with the device buffers,
 // from/tofrom copies out, and all buffers are freed — regardless of
-// how body returns.
+// how body returns. A panic in body re-panics after cleanup;
+// TargetCtx surfaces it as an error instead.
 func (d *Device) Target(maps []Mapping, body func(bufs []*Buffer)) {
+	if err := d.TargetCtx(context.Background(), maps, body); err != nil {
+		var pe *sched.PanicError
+		if errors.As(err, &pe) {
+			panic(fmt.Sprintf("offload: target region panicked: %v", pe.Value))
+		}
+		panic(fmt.Sprintf("offload: target region failed: %v", err))
+	}
+}
+
+// TargetCtx is Target with cooperative cancellation and structured
+// error propagation. If ctx is done before the region starts, nothing
+// is mapped and the context's error is returned. If the region is
+// canceled while body runs (or body panics), the from/tofrom copy-out
+// is skipped — the device data is not known to be complete — but all
+// buffers are still freed, and the first failure (the context's error
+// or the panic as a *sched.PanicError) is returned. The device
+// remains usable afterwards.
+func (d *Device) TargetCtx(ctx context.Context, maps []Mapping, body func(bufs []*Buffer)) error {
+	reg := sched.NewRegion(ctx)
+	if reg.Canceled() {
+		return reg.Finish()
+	}
 	bufs := make([]*Buffer, len(maps))
 	for i, mp := range maps {
 		bufs[i] = d.Alloc(len(mp.Host))
@@ -242,12 +316,21 @@ func (d *Device) Target(maps []Mapping, body func(bufs []*Buffer)) {
 		}
 	}
 	defer func() {
+		copyOut := !reg.Canceled()
 		for i, mp := range maps {
-			if mp.Dir&MapFrom != 0 {
+			if copyOut && mp.Dir&MapFrom != 0 {
 				d.FromDevice(mp.Host, bufs[i])
 			}
 			bufs[i].Free()
 		}
 	}()
-	body(bufs)
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				reg.RecordPanic(r)
+			}
+		}()
+		body(bufs)
+	}()
+	return reg.Finish()
 }

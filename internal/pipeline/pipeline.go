@@ -13,9 +13,12 @@
 package pipeline
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
+
+	"threading/internal/sched"
 )
 
 // Mode selects a stage's concurrency discipline.
@@ -105,6 +108,17 @@ func (a *abort) set(err error) {
 // error, if any.
 func (p *Pipeline) Run(workers, tokens int,
 	source func() (any, bool), sink func(v any)) (int, error) {
+	return p.RunCtx(context.Background(), workers, tokens, source, sink)
+}
+
+// RunCtx is Run with cooperative cancellation: once ctx is done the
+// source stops feeding, stage functions stop being applied (items
+// already in the channels drain unprocessed, so no token deadlocks),
+// and the first failure is returned — the first stage error, a
+// *sched.PanicError if a stage function panicked, or the context's
+// error. The pipeline remains reusable afterwards.
+func (p *Pipeline) RunCtx(ctx context.Context, workers, tokens int,
+	source func() (any, bool), sink func(v any)) (int, error) {
 
 	if len(p.stages) == 0 {
 		return 0, fmt.Errorf("pipeline: no stages configured")
@@ -116,6 +130,7 @@ func (p *Pipeline) Run(workers, tokens int,
 		tokens = 1
 	}
 	ab := &abort{}
+	reg := sched.NewRegion(ctx)
 	sem := make(chan struct{}, tokens)
 
 	// Channel chain: source -> stage 0 -> ... -> stage k-1 -> sink.
@@ -130,10 +145,10 @@ func (p *Pipeline) Run(workers, tokens int,
 		switch st.mode {
 		case Serial:
 			wg.Add(1)
-			go runSerial(st, in, out, ab, &wg)
+			go runSerial(st, in, out, ab, reg, &wg)
 		case Parallel:
 			wg.Add(1)
-			go runParallel(st, in, out, ab, workers, &wg)
+			go runParallel(st, in, out, ab, reg, workers, &wg)
 		}
 	}
 
@@ -144,7 +159,7 @@ func (p *Pipeline) Run(workers, tokens int,
 	go func() {
 		defer sinkWg.Done()
 		for it := range chans[len(chans)-1] {
-			if !ab.flag.Load() {
+			if !ab.flag.Load() && !reg.Canceled() {
 				sink(it.v)
 				processed++
 			}
@@ -152,9 +167,9 @@ func (p *Pipeline) Run(workers, tokens int,
 		}
 	}()
 
-	// Source: feed until exhausted or aborted.
+	// Source: feed until exhausted, aborted, or canceled.
 	var seq uint64
-	for !ab.flag.Load() {
+	for !ab.flag.Load() && !reg.Canceled() {
 		v, ok := source()
 		if !ok {
 			break
@@ -166,29 +181,50 @@ func (p *Pipeline) Run(workers, tokens int,
 	close(chans[0])
 	wg.Wait()
 	sinkWg.Wait()
-	return processed, ab.err
+	if ab.err != nil {
+		reg.Finish()
+		return processed, ab.err
+	}
+	return processed, reg.Finish()
+}
+
+// apply runs one stage function on one item, translating failures
+// into the run's abort/cancellation state: an error aborts the run, a
+// panic is recorded as a *sched.PanicError and cancels the run, and a
+// canceled run passes items through unprocessed so channels drain.
+func apply(st stage, it item, ab *abort, reg *sched.Region) item {
+	if ab.flag.Load() || reg.Canceled() {
+		return it
+	}
+	var v any
+	var err error
+	panicked := false
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				reg.RecordPanic(r)
+				panicked = true
+			}
+		}()
+		v, err = st.fn(it.v)
+	}()
+	if panicked {
+		return it // PanicError is surfaced through the region
+	}
+	if err != nil {
+		ab.set(fmt.Errorf("pipeline: stage %q: %w", st.name, err))
+		return it
+	}
+	return item{seq: it.seq, v: v}
 }
 
 // runSerial processes items strictly in sequence order, buffering
 // early arrivals from an out-of-order upstream.
-func runSerial(st stage, in <-chan item, out chan<- item, ab *abort, wg *sync.WaitGroup) {
+func runSerial(st stage, in <-chan item, out chan<- item, ab *abort, reg *sched.Region, wg *sync.WaitGroup) {
 	defer wg.Done()
 	defer close(out)
 	next := uint64(0)
 	pending := make(map[uint64]item)
-	emit := func(it item) {
-		if ab.flag.Load() {
-			out <- it
-			return
-		}
-		v, err := st.fn(it.v)
-		if err != nil {
-			ab.set(fmt.Errorf("pipeline: stage %q: %w", st.name, err))
-			out <- it
-			return
-		}
-		out <- item{seq: it.seq, v: v}
-	}
 	for it := range in {
 		pending[it.seq] = it
 		for {
@@ -197,7 +233,7 @@ func runSerial(st stage, in <-chan item, out chan<- item, ab *abort, wg *sync.Wa
 				break
 			}
 			delete(pending, next)
-			emit(nx)
+			out <- apply(st, nx, ab, reg)
 			next++
 		}
 	}
@@ -209,7 +245,7 @@ func runSerial(st stage, in <-chan item, out chan<- item, ab *abort, wg *sync.Wa
 }
 
 // runParallel processes items with a bounded worker group.
-func runParallel(st stage, in <-chan item, out chan<- item, ab *abort, workers int, wg *sync.WaitGroup) {
+func runParallel(st stage, in <-chan item, out chan<- item, ab *abort, reg *sched.Region, workers int, wg *sync.WaitGroup) {
 	defer wg.Done()
 	var inner sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -217,17 +253,7 @@ func runParallel(st stage, in <-chan item, out chan<- item, ab *abort, workers i
 		go func() {
 			defer inner.Done()
 			for it := range in {
-				if ab.flag.Load() {
-					out <- it
-					continue
-				}
-				v, err := st.fn(it.v)
-				if err != nil {
-					ab.set(fmt.Errorf("pipeline: stage %q: %w", st.name, err))
-					out <- it
-					continue
-				}
-				out <- item{seq: it.seq, v: v}
+				out <- apply(st, it, ab, reg)
 			}
 		}()
 	}

@@ -13,6 +13,7 @@ type Ctx struct {
 	pool   *Pool
 	worker *worker
 	frame  *frame
+	reg    *sched.Region
 }
 
 // Pool returns the scheduler this context belongs to.
@@ -22,14 +23,22 @@ func (c *Ctx) Pool() *Pool { return c.pool }
 // in [0, Pool().Workers()). Useful for per-worker reducer views.
 func (c *Ctx) WorkerID() int { return c.worker.id }
 
+// Canceled reports whether the enclosing Run has been canceled — by
+// the context passed to RunCtx or by a panic in another task of the
+// run. Long-running task bodies can poll it to stop early; the
+// scheduler itself checks it at every task and chunk boundary.
+func (c *Ctx) Canceled() bool { return c.reg.Canceled() }
+
 // Spawn schedules fn as a child task of the current one, equivalent to
 // cilk_spawn. The child may run on any worker; the current task
 // continues immediately. Children are joined by Sync, or implicitly
-// when the task returns.
+// when the task returns. The child inherits the Run's cancellation
+// region, so spawning into a canceled run queues tasks that drain
+// without executing.
 func (c *Ctx) Spawn(fn func(*Ctx)) {
 	c.frame.pending.Add(1)
 	c.worker.st.CountSpawn()
-	c.worker.dq.PushBottom(&task{fn: fn, parent: c.frame})
+	c.worker.dq.PushBottom(&task{fn: fn, parent: c.frame, reg: c.reg})
 	if c.pool.parkedCount.Load() > 0 {
 		c.pool.unparkOne()
 	}

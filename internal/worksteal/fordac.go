@@ -43,9 +43,14 @@ func (c *Ctx) ForDAC(lo, hi, grain int, body func(cc *Ctx, l, h int)) {
 }
 
 // forDAC is the splitting loop: spawn the upper half, keep the lower,
-// repeat until the range fits in one grain.
+// repeat until the range fits in one grain. Cancellation is checked
+// before every split and before the leaf body — the chunk boundaries
+// of the divide-and-conquer loop.
 func (c *Ctx) forDAC(lo, hi, grain int, body func(cc *Ctx, l, h int)) {
 	for hi-lo > grain {
+		if c.reg.Canceled() {
+			return
+		}
 		mid := lo + (hi-lo)/2
 		l, h := mid, hi
 		c.Spawn(func(cc *Ctx) {
@@ -53,6 +58,9 @@ func (c *Ctx) forDAC(lo, hi, grain int, body func(cc *Ctx, l, h int)) {
 			// Implicit sync at task return joins nested spawns.
 		})
 		hi = mid
+	}
+	if c.reg.Canceled() {
+		return
 	}
 	body(c, lo, hi)
 }

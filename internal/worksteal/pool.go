@@ -18,6 +18,8 @@
 package worksteal
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -28,11 +30,13 @@ import (
 )
 
 // task is one schedulable unit: a closure plus the frame whose Sync
-// is waiting on it. The task's own frame and context are embedded so
-// that a spawn costs one allocation for the whole record.
+// is waiting on it and the cancellation region of the Run it belongs
+// to. The task's own frame and context are embedded so that a spawn
+// costs one allocation for the whole record.
 type task struct {
 	fn     func(*Ctx)
 	parent *frame
+	reg    *sched.Region
 	own    frame
 	ctx    Ctx
 }
@@ -66,6 +70,11 @@ type worker struct {
 }
 
 // Options configure a Pool.
+//
+// Deprecated: prefer the functional options (WithDequeKind,
+// WithSpinBeforePark). Options remains usable — a literal passed to
+// NewPool still applies wholesale — so existing callers compile
+// unchanged.
 type Options struct {
 	// DequeKind selects the deque implementation for every worker.
 	// The default, deque.KindChaseLev, models Cilk Plus; use
@@ -74,6 +83,30 @@ type Options struct {
 	// SpinBeforePark is how many failed find-work rounds a worker or
 	// a Sync performs before blocking. Zero selects a default.
 	SpinBeforePark int
+}
+
+// Option configures a Pool at construction. The legacy Options struct
+// itself implements Option (applying every field at once), so both
+// NewPool(n, Options{...}) and NewPool(n, WithDequeKind(k)) are valid.
+type Option interface{ applyPool(*Options) }
+
+func (o Options) applyPool(dst *Options) { *dst = o }
+
+type poolOption func(*Options)
+
+func (f poolOption) applyPool(o *Options) { f(o) }
+
+// WithDequeKind selects the deque backend for every worker: the
+// lock-free Chase-Lev deque (Cilk Plus) or the lock-based deque
+// (Intel OpenMP task runtime).
+func WithDequeKind(k deque.Kind) Option {
+	return poolOption(func(o *Options) { o.DequeKind = k })
+}
+
+// WithSpinBeforePark sets how many failed find-work rounds a worker
+// or a Sync performs before blocking.
+func WithSpinBeforePark(n int) Option {
+	return poolOption(func(o *Options) { o.SpinBeforePark = n })
 }
 
 const defaultSpin = 32
@@ -90,16 +123,19 @@ type Pool struct {
 	parkedCount atomic.Int64 // workers currently parked (or about to)
 	closed      atomic.Bool
 
-	panicMu  sync.Mutex
-	panicVal any
-
 	wg sync.WaitGroup
 }
 
 // NewPool starts a scheduler with n workers. n must be at least 1.
-func NewPool(n int, opts Options) *Pool {
+// Options may be given either as functional options or as a legacy
+// Options literal.
+func NewPool(n int, options ...Option) *Pool {
 	if n < 1 {
 		panic("worksteal: pool needs at least 1 worker")
+	}
+	var opts Options
+	for _, o := range options {
+		o.applyPool(&opts)
 	}
 	spin := opts.SpinBeforePark
 	if spin <= 0 {
@@ -152,12 +188,33 @@ func (p *Pool) Close() {
 // re-panics with the first recorded panic value. Multiple Runs may be
 // issued concurrently.
 func (p *Pool) Run(root func(*Ctx)) {
+	if err := p.RunCtx(context.Background(), root); err != nil {
+		var pe *sched.PanicError
+		if errors.As(err, &pe) {
+			panic(fmt.Sprintf("worksteal: task panicked: %v", pe.Value))
+		}
+		panic(fmt.Sprintf("worksteal: run failed: %v", err))
+	}
+}
+
+// RunCtx is Run with cooperative cancellation and structured error
+// propagation. Cancellation (including deadline expiry) is observed
+// at task boundaries and at ForDAC chunk boundaries: in-flight task
+// bodies run to completion, queued tasks are drained without
+// executing their bodies, and the pool remains reusable — concurrent
+// Runs are unaffected, since each Run carries its own cancellation
+// region. The returned error is the first failure: the context's
+// error, or a *sched.PanicError wrapping the first panic recovered
+// from any task of this run (a panic also cancels the run's remaining
+// tasks). A nil return means every task ran to completion.
+func (p *Pool) RunCtx(ctx context.Context, root func(*Ctx)) error {
 	if p.closed.Load() {
 		panic("worksteal: Run on closed pool")
 	}
+	reg := sched.NewRegion(ctx)
 	f := &frame{}
 	f.pending.Store(1)
-	p.inbox.PushBottom(&task{fn: root, parent: f})
+	p.inbox.PushBottom(&task{fn: root, parent: f, reg: reg})
 	p.unparkAll()
 
 	// The submitting goroutine is not a worker, so it cannot help; it
@@ -170,14 +227,7 @@ func (p *Pool) Run(root func(*Ctx)) {
 		}
 		f.waiter.Store(nil)
 	}
-
-	p.panicMu.Lock()
-	pv := p.panicVal
-	p.panicVal = nil
-	p.panicMu.Unlock()
-	if pv != nil {
-		panic(pv)
-	}
+	return reg.Finish()
 }
 
 // queuedWork reports whether any deque or the inbox holds a task.
@@ -210,15 +260,6 @@ func (p *Pool) unparkOne() {
 			return
 		}
 	}
-}
-
-// recordPanic stores the first panic observed by any task.
-func (p *Pool) recordPanic(v any) {
-	p.panicMu.Lock()
-	if p.panicVal == nil {
-		p.panicVal = fmt.Sprintf("worksteal: task panicked: %v", v)
-	}
-	p.panicMu.Unlock()
 }
 
 // loop is the worker main loop: pop own work, else steal, else park.
@@ -290,18 +331,22 @@ func (w *worker) findWork() *task {
 
 // run executes t with its embedded frame, waits for its children (the
 // implicit sync at task return, as in Cilk), and signals the parent.
+// A task whose run has been canceled skips its body but still syncs
+// and signals, so queued work drains and frames resolve.
 func (w *worker) run(t *task) {
 	w.st.CountTask()
-	t.ctx = Ctx{pool: w.pool, worker: w, frame: &t.own}
+	t.ctx = Ctx{pool: w.pool, worker: w, frame: &t.own, reg: t.reg}
 	c := &t.ctx
-	func() {
-		defer func() {
-			if r := recover(); r != nil {
-				w.pool.recordPanic(r)
-			}
+	if !t.reg.Canceled() {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.reg.RecordPanic(r)
+				}
+			}()
+			t.fn(c)
 		}()
-		t.fn(c)
-	}()
+	}
 	c.Sync() // implicit sync: children must not outlive the task
 	t.parent.childDone()
 }

@@ -23,29 +23,64 @@
 // pieces a downstream user needs. Internal packages hold the
 // implementations.
 //
+// Every blocking operation has a context-aware form (ParallelForCtx,
+// TaskRunCtx, Pool.RunCtx, Future.GetCtx, Device.TargetCtx, ...) with
+// cooperative cancellation at chunk/task boundaries, deadline support,
+// and structured first-error propagation: a panic inside a parallel
+// region surfaces as a *threading.PanicError wrapping the recovered
+// value and the panicking goroutine's stack. The legacy forms remain
+// as thin wrappers (context.Background, panic on failure).
+//
 // Quick start:
 //
 //	m, err := threading.NewModel(threading.OMPFor, runtime.GOMAXPROCS(0))
 //	if err != nil { ... }
 //	defer m.Close()
-//	m.ParallelFor(len(data), func(lo, hi int) {
+//	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+//	defer cancel()
+//	if err := m.ParallelForCtx(ctx, len(data), func(lo, hi int) {
 //		for i := lo; i < hi; i++ { data[i] *= 2 }
-//	})
+//	}); err != nil {
+//		var pe *threading.PanicError
+//		switch {
+//		case errors.As(err, &pe): // a chunk panicked; pe.Stack has the trace
+//		case errors.Is(err, context.DeadlineExceeded): // ran out of time
+//		}
+//	}
 package threading
 
 import (
+	"context"
 	"io"
+	"time"
 
 	"threading/internal/core"
+	"threading/internal/deque"
 	"threading/internal/forkjoin"
 	"threading/internal/futures"
 	"threading/internal/harness"
 	"threading/internal/models"
 	"threading/internal/offload"
 	"threading/internal/pipeline"
+	"threading/internal/sched"
 	"threading/internal/workspan"
 	"threading/internal/worksteal"
 )
+
+// PanicError wraps a panic recovered inside a parallel region, task,
+// thread, or kernel: Value is the recovered value, Stack the
+// panicking goroutine's stack. The context-aware entry points return
+// it instead of re-panicking; test with errors.As.
+type PanicError = sched.PanicError
+
+// ErrTasksUnsupported is returned (wrapped with the model's name) by
+// TaskRunCtx on the pure loop models omp_for and cilk_for; test with
+// errors.Is.
+var ErrTasksUnsupported = models.ErrTasksUnsupported
+
+// ErrBrokenPromise is returned by Future.Get when the promise was
+// dropped without a value.
+var ErrBrokenPromise = futures.ErrBrokenPromise
 
 // Model is one threading-model configuration; see internal/models.
 type Model = models.Model
@@ -80,10 +115,48 @@ type Team = forkjoin.Team
 type TeamCtx = forkjoin.Ctx
 
 // TeamOptions configure a Team.
+//
+// Deprecated: prefer the functional options (WithSchedule,
+// WithCentralBarrier, ...). A TeamOptions literal is itself a
+// TeamOption, so existing NewTeam(n, TeamOptions{...}) calls compile
+// unchanged.
 type TeamOptions = forkjoin.Options
 
+// TeamOption configures a Team at construction.
+type TeamOption = forkjoin.Option
+
+// TaskPolicy selects when a Team's explicit task bodies run.
+type TaskPolicy = forkjoin.TaskPolicy
+
+// Task policies for WithTaskPolicy.
+const (
+	TaskDeferred  = forkjoin.TaskDeferred
+	TaskImmediate = forkjoin.TaskImmediate
+)
+
 // NewTeam creates a fork-join team of n members.
-func NewTeam(n int, opts TeamOptions) *Team { return forkjoin.NewTeam(n, opts) }
+func NewTeam(n int, options ...TeamOption) *Team { return forkjoin.NewTeam(n, options...) }
+
+// WithSchedule sets a team's default work-sharing schedule.
+func WithSchedule(s Schedule) TeamOption { return forkjoin.WithSchedule(s) }
+
+// WithCentralBarrier selects the lock-based central barrier (ablation
+// against the default sense-reversing barrier).
+func WithCentralBarrier() TeamOption { return forkjoin.WithCentralBarrier() }
+
+// WithLockFreeTasks backs a team's explicit tasks with lock-free
+// Chase-Lev deques instead of the default lock-based deques.
+func WithLockFreeTasks() TeamOption { return forkjoin.WithLockFreeTasks() }
+
+// WithTaskPolicy selects deferred or immediate task execution.
+func WithTaskPolicy(p TaskPolicy) TeamOption { return forkjoin.WithTaskPolicy(p) }
+
+// WithSpinBeforeYield sets how many find-work failures a draining
+// member tolerates before yielding the processor.
+func WithSpinBeforeYield(n int) TeamOption { return forkjoin.WithSpinBeforeYield(n) }
+
+// Schedule is a work-sharing loop schedule for Team loops.
+type Schedule = forkjoin.Schedule
 
 // Work-sharing loop schedules for Team loops.
 var (
@@ -107,10 +180,36 @@ type Pool = worksteal.Pool
 type PoolCtx = worksteal.Ctx
 
 // PoolOptions configure a Pool.
+//
+// Deprecated: prefer the functional options (WithStealBackend,
+// WithSpinBeforePark). A PoolOptions literal is itself a PoolOption,
+// so existing NewPool(n, PoolOptions{...}) calls compile unchanged.
 type PoolOptions = worksteal.Options
 
+// PoolOption configures a Pool at construction.
+type PoolOption = worksteal.Option
+
+// DequeKind selects a work-stealing deque implementation for
+// WithStealBackend.
+type DequeKind = deque.Kind
+
+// Deque kinds for WithStealBackend.
+const (
+	DequeChaseLev = deque.KindChaseLev
+	DequeLocked   = deque.KindLocked
+)
+
 // NewPool creates a work-stealing pool of n workers.
-func NewPool(n int, opts PoolOptions) *Pool { return worksteal.NewPool(n, opts) }
+func NewPool(n int, options ...PoolOption) *Pool { return worksteal.NewPool(n, options...) }
+
+// WithStealBackend selects the deque implementation workers steal
+// from — lock-free Chase-Lev (the Cilk Plus model) or lock-based (the
+// Intel OpenMP task runtime model).
+func WithStealBackend(k DequeKind) PoolOption { return worksteal.WithDequeKind(k) }
+
+// WithSpinBeforePark sets how many steal failures a worker tolerates
+// before parking.
+func WithSpinBeforePark(n int) PoolOption { return worksteal.WithSpinBeforePark(n) }
 
 // Thread is a C++11-style thread of execution; see internal/futures.
 type Thread = futures.Thread
@@ -162,13 +261,30 @@ func NewPipeline() *Pipeline { return pipeline.New() }
 type Device = offload.Device
 
 // DeviceOptions configure a simulated accelerator.
+//
+// Deprecated: prefer the functional options (WithUnits, WithLatency).
+// A DeviceOptions literal is itself a DeviceOption, so existing
+// NewDevice(name, DeviceOptions{...}) calls compile unchanged.
 type DeviceOptions = offload.Options
+
+// DeviceOption configures a Device at construction.
+type DeviceOption = offload.Option
 
 // NewDevice creates a simulated accelerator for offloading-pattern
 // code (target regions, explicit data movement, streams).
-func NewDevice(name string, opts DeviceOptions) *Device {
-	return offload.NewDevice(name, opts)
+func NewDevice(name string, options ...DeviceOption) *Device {
+	return offload.NewDevice(name, options...)
 }
+
+// WithUnits sets a device's number of compute units.
+func WithUnits(n int) DeviceOption { return offload.WithUnits(n) }
+
+// WithLatency sets a device's simulated interconnect latency, added
+// to every host<->device copy.
+func WithLatency(d time.Duration) DeviceOption { return offload.WithLatency(d) }
+
+// Buffer is a device-resident array in a Device's address space.
+type Buffer = offload.Buffer
 
 // Mapping binds a host slice to OpenMP-style map semantics for a
 // Device.Target region.
@@ -207,6 +323,14 @@ type SuiteConfig = core.SuiteConfig
 // tables to out.
 func RunSuite(cfg SuiteConfig, out io.Writer) ([]*harness.Result, error) {
 	return core.RunSuite(cfg, out)
+}
+
+// RunSuiteCtx is RunSuite with cooperative cancellation: a canceled
+// or expired context aborts the suite at the next measurement
+// boundary, returning the completed results alongside the context's
+// error.
+func RunSuiteCtx(ctx context.Context, cfg SuiteConfig, out io.Writer) ([]*harness.Result, error) {
+	return core.RunSuiteCtx(ctx, cfg, out)
 }
 
 // FeatureReport writes the paper's qualitative comparison tables
