@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench-smoke clean
+.PHONY: all build test race race-sched vet bench-smoke bench-loopdist clean
 
 all: build vet test
 
@@ -13,6 +13,11 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Race-detect just the scheduler hot paths (work stealing, deques,
+# shared sched plumbing) — the focused loop for partitioner work.
+race-sched:
+	$(GO) test -race -count=2 ./internal/worksteal/... ./internal/deque/... ./internal/sched/...
+
 vet:
 	$(GO) vet ./...
 
@@ -20,6 +25,10 @@ vet:
 # harness regression without a full sweep.
 bench-smoke:
 	$(GO) run ./cmd/threadbench -fig fig1,fig5 -threads 1,2 -reps 1 -scale 0.1
+
+# Regenerate the eager-vs-lazy loop-distribution measurements.
+bench-loopdist:
+	$(GO) run ./cmd/loopdist
 
 clean:
 	$(GO) clean ./...

@@ -24,6 +24,7 @@ import (
 	"threading/internal/rodinia/kmeans"
 	"threading/internal/rodinia/pathfinder"
 	"threading/internal/uts"
+	"threading/internal/worksteal"
 )
 
 // benchScale shrinks workloads relative to the threadbench defaults so
@@ -156,6 +157,61 @@ func BenchmarkAblationGrain(b *testing.B) {
 				kernels.Axpy(m, 2.0, x, y)
 			}
 		})
+	}
+}
+
+// BenchmarkLoopDist contrasts the two ForDAC partitioners on the
+// paper's flat data kernels at a distribution-stressing grain: eager
+// decomposition pre-spawns every chunk (n/grain tasks per loop, each
+// reaching an idle worker only through a steal), while lazy splitting
+// forks work off only when another worker signals demand. The gap
+// between the two is the adaptive-distribution win; cmd/loopdist
+// records it to BENCH_loopdist.json.
+func BenchmarkLoopDist(b *testing.B) {
+	const (
+		vecN  = 1 << 18
+		matN  = 384 // matvec dimension
+		mulN  = 96  // matmul dimension
+		grain = 64  // distribution stress: vecN/grain eager spawns
+	)
+	x := kernels.RandomVector(vecN, 11)
+	y := kernels.RandomVector(vecN, 12)
+	mva := kernels.RandomVector(matN*matN, 13)
+	mvx := kernels.RandomVector(matN, 14)
+	mvy := make([]float64, matN)
+	mma := kernels.RandomVector(mulN*mulN, 15)
+	mmb := kernels.RandomVector(mulN*mulN, 16)
+	mmc := make([]float64, mulN*mulN)
+
+	parts := []struct {
+		name string
+		p    worksteal.Partitioner
+	}{
+		{"eager", worksteal.Eager},
+		{"lazy", worksteal.Lazy},
+	}
+	kernelsToRun := []struct {
+		name string
+		run  func(m models.Model)
+	}{
+		{"Axpy", func(m models.Model) { kernels.Axpy(m, 2.0, x, y) }},
+		{"Sum", func(m models.Model) { kernels.Sum(m, 2.0, x) }},
+		{"Matvec", func(m models.Model) { kernels.Matvec(m, mva, mvx, mvy, matN) }},
+		{"Matmul", func(m models.Model) { kernels.Matmul(m, mma, mmb, mmc, mulN) }},
+	}
+	for _, k := range kernelsToRun {
+		k := k
+		for _, part := range parts {
+			part := part
+			b.Run(k.name+"/"+part.name, func(b *testing.B) {
+				m := models.NewCilkForGrainPartitioner(benchThreads, grain, part.p)
+				defer m.Close()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					k.run(m)
+				}
+			})
+		}
 	}
 }
 

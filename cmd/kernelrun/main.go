@@ -7,6 +7,7 @@
 //
 //	kernelrun -app axpy|sum|matvec|matmul|fib|bfs|hotspot|lud|lavamd|srad
 //	          [-model cilk_for] [-threads N] [-scale 1.0] [-reps 3]
+//	          [-partitioner eager|lazy]
 package main
 
 import (
@@ -19,6 +20,7 @@ import (
 	"threading/internal/harness"
 	"threading/internal/models"
 	"threading/internal/stats"
+	"threading/internal/worksteal"
 )
 
 // appToFig maps application names to their experiment IDs.
@@ -42,8 +44,15 @@ func main() {
 		threads = flag.Int("threads", runtime.GOMAXPROCS(0), "degree of parallelism")
 		scale   = flag.Float64("scale", 1.0, "workload scale factor")
 		reps    = flag.Int("reps", 3, "timed repetitions")
+		partStr = flag.String("partitioner", "eager", "loop partitioner for work-stealing models: eager (paper-faithful) or lazy")
 	)
 	flag.Parse()
+
+	part, err := worksteal.ParsePartitioner(*partStr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "kernelrun: %v\n", err)
+		os.Exit(2)
+	}
 
 	figID, ok := appToFig[*app]
 	if !ok {
@@ -70,7 +79,7 @@ func main() {
 	w := e.Prepare(*scale)
 	fmt.Printf("%s under %s, %d threads — %s\n", *app, *model, *threads, w.Desc)
 
-	m, err := models.New(*model, *threads)
+	m, err := models.New(*model, *threads, models.WithPartitioner(part))
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "kernelrun: %v\n", err)
 		os.Exit(1)
@@ -108,6 +117,9 @@ func main() {
 		fmt.Printf("  parks:          %d\n", s.Parks)
 		fmt.Printf("  barrier waits:  %d\n", s.BarrierWaits)
 		fmt.Printf("  loop chunks:    %d\n", s.LoopChunks)
+		fmt.Printf("  lazy splits:    %d\n", s.LazySplits)
+		fmt.Printf("  batch steals:   %d (%d tasks)\n", s.BatchSteals, s.BatchStolen)
+		fmt.Printf("  help-first:     %d\n", s.HelpFirstTasks)
 	} else {
 		fmt.Println("scheduler counters: none (model has no persistent runtime)")
 	}

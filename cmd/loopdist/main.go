@@ -1,0 +1,159 @@
+// Command loopdist measures the adaptive work-distribution win: it
+// runs the paper's flat data kernels under cilk_for with the eager
+// (paper-faithful) and lazy (demand-driven) partitioners and records
+// per-kernel minimum times plus the lazy-over-eager speedup to a JSON
+// file.
+//
+// Usage:
+//
+//	loopdist [-threads N] [-reps 5] [-grain 64] [-out BENCH_loopdist.json]
+//
+// Each kernel runs at two grains: the distribution-stressing -grain
+// (many eager chunks, the regime where lazy splitting pays off) and
+// grain 0, the cilk_for default heuristic min(2048, ceil(n/8p)).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"threading/internal/kernels"
+	"threading/internal/models"
+	"threading/internal/worksteal"
+)
+
+// row is one (kernel, grain) measurement pair.
+type row struct {
+	Kernel     string `json:"kernel"`
+	N          int    `json:"n"`
+	Grain      int    `json:"grain"` // 0 = default heuristic
+	EagerMinNs int64  `json:"eager_min_ns"`
+	LazyMinNs  int64  `json:"lazy_min_ns"`
+	// Speedup is eager/lazy time: >1 means lazy wins.
+	Speedup float64 `json:"speedup"`
+	// EagerSpawns/LazySplits show why: tasks created per timed run.
+	EagerSpawns int64 `json:"eager_spawns_per_run"`
+	LazySplits  int64 `json:"lazy_splits_per_run"`
+}
+
+// report is the file schema.
+type report struct {
+	Tool       string `json:"tool"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+	Workers    int    `json:"workers"`
+	Reps       int    `json:"reps"`
+	Rows       []row  `json:"rows"`
+}
+
+func main() {
+	var (
+		threads = flag.Int("threads", runtime.GOMAXPROCS(0), "work-stealing pool size")
+		reps    = flag.Int("reps", 5, "timed repetitions per cell (minimum is reported)")
+		grain   = flag.Int("grain", 64, "distribution-stressing grain size")
+		out     = flag.String("out", "BENCH_loopdist.json", "output JSON path")
+	)
+	flag.Parse()
+
+	const (
+		vecN = 1 << 18
+		matN = 384
+		mulN = 96
+	)
+	x := kernels.RandomVector(vecN, 11)
+	y := kernels.RandomVector(vecN, 12)
+	mva := kernels.RandomVector(matN*matN, 13)
+	mvx := kernels.RandomVector(matN, 14)
+	mvy := make([]float64, matN)
+	mma := kernels.RandomVector(mulN*mulN, 15)
+	mmb := kernels.RandomVector(mulN*mulN, 16)
+	mmc := make([]float64, mulN*mulN)
+
+	kernelSet := []struct {
+		name string
+		n    int
+		run  func(m models.Model)
+	}{
+		{"axpy", vecN, func(m models.Model) { kernels.Axpy(m, 2.0, x, y) }},
+		{"sum", vecN, func(m models.Model) { kernels.Sum(m, 2.0, x) }},
+		{"matvec", matN, func(m models.Model) { kernels.Matvec(m, mva, mvx, mvy, matN) }},
+		{"matmul", mulN, func(m models.Model) { kernels.Matmul(m, mma, mmb, mmc, mulN) }},
+	}
+
+	rep := report{
+		Tool:       "cmd/loopdist",
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Workers:    *threads,
+		Reps:       *reps,
+	}
+	for _, k := range kernelSet {
+		for _, g := range []int{*grain, 0} {
+			eagerNs, eagerSpawns := measure(*threads, g, worksteal.Eager, *reps, k.run)
+			lazyNs, lazySplits := measure(*threads, g, worksteal.Lazy, *reps, k.run)
+			r := row{
+				Kernel:      k.name,
+				N:           k.n,
+				Grain:       g,
+				EagerMinNs:  eagerNs,
+				LazyMinNs:   lazyNs,
+				EagerSpawns: eagerSpawns,
+				LazySplits:  lazySplits,
+			}
+			if lazyNs > 0 {
+				r.Speedup = float64(eagerNs) / float64(lazyNs)
+			}
+			rep.Rows = append(rep.Rows, r)
+			fmt.Printf("%-8s grain=%-7s eager=%-12v lazy=%-12v lazy speedup=%.2fx\n",
+				k.name, grainName(g), time.Duration(eagerNs), time.Duration(lazyNs), r.Speedup)
+		}
+	}
+
+	data, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "loopdist: %v\n", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "loopdist: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}
+
+// measure times reps runs of run under a fresh cilk_for model with the
+// given grain and partitioner, returning the minimum wall time and the
+// per-run task-creation counter (spawns for eager, splits for lazy).
+func measure(threads, grain int, part worksteal.Partitioner, reps int,
+	run func(m models.Model)) (minNs, created int64) {
+
+	m := models.NewCilkForGrainPartitioner(threads, grain, part)
+	defer m.Close()
+	run(m) // warm-up
+	m.ResetSchedulerStats()
+	for r := 0; r < reps; r++ {
+		start := time.Now()
+		run(m)
+		if ns := time.Since(start).Nanoseconds(); minNs == 0 || ns < minNs {
+			minNs = ns
+		}
+	}
+	if s, ok := m.SchedulerStats(); ok {
+		if part == worksteal.Lazy {
+			created = s.LazySplits / int64(reps)
+		} else {
+			created = s.Spawns / int64(reps)
+		}
+	}
+	return minNs, created
+}
+
+func grainName(g int) string {
+	if g == 0 {
+		return "default"
+	}
+	return fmt.Sprint(g)
+}

@@ -8,11 +8,17 @@
 // Usage:
 //
 //	threadbench [-fig fig1,fig5] [-threads 1,2,4] [-reps 3]
-//	            [-scale 1.0] [-verify] [-csv] [-list]
+//	            [-scale 1.0] [-partitioner eager|lazy] [-stats]
+//	            [-verify] [-csv] [-list]
 //
 // With no -fig, all ten experiments run. -scale shrinks or grows the
 // workloads relative to the laptop-scale defaults (the paper's sizes
 // correspond to roughly -scale 12 for the vector kernels).
+// -partitioner selects how the work-stealing models decompose loops:
+// "eager" (default) is the paper-faithful cilk_for decomposition and
+// must be used when reproducing the figures; "lazy" enables
+// demand-driven splitting. -stats appends per-cell scheduler counters
+// to the tables.
 package main
 
 import (
@@ -28,6 +34,7 @@ import (
 
 	"threading/internal/core"
 	"threading/internal/harness"
+	"threading/internal/worksteal"
 )
 
 func main() {
@@ -36,11 +43,19 @@ func main() {
 		threads = flag.String("threads", "", "comma-separated thread counts; empty = 1,2,4,... up to 2*GOMAXPROCS")
 		reps    = flag.Int("reps", 3, "timed repetitions per cell (minimum is reported)")
 		scale   = flag.Float64("scale", 1.0, "workload scale factor")
+		partStr = flag.String("partitioner", "eager", "loop partitioner for work-stealing models: eager (paper-faithful) or lazy")
+		stat    = flag.Bool("stats", false, "append per-cell scheduler counters to the tables")
 		verify  = flag.Bool("verify", false, "verify each model against the sequential reference before timing")
 		csv     = flag.Bool("csv", false, "emit CSV instead of tables")
 		list    = flag.Bool("list", false, "list experiments and exit")
 	)
 	flag.Parse()
+
+	part, err := worksteal.ParsePartitioner(*partStr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "threadbench: %v\n", err)
+		os.Exit(2)
+	}
 
 	if *list {
 		for _, id := range harness.IDs() {
@@ -51,10 +66,12 @@ func main() {
 	}
 
 	cfg := core.SuiteConfig{
-		Reps:   *reps,
-		Scale:  *scale,
-		Verify: *verify,
-		CSV:    *csv,
+		Reps:        *reps,
+		Scale:       *scale,
+		Verify:      *verify,
+		Partitioner: part,
+		Stats:       *stat,
+		CSV:         *csv,
 	}
 	if *figs != "" {
 		cfg.Experiments = strings.Split(*figs, ",")

@@ -17,6 +17,7 @@ import (
 	"threading/internal/features"
 	"threading/internal/harness"
 	"threading/internal/models"
+	"threading/internal/worksteal"
 )
 
 // SuiteConfig selects what RunSuite executes.
@@ -30,6 +31,13 @@ type SuiteConfig struct {
 	Reps    int
 	Scale   float64
 	Verify  bool
+	// Partitioner selects the loop partitioner for the work-stealing
+	// models (see harness.Config.Partitioner). Leave at the zero
+	// value, worksteal.Eager, to reproduce the paper's figures.
+	Partitioner worksteal.Partitioner
+	// Stats appends per-cell scheduler counters to each experiment's
+	// table output (ignored for CSV).
+	Stats bool
 	// CSV switches output from human-readable tables to CSV.
 	CSV bool
 }
@@ -58,10 +66,12 @@ func RunSuiteCtx(ctx context.Context, cfg SuiteConfig, out io.Writer) ([]*harnes
 		}
 		start := time.Now()
 		res, err := harness.RunCtx(ctx, e, harness.Config{
-			Threads: cfg.Threads,
-			Reps:    cfg.Reps,
-			Scale:   cfg.Scale,
-			Verify:  cfg.Verify,
+			Threads:     cfg.Threads,
+			Reps:        cfg.Reps,
+			Scale:       cfg.Scale,
+			Verify:      cfg.Verify,
+			Partitioner: cfg.Partitioner,
+			Stats:       cfg.Stats,
 		})
 		if err != nil {
 			return results, err
@@ -70,6 +80,7 @@ func RunSuiteCtx(ctx context.Context, cfg SuiteConfig, out io.Writer) ([]*harnes
 			res.RenderCSV(out)
 		} else {
 			res.Render(out)
+			res.RenderStats(out)
 			fmt.Fprintf(out, "(experiment wall time: %v)\n\n", time.Since(start).Round(time.Millisecond))
 		}
 		results = append(results, res)

@@ -108,6 +108,39 @@ func (d *ChaseLev[T]) Steal() *T {
 	return v
 }
 
+// StealHalf removes up to half of the queued elements from the top
+// into buf. A single-CAS multi-element steal is unsound on a pure
+// Chase-Lev deque (the owner pops non-last elements without
+// synchronizing against top, so a batch reservation can overlap pops
+// that already happened), so each element is taken with its own top
+// CAS — exactly the proven Steal step. The batch still amortizes the
+// expensive part of stealing: victim selection, the cache miss on the
+// victim's descriptor, and the wake-up of further thieves happen once
+// per visit instead of once per task. The run stops at the first lost
+// race.
+func (d *ChaseLev[T]) StealHalf(buf []*T) int {
+	t := d.top.Load()
+	b := d.bottom.Load()
+	avail := b - t
+	if avail <= 0 {
+		return 0
+	}
+	want := int((avail + 1) / 2)
+	if want > len(buf) {
+		want = len(buf)
+	}
+	n := 0
+	for n < want {
+		v := d.Steal()
+		if v == nil {
+			break
+		}
+		buf[n] = v
+		n++
+	}
+	return n
+}
+
 // Len reports the approximate number of queued elements.
 func (d *ChaseLev[T]) Len() int {
 	n := d.bottom.Load() - d.top.Load()

@@ -32,6 +32,21 @@ type Deque[T any] interface {
 	// Steal removes and returns the oldest element, or nil if the
 	// deque is empty or the steal lost a race. Any worker may call it.
 	Steal() *T
+	// StealHalf removes up to half of the queued elements (rounded up,
+	// so a single element is still stealable) from the top, oldest
+	// first, stores them into buf, and returns how many were taken —
+	// never more than len(buf). Zero means the deque was (or appeared)
+	// empty, or the steal lost a race. Any worker may call it.
+	//
+	// Batch stealing is what lets a thief migrate half a victim's loop
+	// chunks in one visit instead of re-running the victim-selection
+	// protocol once per task — the steal-serialization the reproduced
+	// paper blames for cilk_for's flat-loop losses. The Locked backend
+	// migrates the whole batch under a single lock acquisition; the
+	// Chase-Lev backend pays one top CAS per element (each individually
+	// linearizable, so no element is ever lost or duplicated) but still
+	// amortizes the visit.
+	StealHalf(buf []*T) int
 	// Len reports the approximate number of elements. It is only a
 	// snapshot: concurrent operations may change it immediately.
 	Len() int

@@ -258,6 +258,154 @@ func TestConcurrentSteal(t *testing.T) {
 	}
 }
 
+func TestStealHalfSequential(t *testing.T) {
+	for _, k := range kinds {
+		d := New[int](k)
+		vals := make([]int, 10)
+		for i := range vals {
+			vals[i] = i
+			d.PushBottom(&vals[i])
+		}
+		buf := make([]*int, 16)
+		// Half of 10 is 5, oldest first.
+		if n := d.StealHalf(buf); n != 5 {
+			t.Fatalf("%v: StealHalf took %d, want 5", k, n)
+		}
+		for i := 0; i < 5; i++ {
+			if *buf[i] != i {
+				t.Fatalf("%v: buf[%d] = %d, want %d", k, i, *buf[i], i)
+			}
+		}
+		// 5 remain; half rounded up is 3.
+		if n := d.StealHalf(buf); n != 3 {
+			t.Fatalf("%v: second StealHalf took %d, want 3", k, n)
+		}
+		// A short buffer caps the batch.
+		if n := d.StealHalf(buf[:1]); n != 1 {
+			t.Fatalf("%v: capped StealHalf took %d, want 1", k, n)
+		}
+		// One element left: half rounds up, so it is stealable.
+		if n := d.StealHalf(buf); n != 1 {
+			t.Fatalf("%v: last StealHalf took %d, want 1", k, n)
+		}
+		if n := d.StealHalf(buf); n != 0 {
+			t.Fatalf("%v: StealHalf on empty took %d, want 0", k, n)
+		}
+	}
+}
+
+func TestStealHalfQuickSequential(t *testing.T) {
+	for _, k := range kinds {
+		k := k
+		check := func(ops []uint8) bool {
+			d := New[int](k)
+			var model []int
+			next := 0
+			vals := make([]int, 0, len(ops))
+			buf := make([]*int, 4)
+			for _, op := range ops {
+				switch op % 3 {
+				case 0, 1: // push twice as often as batch-steal
+					vals = append(vals, next)
+					d.PushBottom(&vals[len(vals)-1])
+					model = append(model, next)
+					next++
+				case 2:
+					n := d.StealHalf(buf)
+					want := (len(model) + 1) / 2
+					if want > len(buf) {
+						want = len(buf)
+					}
+					if n != want {
+						return false
+					}
+					for i := 0; i < n; i++ {
+						if *buf[i] != model[i] {
+							return false
+						}
+					}
+					model = model[n:]
+				}
+			}
+			return d.Len() == len(model)
+		}
+		if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+			t.Errorf("%v: %v", k, err)
+		}
+	}
+}
+
+// TestConcurrentStealHalf runs one owner (pushing and popping) against
+// thieves that mix single and batch steals, and verifies every element
+// is consumed exactly once — the no-loss/no-duplication property the
+// scheduler relies on.
+func TestConcurrentStealHalf(t *testing.T) {
+	for _, k := range kinds {
+		k := k
+		t.Run(k.String(), func(t *testing.T) {
+			const (
+				n       = 100000
+				thieves = 4
+			)
+			d := New[int](k)
+			consumed := make([]atomic.Int32, n)
+			var done atomic.Bool
+			var wg sync.WaitGroup
+			for i := 0; i < thieves; i++ {
+				i := i
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					buf := make([]*int, 8)
+					take := func() bool {
+						if i%2 == 0 {
+							m := d.StealHalf(buf)
+							for j := 0; j < m; j++ {
+								consumed[*buf[j]].Add(1)
+							}
+							return m > 0
+						}
+						if v := d.Steal(); v != nil {
+							consumed[*v].Add(1)
+							return true
+						}
+						return false
+					}
+					for !done.Load() {
+						take()
+					}
+					for take() {
+					}
+				}()
+			}
+			vals := make([]int, n)
+			for i := 0; i < n; i++ {
+				vals[i] = i
+				d.PushBottom(&vals[i])
+				if i%7 == 0 {
+					if v := d.PopBottom(); v != nil {
+						consumed[*v].Add(1)
+					}
+				}
+			}
+			for {
+				v := d.PopBottom()
+				if v == nil {
+					break
+				}
+				consumed[*v].Add(1)
+			}
+			done.Store(true)
+			wg.Wait()
+			for i := range consumed {
+				if c := consumed[i].Load(); c != 1 {
+					t.Fatalf("element %d consumed %d times", i, c)
+				}
+			}
+		})
+	}
+}
+
 func BenchmarkPushPop(b *testing.B) {
 	for _, k := range kinds {
 		b.Run(k.String(), func(b *testing.B) {

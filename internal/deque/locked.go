@@ -55,6 +55,25 @@ func (d *Locked[T]) Steal() *T {
 	return v
 }
 
+// StealHalf removes up to half of the queued elements (rounded up)
+// from the top into buf under a single lock acquisition — one
+// serialization point for the whole batch, where per-element Steal
+// calls would contend with the owner once per task.
+func (d *Locked[T]) StealHalf(buf []*T) int {
+	d.mu.Lock()
+	n := (len(d.items) + 1) / 2
+	if n > len(buf) {
+		n = len(buf)
+	}
+	for i := 0; i < n; i++ {
+		buf[i] = d.items[i]
+		d.items[i] = nil
+	}
+	d.items = d.items[n:]
+	d.mu.Unlock()
+	return n
+}
+
 // Len reports the current number of queued elements.
 func (d *Locked[T]) Len() int {
 	d.mu.Lock()

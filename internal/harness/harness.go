@@ -14,7 +14,9 @@ import (
 	"time"
 
 	"threading/internal/models"
+	"threading/internal/sched"
 	"threading/internal/stats"
+	"threading/internal/worksteal"
 )
 
 // Workload is one prepared experiment instance.
@@ -58,6 +60,15 @@ type Config struct {
 	Scale float64
 	// Verify runs each model's correctness check before timing.
 	Verify bool
+	// Partitioner selects the loop partitioner for the work-stealing
+	// models. The zero value, worksteal.Eager, is the paper-faithful
+	// decomposition and must be used when reproducing the paper's
+	// figures; worksteal.Lazy enables demand-driven splitting.
+	Partitioner worksteal.Partitioner
+	// Stats collects per-cell scheduler counters (for models whose
+	// runtime records them), reset after each warm-up so the numbers
+	// cover exactly the timed repetitions.
+	Stats bool
 }
 
 // DefaultThreads returns the default sweep {1, 2, 4, ...} up to twice
@@ -94,12 +105,17 @@ type Cell struct {
 
 // Result is the outcome of one experiment run.
 type Result struct {
-	Experiment *Experiment
-	Desc       string
-	SeqTime    time.Duration
-	Threads    []int
-	Models     []string
-	Cells      map[string]map[int]stats.Sample
+	Experiment  *Experiment
+	Desc        string
+	SeqTime     time.Duration
+	Threads     []int
+	Models      []string
+	Partitioner worksteal.Partitioner
+	Cells       map[string]map[int]stats.Sample
+	// Sched holds per-cell scheduler counters, present only when the
+	// run was configured with Stats and the model's runtime collects
+	// them.
+	Sched map[string]map[int]sched.Snapshot
 }
 
 // Run executes the experiment under cfg.
@@ -129,12 +145,16 @@ func RunCtx(ctx context.Context, e *Experiment, cfg Config) (*Result, error) {
 	seq := stats.Summarize(seqTimes).Min
 
 	res := &Result{
-		Experiment: e,
-		Desc:       w.Desc,
-		SeqTime:    seq,
-		Threads:    cfg.Threads,
-		Models:     e.Models,
-		Cells:      make(map[string]map[int]stats.Sample),
+		Experiment:  e,
+		Desc:        w.Desc,
+		SeqTime:     seq,
+		Threads:     cfg.Threads,
+		Models:      e.Models,
+		Partitioner: cfg.Partitioner,
+		Cells:       make(map[string]map[int]stats.Sample),
+	}
+	if cfg.Stats {
+		res.Sched = make(map[string]map[int]sched.Snapshot)
 	}
 	for _, name := range e.Models {
 		res.Cells[name] = make(map[int]stats.Sample)
@@ -142,7 +162,7 @@ func RunCtx(ctx context.Context, e *Experiment, cfg Config) (*Result, error) {
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
-			m, err := models.New(name, threads)
+			m, err := models.New(name, threads, models.WithPartitioner(cfg.Partitioner))
 			if err != nil {
 				return nil, err
 			}
@@ -153,6 +173,7 @@ func RunCtx(ctx context.Context, e *Experiment, cfg Config) (*Result, error) {
 				}
 			}
 			w.Run(m) // warm-up, untimed
+			m.ResetSchedulerStats()
 			var ts []time.Duration
 			for r := 0; r < cfg.Reps; r++ {
 				if err := ctx.Err(); err != nil {
@@ -162,6 +183,14 @@ func RunCtx(ctx context.Context, e *Experiment, cfg Config) (*Result, error) {
 				start := time.Now()
 				w.Run(m)
 				ts = append(ts, time.Since(start))
+			}
+			if cfg.Stats {
+				if snap, ok := m.SchedulerStats(); ok {
+					if res.Sched[name] == nil {
+						res.Sched[name] = make(map[int]sched.Snapshot)
+					}
+					res.Sched[name][threads] = snap
+				}
 			}
 			m.Close()
 			res.Cells[name][threads] = stats.Summarize(ts)
@@ -177,6 +206,9 @@ func (r *Result) Render(w io.Writer) {
 	fmt.Fprintf(w, "== %s: %s ==\n", r.Experiment.ID, r.Experiment.Title)
 	fmt.Fprintf(w, "workload: %s\n", r.Desc)
 	fmt.Fprintf(w, "paper:    %s\n", r.Experiment.Finding)
+	if r.Partitioner != worksteal.Eager {
+		fmt.Fprintf(w, "partitioner: %s (NOT paper-faithful; use eager to reproduce figures)\n", r.Partitioner)
+	}
 	fmt.Fprintf(w, "sequential reference: %v\n\n", r.SeqTime)
 
 	fmt.Fprintf(w, "execution time (min of reps):\n")
@@ -209,17 +241,46 @@ func (r *Result) Render(w io.Writer) {
 	fmt.Fprintln(w)
 }
 
+// RenderStats writes the per-cell scheduler counters collected when
+// the run was configured with Config.Stats. Cells whose model runtime
+// does not record counters are omitted; with no counters at all it
+// writes nothing.
+func (r *Result) RenderStats(w io.Writer) {
+	if len(r.Sched) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "scheduler counters (timed reps only):\n")
+	fmt.Fprintf(w, "%-12s %-8s %10s %10s %10s %10s %10s %10s %10s\n",
+		"model", "threads", "tasks", "steals", "failed", "lazysplit", "bsteals", "bstolen", "helpfirst")
+	for _, m := range r.Models {
+		cells, ok := r.Sched[m]
+		if !ok {
+			continue
+		}
+		for _, t := range r.Threads {
+			s, ok := cells[t]
+			if !ok {
+				continue
+			}
+			fmt.Fprintf(w, "%-12s %-8d %10d %10d %10d %10d %10d %10d %10d\n",
+				m, t, s.TasksExecuted, s.Steals, s.FailedSteals,
+				s.LazySplits, s.BatchSteals, s.BatchStolen, s.HelpFirstTasks)
+		}
+	}
+	fmt.Fprintln(w)
+}
+
 // RenderCSV writes the result as CSV rows:
-// experiment,model,threads,reps,min_ns,mean_ns,median_ns,speedup.
+// experiment,model,threads,reps,min_ns,mean_ns,median_ns,speedup,partitioner.
 func (r *Result) RenderCSV(w io.Writer) {
-	fmt.Fprintln(w, "experiment,model,threads,reps,min_ns,mean_ns,median_ns,speedup")
+	fmt.Fprintln(w, "experiment,model,threads,reps,min_ns,mean_ns,median_ns,speedup,partitioner")
 	for _, m := range r.Models {
 		for _, t := range r.Threads {
 			s := r.Cells[m][t]
-			fmt.Fprintf(w, "%s,%s,%d,%d,%d,%d,%d,%.3f\n",
+			fmt.Fprintf(w, "%s,%s,%d,%d,%d,%d,%d,%.3f,%s\n",
 				r.Experiment.ID, m, t, s.N,
 				s.Min.Nanoseconds(), s.Mean.Nanoseconds(), s.Median.Nanoseconds(),
-				stats.Speedup(r.SeqTime, s.Min))
+				stats.Speedup(r.SeqTime, s.Min), r.Partitioner)
 		}
 	}
 }

@@ -21,11 +21,22 @@ type cilkFor struct {
 }
 
 // NewCilkFor returns the cilk_for model with the default grain
-// heuristic min(2048, ceil(n/8p)).
+// heuristic min(2048, ceil(n/8p)) and the paper-faithful eager
+// partitioner.
 func NewCilkFor(threads int) Model {
+	return NewCilkForPartitioner(threads, worksteal.Eager)
+}
+
+// NewCilkForPartitioner returns a cilk_for model whose loops are
+// decomposed by the given partitioner — worksteal.Eager for the
+// paper's up-front divide-and-conquer, worksteal.Lazy for
+// demand-driven splitting.
+func NewCilkForPartitioner(threads int, part worksteal.Partitioner) Model {
 	return &cilkFor{
-		pool: worksteal.NewPool(threads, worksteal.Options{DequeKind: deque.KindChaseLev}),
-		n:    threads,
+		pool: worksteal.NewPool(threads,
+			worksteal.WithDequeKind(deque.KindChaseLev),
+			worksteal.WithPartitioner(part)),
+		n: threads,
 	}
 }
 
@@ -33,6 +44,16 @@ func NewCilkFor(threads int) Model {
 // for the grain-size ablation benchmark.
 func NewCilkForGrain(threads, grain int) Model {
 	m := NewCilkFor(threads).(*cilkFor)
+	m.grain = grain
+	return m
+}
+
+// NewCilkForGrainPartitioner returns a cilk_for model with both a
+// fixed grain size and a partitioner — the configuration surface of
+// the loop-distribution benchmark, which contrasts eager and lazy
+// decomposition at a distribution-stressing grain.
+func NewCilkForGrainPartitioner(threads, grain int, part worksteal.Partitioner) Model {
+	m := NewCilkForPartitioner(threads, part).(*cilkFor)
 	m.grain = grain
 	return m
 }
@@ -103,9 +124,20 @@ type cilkSpawn struct {
 
 // NewCilkSpawn returns the cilk_spawn model.
 func NewCilkSpawn(threads int) Model {
+	return NewCilkSpawnPartitioner(threads, worksteal.Eager)
+}
+
+// NewCilkSpawnPartitioner returns a cilk_spawn model whose pool is
+// configured with the given partitioner. The model's own flat loops
+// use manual chunked spawns, so the partitioner only affects task
+// bodies that call back into ForDAC-based helpers; it is accepted here
+// so a harness can configure every work-stealing model uniformly.
+func NewCilkSpawnPartitioner(threads int, part worksteal.Partitioner) Model {
 	return &cilkSpawn{
-		pool: worksteal.NewPool(threads, worksteal.Options{DequeKind: deque.KindChaseLev}),
-		n:    threads,
+		pool: worksteal.NewPool(threads,
+			worksteal.WithDequeKind(deque.KindChaseLev),
+			worksteal.WithPartitioner(part)),
+		n: threads,
 	}
 }
 

@@ -22,6 +22,7 @@ import (
 	"sort"
 
 	"threading/internal/sched"
+	"threading/internal/worksteal"
 )
 
 // ErrTasksUnsupported is returned (wrapped with the model's name) by
@@ -118,14 +119,33 @@ const (
 	CPPAsync  = "cpp_async"
 )
 
+// Option configures optional, model-independent construction knobs.
+// Models that a knob does not apply to simply ignore it, so a harness
+// can pass the same options to every model name uniformly.
+type Option func(*config)
+
+// config collects the resolved Option values.
+type config struct {
+	partitioner worksteal.Partitioner
+}
+
+// WithPartitioner selects the loop partitioner used by the
+// work-stealing models (cilk_for, cilk_spawn). The zero value is
+// worksteal.Eager, the paper-faithful divide-and-conquer
+// decomposition; worksteal.Lazy enables demand-driven splitting. The
+// other four models ignore this option.
+func WithPartitioner(p worksteal.Partitioner) Option {
+	return func(c *config) { c.partitioner = p }
+}
+
 // factories maps model names to constructors.
-var factories = map[string]func(threads int) Model{
-	OMPFor:    func(t int) Model { return NewOMPFor(t) },
-	OMPTask:   func(t int) Model { return NewOMPTask(t) },
-	CilkFor:   func(t int) Model { return NewCilkFor(t) },
-	CilkSpawn: func(t int) Model { return NewCilkSpawn(t) },
-	CPPThread: func(t int) Model { return NewCPPThread(t) },
-	CPPAsync:  func(t int) Model { return NewCPPAsync(t) },
+var factories = map[string]func(threads int, cfg config) Model{
+	OMPFor:    func(t int, _ config) Model { return NewOMPFor(t) },
+	OMPTask:   func(t int, _ config) Model { return NewOMPTask(t) },
+	CilkFor:   func(t int, cfg config) Model { return NewCilkForPartitioner(t, cfg.partitioner) },
+	CilkSpawn: func(t int, cfg config) Model { return NewCilkSpawnPartitioner(t, cfg.partitioner) },
+	CPPThread: func(t int, _ config) Model { return NewCPPThread(t) },
+	CPPAsync:  func(t int, _ config) Model { return NewCPPAsync(t) },
 }
 
 // Names returns all model names in a stable order.
@@ -149,8 +169,9 @@ func TaskNames() []string {
 	return []string{OMPTask, CilkSpawn, CPPThread, CPPAsync}
 }
 
-// New constructs the named model with the given thread count.
-func New(name string, threads int) (Model, error) {
+// New constructs the named model with the given thread count and
+// options.
+func New(name string, threads int, opts ...Option) (Model, error) {
 	f, ok := factories[name]
 	if !ok {
 		return nil, fmt.Errorf("models: unknown model %q (have %v)", name, Names())
@@ -158,12 +179,16 @@ func New(name string, threads int) (Model, error) {
 	if threads < 1 {
 		return nil, fmt.Errorf("models: thread count %d < 1", threads)
 	}
-	return f(threads), nil
+	var cfg config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return f(threads, cfg), nil
 }
 
 // MustNew is New, panicking on error. For tests and benchmarks.
-func MustNew(name string, threads int) Model {
-	m, err := New(name, threads)
+func MustNew(name string, threads int, opts ...Option) Model {
+	m, err := New(name, threads, opts...)
 	if err != nil {
 		panic(err)
 	}

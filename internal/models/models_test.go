@@ -7,6 +7,7 @@ import (
 
 	"threading/internal/deque"
 	"threading/internal/forkjoin"
+	"threading/internal/worksteal"
 )
 
 func TestNamesStable(t *testing.T) {
@@ -60,6 +61,31 @@ func TestChunkFor(t *testing.T) {
 	}
 	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestWithPartitioner builds every model with the lazy partitioner —
+// models it does not apply to must ignore it — and checks a reduction
+// stays correct under it.
+func TestWithPartitioner(t *testing.T) {
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			m := MustNew(name, 3, WithPartitioner(worksteal.Lazy))
+			defer m.Close()
+			const n = 10000
+			got := m.ParallelReduce(n, 0,
+				func(lo, hi int, acc float64) float64 {
+					for i := lo; i < hi; i++ {
+						acc += float64(i)
+					}
+					return acc
+				},
+				func(a, b float64) float64 { return a + b })
+			if want := float64(n) * float64(n-1) / 2; got != want {
+				t.Fatalf("lazy reduce = %g, want %g", got, want)
+			}
+		})
 	}
 }
 

@@ -23,6 +23,10 @@ type Shard struct {
 	parks         atomic.Int64
 	barrierWaits  atomic.Int64
 	loopChunks    atomic.Int64
+	lazySplits    atomic.Int64
+	batchSteals   atomic.Int64
+	batchStolen   atomic.Int64
+	helpFirst     atomic.Int64
 	_             [64]byte
 }
 
@@ -58,15 +62,34 @@ func (s *Shard) CountBarrierWait() { s.barrierWaits.Add(1) }
 // CountLoopChunk records one work-sharing loop chunk hand-out.
 func (s *Shard) CountLoopChunk() { s.loopChunks.Add(1) }
 
+// CountLazySplit records one demand-driven split performed by the lazy
+// loop partitioner.
+func (s *Shard) CountLazySplit() { s.lazySplits.Add(1) }
+
+// CountBatchSteal records one steal visit that migrated n tasks in a
+// batch (n >= 2); single-task steals count only as Steals.
+func (s *Shard) CountBatchSteal(n int) {
+	s.batchSteals.Add(1)
+	s.batchStolen.Add(int64(n))
+}
+
+// CountHelpFirst records one task executed by a submitting goroutine
+// acting as a temporary (help-first) worker.
+func (s *Shard) CountHelpFirst() { s.helpFirst.Add(1) }
+
 // Snapshot is a point-in-time sum of all shards.
 type Snapshot struct {
-	TasksExecuted int64 // tasks run to completion
-	Spawns        int64 // tasks created
-	Steals        int64 // successful steals
-	FailedSteals  int64 // empty or lost steal attempts
-	Parks         int64 // times a worker blocked idle
-	BarrierWaits  int64 // barrier arrivals
-	LoopChunks    int64 // work-sharing chunks handed out
+	TasksExecuted  int64 // tasks run to completion
+	Spawns         int64 // tasks created
+	Steals         int64 // successful steals
+	FailedSteals   int64 // empty or lost steal attempts
+	Parks          int64 // times a worker blocked idle
+	BarrierWaits   int64 // barrier arrivals
+	LoopChunks     int64 // work-sharing chunks handed out
+	LazySplits     int64 // demand-driven splits by the lazy partitioner
+	BatchSteals    int64 // steal visits that migrated >= 2 tasks
+	BatchStolen    int64 // tasks migrated by batch steal visits
+	HelpFirstTasks int64 // tasks executed by help-first submitters
 }
 
 // Snapshot sums the current counter values across shards.
@@ -81,6 +104,10 @@ func (s *Stats) Snapshot() Snapshot {
 		out.Parks += sh.parks.Load()
 		out.BarrierWaits += sh.barrierWaits.Load()
 		out.LoopChunks += sh.loopChunks.Load()
+		out.LazySplits += sh.lazySplits.Load()
+		out.BatchSteals += sh.batchSteals.Load()
+		out.BatchStolen += sh.batchStolen.Load()
+		out.HelpFirstTasks += sh.helpFirst.Load()
 	}
 	return out
 }
@@ -96,5 +123,9 @@ func (s *Stats) Reset() {
 		sh.parks.Store(0)
 		sh.barrierWaits.Store(0)
 		sh.loopChunks.Store(0)
+		sh.lazySplits.Store(0)
+		sh.batchSteals.Store(0)
+		sh.batchStolen.Store(0)
+		sh.helpFirst.Store(0)
 	}
 }

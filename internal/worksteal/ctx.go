@@ -1,8 +1,6 @@
 package worksteal
 
 import (
-	"runtime"
-
 	"threading/internal/sched"
 )
 
@@ -19,8 +17,10 @@ type Ctx struct {
 // Pool returns the scheduler this context belongs to.
 func (c *Ctx) Pool() *Pool { return c.pool }
 
-// WorkerID returns the index of the worker executing the task,
-// in [0, Pool().Workers()). Useful for per-worker reducer views.
+// WorkerID returns the index of the worker executing the task, in
+// [0, Pool().Workers()+MaxHelpers): dedicated workers occupy
+// [0, Workers()), help-first submitter slots the rest. Useful for
+// per-worker reducer views.
 func (c *Ctx) WorkerID() int { return c.worker.id }
 
 // Canceled reports whether the enclosing Run has been canceled — by
@@ -38,10 +38,9 @@ func (c *Ctx) Canceled() bool { return c.reg.Canceled() }
 func (c *Ctx) Spawn(fn func(*Ctx)) {
 	c.frame.pending.Add(1)
 	c.worker.st.CountSpawn()
+	c.pool.pending.Add(1)
 	c.worker.dq.PushBottom(&task{fn: fn, parent: c.frame, reg: c.reg})
-	if c.pool.parkedCount.Load() > 0 {
-		c.pool.unparkOne()
-	}
+	c.pool.signalWork()
 }
 
 // Sync blocks until every child spawned by this task has completed,
@@ -49,30 +48,5 @@ func (c *Ctx) Spawn(fn func(*Ctx)) {
 // other tasks (its own deque first, then steals), so a Sync deep in a
 // recursive decomposition does not idle the core.
 func (c *Ctx) Sync() {
-	w := c.worker
-	f := c.frame
-	idle := 0
-	for f.pending.Load() > 0 {
-		if t := w.findWork(); t != nil {
-			idle = 0
-			w.run(t)
-			continue
-		}
-		idle++
-		if idle < c.pool.spin {
-			runtime.Gosched()
-			continue
-		}
-		// Nothing runnable anywhere: block until the last child
-		// signals. Children of this frame may be executing on other
-		// workers, so there is legitimately nothing to help with.
-		var pk sched.Parker
-		f.waiter.Store(&pk)
-		if f.pending.Load() > 0 {
-			c.worker.st.CountPark()
-			pk.Park()
-		}
-		f.waiter.Store(nil)
-		idle = 0
-	}
+	c.worker.syncFrame(c.frame)
 }

@@ -1,5 +1,55 @@
 package worksteal
 
+import "fmt"
+
+// Partitioner selects how ForDAC distributes loop iterations over the
+// workers.
+type Partitioner int
+
+const (
+	// Eager is the paper-faithful cilk_for decomposition: the
+	// iteration space is recursively halved into spawned tasks up
+	// front, so every chunk reaches an idle worker only through a
+	// steal. This serializes chunk distribution through the stealing
+	// protocol — the behaviour the reproduced paper identifies as the
+	// reason cilk_for trails work-sharing on flat data-parallel loops
+	// (Figs. 1-4) — and is therefore required when reproducing the
+	// paper's figures.
+	Eager Partitioner = iota
+	// Lazy is demand-driven binary splitting in the style of TBB's
+	// auto_partitioner: the executing worker iterates in place and
+	// splits off half its remaining range only when its own deque is
+	// empty and some other worker is hungry (parked or searching).
+	// A balanced flat loop thus runs with near-sequential overhead,
+	// while imbalance or idleness still triggers splitting.
+	Lazy
+)
+
+// String returns the partitioner's flag-friendly name.
+func (p Partitioner) String() string {
+	switch p {
+	case Eager:
+		return "eager"
+	case Lazy:
+		return "lazy"
+	default:
+		return "unknown"
+	}
+}
+
+// ParsePartitioner converts a flag value ("eager" or "lazy") to a
+// Partitioner.
+func ParsePartitioner(s string) (Partitioner, error) {
+	switch s {
+	case "eager", "":
+		return Eager, nil
+	case "lazy":
+		return Lazy, nil
+	default:
+		return Eager, fmt.Errorf("worksteal: unknown partitioner %q (have eager, lazy)", s)
+	}
+}
+
 // DefaultGrain computes the cilk_for default grain size for n
 // iterations on p workers: min(2048, ceil(n/(8p))), the heuristic the
 // Cilk Plus runtime documents. Small grains expose parallelism; the
@@ -18,15 +68,18 @@ func DefaultGrain(n, p int) int {
 	return g
 }
 
-// ForDAC executes body over [lo, hi) by recursive divide and conquer,
-// mirroring cilk_for: ranges larger than grain are halved, the upper
-// half spawned, and the lower half processed by the continuation. All
-// spawned halves are joined before ForDAC returns.
+// ForDAC executes body over [lo, hi) under the pool's configured
+// partitioner (WithPartitioner) and joins every spawned subrange
+// before returning.
 //
-// Because every chunk reaches an idle worker only through a steal,
-// chunk distribution is serialized through the stealing protocol —
-// the behaviour the reproduced paper identifies as the reason
-// cilk_for trails work-sharing on flat data-parallel loops.
+// Under Eager it mirrors cilk_for: ranges larger than grain are
+// halved, the upper half spawned, and the lower half processed by the
+// continuation, so every chunk reaches an idle worker only through a
+// steal — chunk distribution serialized through the stealing
+// protocol, the behaviour the reproduced paper identifies as the
+// reason cilk_for trails work-sharing on flat data-parallel loops.
+// Under Lazy the worker iterates in place and splits off half its
+// remaining range only when demand is observed.
 //
 // body receives the context of the worker actually executing the
 // chunk (which differs from c for stolen chunks) and a half-open
@@ -38,8 +91,39 @@ func (c *Ctx) ForDAC(lo, hi, grain int, body func(cc *Ctx, l, h int)) {
 	if grain < 1 {
 		grain = DefaultGrain(hi-lo, c.pool.Workers())
 	}
-	c.forDAC(lo, hi, grain, body)
+	if c.pool.part == Lazy {
+		c.forLazy(lo, hi, grain, body)
+	} else {
+		c.forDAC(lo, hi, grain, body)
+	}
 	c.Sync()
+}
+
+// forLazy is the demand-driven splitting loop: process one grain-size
+// chunk at a time, and only when another worker is hungry (and our
+// deque has nothing queued for it already) split off the upper half
+// of the remaining range as a stealable task. Cancellation is checked
+// at every chunk boundary, like the eager path.
+func (c *Ctx) forLazy(lo, hi, grain int, body func(cc *Ctx, l, h int)) {
+	for lo < hi {
+		if c.reg.Canceled() {
+			return
+		}
+		if hi-lo > grain && c.worker.dq.Len() == 0 && c.pool.demand() {
+			mid := lo + (hi-lo)/2
+			l, h := mid, hi
+			c.worker.st.CountLazySplit()
+			c.Spawn(func(cc *Ctx) { cc.forLazy(l, h, grain, body) })
+			hi = mid
+			continue
+		}
+		h := lo + grain
+		if h > hi {
+			h = hi
+		}
+		body(c, lo, h)
+		lo = h
+	}
 }
 
 // forDAC is the splitting loop: spawn the upper half, keep the lower,
@@ -97,10 +181,12 @@ type paddedView[T any] struct {
 }
 
 // NewReducer returns a reducer for the pool with the given identity
-// element and combining function.
+// element and combining function. One view is allocated per dedicated
+// worker and per help-first submitter slot, since either may execute
+// chunks.
 func NewReducer[T any](p *Pool, identity T, combine func(a, b T) T) *Reducer[T] {
 	r := &Reducer[T]{
-		views:    make([]paddedView[T], p.Workers()),
+		views:    make([]paddedView[T], p.Workers()+MaxHelpers),
 		identity: identity,
 		combine:  combine,
 	}

@@ -10,11 +10,19 @@
 // parallelism (Fig. 5) to this difference, and the gap can be measured
 // here by flipping a single option.
 //
-// Loop parallelism is provided by ForDAC, which mirrors cilk_for:
-// the iteration space is split recursively into spawned halves until a
-// grain size is reached. Distribution of chunks therefore rides on the
-// stealing mechanism — the very property the paper blames for
-// cilk_for's poor showing on flat data-parallel loops (Figs. 1-4).
+// Loop parallelism is provided by ForDAC, which mirrors cilk_for under
+// two selectable partitioners (WithPartitioner): the paper-faithful
+// Eager mode splits the iteration space up front so chunk distribution
+// rides entirely on the stealing protocol — the property the paper
+// blames for cilk_for's poor showing on flat data-parallel loops
+// (Figs. 1-4) — while the Lazy mode splits only when another worker
+// signals demand, closing most of that gap.
+//
+// Work distribution is demand-driven end to end: thieves migrate half
+// a victim's queue per visit (deque.StealHalf), submitters join
+// help-first (the goroutine calling RunCtx executes tasks until its
+// root frame drains instead of parking), and wake-ups are throttled
+// through a pending-work counter instead of broadcast scans.
 package worksteal
 
 import (
@@ -58,7 +66,11 @@ func (f *frame) childDone() {
 	}
 }
 
-// worker is one scheduler participant.
+// stealBatch bounds how many tasks one steal visit can migrate.
+const stealBatch = 16
+
+// worker is one scheduler participant: a dedicated pool worker, or a
+// help-first helper animated by a goroutine that called RunCtx.
 type worker struct {
 	id     int
 	pool   *Pool
@@ -67,14 +79,24 @@ type worker struct {
 	st     *sched.Shard
 	parker sched.Parker
 	parked atomic.Bool
+	help   bool // a help-first submitter slot, not a dedicated worker
+
+	stealBuf [stealBatch]*task
 }
+
+// MaxHelpers is the number of help-first submitter slots per pool:
+// up to this many concurrent RunCtx calls execute tasks themselves
+// (with stealable deques and WorkerIDs in [Workers(),
+// Workers()+MaxHelpers)); further concurrent submitters fall back to
+// submit-and-park.
+const MaxHelpers = 4
 
 // Options configure a Pool.
 //
 // Deprecated: prefer the functional options (WithDequeKind,
-// WithSpinBeforePark). Options remains usable — a literal passed to
-// NewPool still applies wholesale — so existing callers compile
-// unchanged.
+// WithSpinBeforePark, WithPartitioner). Options remains usable — a
+// literal passed to NewPool still applies wholesale — so existing
+// callers compile unchanged.
 type Options struct {
 	// DequeKind selects the deque implementation for every worker.
 	// The default, deque.KindChaseLev, models Cilk Plus; use
@@ -83,6 +105,9 @@ type Options struct {
 	// SpinBeforePark is how many failed find-work rounds a worker or
 	// a Sync performs before blocking. Zero selects a default.
 	SpinBeforePark int
+	// Partitioner selects how ForDAC distributes loop iterations; the
+	// default, Eager, is the paper-faithful cilk_for decomposition.
+	Partitioner Partitioner
 }
 
 // Option configures a Pool at construction. The legacy Options struct
@@ -109,6 +134,13 @@ func WithSpinBeforePark(n int) Option {
 	return poolOption(func(o *Options) { o.SpinBeforePark = n })
 }
 
+// WithPartitioner selects the ForDAC loop partitioner: Eager for the
+// paper-faithful up-front decomposition, Lazy for demand-driven
+// splitting.
+func WithPartitioner(p Partitioner) Option {
+	return poolOption(func(o *Options) { o.Partitioner = p })
+}
+
 const defaultSpin = 32
 
 // Pool is a work-stealing scheduler with a fixed set of workers.
@@ -116,10 +148,16 @@ const defaultSpin = 32
 // with Close.
 type Pool struct {
 	workers []*worker
-	inbox   *deque.Locked[task] // external submissions; stolen by any worker
+	helpers []*worker           // help-first submitter slots, stealable like workers
+	victims []*worker           // workers + helpers: the steal-sweep targets
+	inbox   *deque.Locked[task] // overflow submissions; stolen by any worker
 	stats   *sched.Stats
 	spin    int
+	part    Partitioner
 
+	helperBusy  [MaxHelpers]atomic.Bool
+	pending     atomic.Int64 // queued-but-not-taken tasks (conservative)
+	searching   atomic.Int64 // workers in the idle find-work phase
 	parkedCount atomic.Int64 // workers currently parked (or about to)
 	closed      atomic.Bool
 
@@ -143,19 +181,29 @@ func NewPool(n int, options ...Option) *Pool {
 	}
 	p := &Pool{
 		workers: make([]*worker, n),
+		helpers: make([]*worker, MaxHelpers),
 		inbox:   deque.NewLocked[task](),
-		stats:   sched.NewStats(n),
+		stats:   sched.NewStats(n + MaxHelpers),
 		spin:    spin,
+		part:    opts.Partitioner,
 	}
-	for i := range p.workers {
-		p.workers[i] = &worker{
+	newWorker := func(i int, help bool) *worker {
+		return &worker{
 			id:   i,
 			pool: p,
 			dq:   deque.New[task](opts.DequeKind),
 			rng:  sched.NewRand(uint64(i)*0x9E3779B9 + 1),
 			st:   p.stats.Shard(i),
+			help: help,
 		}
 	}
+	for i := range p.workers {
+		p.workers[i] = newWorker(i, false)
+	}
+	for i := range p.helpers {
+		p.helpers[i] = newWorker(n+i, true)
+	}
+	p.victims = append(append([]*worker{}, p.workers...), p.helpers...)
 	for _, w := range p.workers {
 		p.wg.Add(1)
 		go w.loop()
@@ -163,8 +211,13 @@ func NewPool(n int, options ...Option) *Pool {
 	return p
 }
 
-// Workers reports the number of workers in the pool.
+// Workers reports the number of dedicated workers in the pool (not
+// counting help-first submitter slots).
 func (p *Pool) Workers() int { return len(p.workers) }
+
+// Partitioner reports the ForDAC loop partitioner the pool was
+// configured with.
+func (p *Pool) Partitioner() Partitioner { return p.part }
 
 // Stats returns a snapshot of the scheduler counters.
 func (p *Pool) Stats() sched.Snapshot { return p.stats.Snapshot() }
@@ -207,6 +260,13 @@ func (p *Pool) Run(root func(*Ctx)) {
 // error, or a *sched.PanicError wrapping the first panic recovered
 // from any task of this run (a panic also cancels the run's remaining
 // tasks). A nil return means every task ran to completion.
+//
+// The submitting goroutine joins help-first: it claims a helper
+// worker slot, executes the root itself (so the root's spawns land on
+// a stealable deque without a trip through the shared inbox), and
+// keeps executing tasks until its root frame drains. Only when all
+// MaxHelpers slots are taken by concurrent Runs does it fall back to
+// enqueueing the root and parking.
 func (p *Pool) RunCtx(ctx context.Context, root func(*Ctx)) error {
 	if p.closed.Load() {
 		panic("worksteal: Run on closed pool")
@@ -214,42 +274,62 @@ func (p *Pool) RunCtx(ctx context.Context, root func(*Ctx)) error {
 	reg := sched.NewRegion(ctx)
 	f := &frame{}
 	f.pending.Store(1)
-	p.inbox.PushBottom(&task{fn: root, parent: f, reg: reg})
-	p.unparkAll()
-
-	// The submitting goroutine is not a worker, so it cannot help; it
-	// parks until the root frame drains.
-	if f.pending.Load() != 0 {
-		var pk sched.Parker
-		f.waiter.Store(&pk)
-		for f.pending.Load() != 0 {
-			pk.Park()
+	t := &task{fn: root, parent: f, reg: reg}
+	if hw := p.claimHelper(); hw != nil {
+		hw.run(t)
+		hw.syncFrame(f)
+		p.releaseHelper(hw)
+	} else {
+		p.pending.Add(1)
+		p.inbox.PushBottom(t)
+		p.signalWork()
+		if f.pending.Load() != 0 {
+			var pk sched.Parker
+			f.waiter.Store(&pk)
+			for f.pending.Load() != 0 {
+				pk.Park()
+			}
+			f.waiter.Store(nil)
 		}
-		f.waiter.Store(nil)
 	}
 	return reg.Finish()
 }
 
-// queuedWork reports whether any deque or the inbox holds a task.
-func (p *Pool) queuedWork() bool {
-	if p.inbox.Len() > 0 {
-		return true
-	}
-	for _, w := range p.workers {
-		if w.dq.Len() > 0 {
-			return true
+// claimHelper acquires a free help-first worker slot, or nil if all
+// MaxHelpers are in use. The CAS transfers deque ownership to the
+// claiming goroutine.
+func (p *Pool) claimHelper() *worker {
+	for i := range p.helperBusy {
+		if p.helperBusy[i].CompareAndSwap(false, true) {
+			return p.helpers[i]
 		}
 	}
-	return false
+	return nil
 }
 
-// unparkAll wakes every parked worker.
-func (p *Pool) unparkAll() {
-	for _, w := range p.workers {
-		if w.parked.Load() {
-			w.parker.Unpark()
-		}
+// releaseHelper returns a helper slot. The caller must be between
+// tasks, which (by the sync-before-return invariant) means the
+// helper's deque is empty.
+func (p *Pool) releaseHelper(hw *worker) {
+	p.helperBusy[hw.id-len(p.workers)].Store(false)
+}
+
+// signalWork wakes one parked worker, unless some worker is already
+// searching for work (it will find the new task on its sweep). This
+// pending-counter wake throttle replaces the O(workers) unparkAll
+// broadcast the scheduler used to perform on every submission.
+func (p *Pool) signalWork() {
+	if p.searching.Load() == 0 && p.parkedCount.Load() > 0 {
+		p.unparkOne()
 	}
+}
+
+// demand reports whether some worker is hungry — parked, or actively
+// searching for work. It is the signal the Lazy partitioner polls at
+// chunk boundaries to decide whether splitting off half its remaining
+// range would feed anyone.
+func (p *Pool) demand() bool {
+	return p.searching.Load() > 0 || p.parkedCount.Load() > 0
 }
 
 // unparkOne wakes one parked worker, if any.
@@ -266,27 +346,44 @@ func (p *Pool) unparkOne() {
 func (w *worker) loop() {
 	defer w.pool.wg.Done()
 	idle := 0
+	searching := false
+	setSearch := func(on bool) {
+		if on != searching {
+			searching = on
+			if on {
+				w.pool.searching.Add(1)
+			} else {
+				w.pool.searching.Add(-1)
+			}
+		}
+	}
 	for {
 		t := w.findWork()
 		if t != nil {
+			setSearch(false)
 			idle = 0
 			w.run(t)
 			continue
 		}
+		setSearch(true)
 		idle++
 		if idle < w.pool.spin {
 			runtime.Gosched()
 			continue
 		}
 		if w.pool.closed.Load() {
+			setSearch(false)
 			return
 		}
-		// Publish parked state, then re-check for queued work to close
-		// the race against a spawner that read parkedCount before our
-		// increment became visible.
+		// Stop advertising as searching before publishing parked
+		// state: a submitter that reads searching == 0 is then
+		// guaranteed to read parkedCount > 0 and wake us, and the
+		// pending re-check below closes the race against a submitter
+		// that enqueued before our parked flag became visible.
+		setSearch(false)
 		w.pool.parkedCount.Add(1)
 		w.parked.Store(true)
-		if w.pool.queuedWork() || w.pool.closed.Load() {
+		if w.pool.pending.Load() > 0 || w.pool.closed.Load() {
 			w.parked.Store(false)
 			w.pool.parkedCount.Add(-1)
 			idle = 0
@@ -301,32 +398,87 @@ func (w *worker) loop() {
 }
 
 // findWork returns the next task: own deque first, then the external
-// inbox, then a randomized sweep over the other workers' deques.
+// inbox, then a randomized sweep over the other workers' (and active
+// helpers') deques. A successful steal migrates up to half the
+// victim's queue in one visit, keeping one task and requeueing the
+// rest locally where other thieves can take them.
 func (w *worker) findWork() *task {
 	if t := w.dq.PopBottom(); t != nil {
+		w.pool.pending.Add(-1)
 		return t
 	}
 	if t := w.pool.inbox.Steal(); t != nil {
+		w.pool.pending.Add(-1)
+		if w.pool.pending.Load() > 0 {
+			w.pool.signalWork()
+		}
 		return t
 	}
-	n := len(w.pool.workers)
-	if n == 1 {
-		w.st.CountFailedSteal()
-		return nil
-	}
+	victims := w.pool.victims
+	n := len(victims)
 	start := w.rng.Intn(n)
 	for i := 0; i < n; i++ {
-		v := w.pool.workers[(start+i)%n]
+		v := victims[(start+i)%n]
 		if v == w {
 			continue
 		}
-		if t := v.dq.Steal(); t != nil {
-			w.st.CountSteal()
-			return t
+		k := v.dq.StealHalf(w.stealBuf[:])
+		if k == 0 {
+			continue
 		}
+		w.st.CountSteal()
+		if k > 1 {
+			w.st.CountBatchSteal(k)
+			for j := 1; j < k; j++ {
+				w.dq.PushBottom(w.stealBuf[j])
+				w.stealBuf[j] = nil
+			}
+		}
+		t := w.stealBuf[0]
+		w.stealBuf[0] = nil
+		w.pool.pending.Add(-1) // took k, requeued k-1
+		if k > 1 || w.pool.pending.Load() > 0 {
+			// The batch we just requeued (or work still queued
+			// elsewhere) can feed another thief: propagate the wake.
+			w.pool.signalWork()
+		}
+		return t
 	}
 	w.st.CountFailedSteal()
 	return nil
+}
+
+// syncFrame executes tasks until f's pending count drains, parking on
+// f's waiter as a last resort. It is the shared help-while-waiting
+// loop behind Ctx.Sync and the help-first join in RunCtx: the waiting
+// goroutine keeps executing other tasks (its own deque first, then
+// steals), so a join deep in a recursive decomposition does not idle
+// the core.
+func (w *worker) syncFrame(f *frame) {
+	idle := 0
+	for f.pending.Load() > 0 {
+		if t := w.findWork(); t != nil {
+			idle = 0
+			w.run(t)
+			continue
+		}
+		idle++
+		if idle < w.pool.spin {
+			runtime.Gosched()
+			continue
+		}
+		// Nothing runnable anywhere: block until the last child
+		// signals. Children of this frame may be executing on other
+		// workers, so there is legitimately nothing to help with.
+		var pk sched.Parker
+		f.waiter.Store(&pk)
+		if f.pending.Load() > 0 {
+			w.st.CountPark()
+			pk.Park()
+		}
+		f.waiter.Store(nil)
+		idle = 0
+	}
 }
 
 // run executes t with its embedded frame, waits for its children (the
@@ -335,6 +487,9 @@ func (w *worker) findWork() *task {
 // and signals, so queued work drains and frames resolve.
 func (w *worker) run(t *task) {
 	w.st.CountTask()
+	if w.help {
+		w.st.CountHelpFirst()
+	}
 	t.ctx = Ctx{pool: w.pool, worker: w, frame: &t.own, reg: t.reg}
 	c := &t.ctx
 	if !t.reg.Canceled() {

@@ -305,7 +305,9 @@ func TestWorkerIDInRange(t *testing.T) {
 	defer p.Close()
 	p.Run(func(c *Ctx) {
 		c.ForEach(0, 1000, 1, func(_ *Ctx, i int) {})
-		if id := c.WorkerID(); id < 0 || id >= workers {
+		// The root may execute on a help-first submitter slot, whose
+		// ids follow the dedicated workers'.
+		if id := c.WorkerID(); id < 0 || id >= workers+MaxHelpers {
 			t.Errorf("WorkerID = %d out of range", id)
 		}
 		if c.Pool() != p {

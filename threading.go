@@ -99,10 +99,20 @@ const (
 	CPPAsync  = models.CPPAsync
 )
 
+// ModelOption configures optional, model-independent construction
+// knobs for NewModel; models a knob does not apply to ignore it.
+type ModelOption = models.Option
+
+// WithModelPartitioner selects the loop partitioner used by the
+// work-stealing models (cilk_for, cilk_spawn): PartitionEager is the
+// paper-faithful divide-and-conquer decomposition, PartitionLazy
+// demand-driven splitting.
+func WithModelPartitioner(p Partitioner) ModelOption { return models.WithPartitioner(p) }
+
 // NewModel constructs a threading model by name with the given degree
 // of parallelism.
-func NewModel(name string, threads int) (Model, error) {
-	return models.New(name, threads)
+func NewModel(name string, threads int, opts ...ModelOption) (Model, error) {
+	return models.New(name, threads, opts...)
 }
 
 // ModelNames returns all model names (sorted).
@@ -210,6 +220,22 @@ func WithStealBackend(k DequeKind) PoolOption { return worksteal.WithDequeKind(k
 // WithSpinBeforePark sets how many steal failures a worker tolerates
 // before parking.
 func WithSpinBeforePark(n int) PoolOption { return worksteal.WithSpinBeforePark(n) }
+
+// Partitioner selects how a Pool's ForDAC loops are decomposed.
+type Partitioner = worksteal.Partitioner
+
+// Partitioners for WithPartitioner / WithModelPartitioner.
+const (
+	// PartitionEager recursively halves the iteration space into
+	// spawned tasks up front (cilk_for; paper-faithful).
+	PartitionEager = worksteal.Eager
+	// PartitionLazy splits on demand: a worker forks off half its
+	// remaining range only when another worker is hungry.
+	PartitionLazy = worksteal.Lazy
+)
+
+// WithPartitioner selects a Pool's ForDAC loop partitioner.
+func WithPartitioner(p Partitioner) PoolOption { return worksteal.WithPartitioner(p) }
 
 // Thread is a C++11-style thread of execution; see internal/futures.
 type Thread = futures.Thread
