@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: all build test race race-sched vet bench-smoke bench-loopdist clean
+.PHONY: all build test race race-sched vet lint bench-smoke bench-loopdist clean
 
-all: build vet test
+all: build vet lint test
 
 build:
 	$(GO) build ./...
@@ -14,12 +14,19 @@ race:
 	$(GO) test -race ./...
 
 # Race-detect just the scheduler hot paths (work stealing, deques,
-# shared sched plumbing) — the focused loop for partitioner work.
+# shared sched plumbing, and the futures join paths the help-first
+# work leans on) — the focused loop for partitioner work.
 race-sched:
-	$(GO) test -race -count=2 ./internal/worksteal/... ./internal/deque/... ./internal/sched/...
+	$(GO) test -race -count=2 ./internal/worksteal/... ./internal/deque/... ./internal/sched/... ./internal/futures/...
 
 vet:
 	$(GO) vet ./...
+
+# threadvet: the repo's own go/analysis-style suite enforcing the
+# runtimes' concurrency contracts (joinleak, ctxdrop, lockspawn,
+# atomicmix, grainconst). Fails on any unsuppressed diagnostic.
+lint:
+	$(GO) run ./cmd/threadvet ./...
 
 # A fast, single-repetition pass over two figures — enough to catch a
 # harness regression without a full sweep.

@@ -1,0 +1,74 @@
+// Command threadvet checks this module's code against the runtimes'
+// concurrency contracts: the invariants that go vet and the race
+// detector cannot see but that the paper's results (and PRs 1-2's
+// runtime changes) depend on.
+//
+// Usage:
+//
+//	threadvet [-json] [-list] [packages]
+//
+// With no package patterns, ./... is checked. Analyzers:
+//
+//	joinleak   - futures.Async/NewThread handles never joined
+//	ctxdrop    - plain call severing an in-scope context from a Ctx API
+//	lockspawn  - task submission while a sync.(RW)Mutex is held
+//	atomicmix  - struct fields accessed both atomically and plainly
+//	grainconst - constant grain/cutoff that decays to task-per-element
+//
+// A finding is suppressed by a directive on, or immediately above,
+// the flagged line:
+//
+//	//threadvet:ignore <analyzer> <reason>
+//
+// The reason is mandatory and the directive silences exactly the
+// named analyzer. -json emits one JSON object per diagnostic
+// ({"file","line","col","analyzer","message"}) on stdout for CI
+// annotation tooling. Exit status: 0 clean, 1 findings, 2 usage or
+// load failure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"threading/internal/analysis/driver"
+)
+
+func main() {
+	var (
+		jsonOut = flag.Bool("json", false, "emit newline-delimited JSON diagnostics on stdout")
+		list    = flag.Bool("list", false, "list analyzers and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, a := range driver.All {
+			fmt.Printf("%-11s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	findings, err := driver.Run(".", patterns, driver.All)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "threadvet: %v\n", err)
+		os.Exit(2)
+	}
+	if len(findings) == 0 {
+		return
+	}
+	if *jsonOut {
+		if err := driver.WriteJSON(os.Stdout, findings); err != nil {
+			fmt.Fprintf(os.Stderr, "threadvet: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		driver.WriteText(os.Stderr, findings)
+	}
+	os.Exit(1)
+}

@@ -1,0 +1,161 @@
+// Package analysis is a self-contained miniature of the
+// golang.org/x/tools/go/analysis framework: an Analyzer is a named
+// check over one type-checked package, a Pass is one application of an
+// Analyzer to one package, and a Diagnostic is one finding.
+//
+// The module deliberately has no third-party dependencies, so instead
+// of importing x/tools this package re-creates the small slice of its
+// surface that the threadvet analyzers need (see cmd/threadvet). The
+// shape mirrors x/tools closely enough that porting an analyzer onto
+// the real framework is mechanical.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer is one static check. Run inspects the package in Pass and
+// reports findings through Pass.Report.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //threadvet:ignore directives. It must be a single word.
+	Name string
+	// Doc is a one-paragraph description of the contract the analyzer
+	// enforces.
+	Doc string
+	// Run applies the analyzer to one package.
+	Run func(*Pass) error
+}
+
+// Pass is one application of one Analyzer to one type-checked
+// package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// Report delivers one diagnostic. The driver fills in suppression
+	// (ignore directives) and ordering.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{
+		Pos:      pos,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Message  string
+}
+
+// Callee returns the static callee of call — a declared function or
+// method — or nil when the callee is dynamic (a function value, a
+// built-in, or a type conversion). Explicit generic instantiations
+// (f[T](...)) are unwrapped.
+func Callee(info *types.Info, call *ast.CallExpr) *types.Func {
+	fun := ast.Unparen(call.Fun)
+	switch e := fun.(type) {
+	case *ast.IndexExpr:
+		fun = ast.Unparen(e.X)
+	case *ast.IndexListExpr:
+		fun = ast.Unparen(e.X)
+	}
+	switch e := fun.(type) {
+	case *ast.Ident:
+		f, _ := info.Uses[e].(*types.Func)
+		return f
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[e]; ok {
+			f, _ := sel.Obj().(*types.Func)
+			return f
+		}
+		// Package-qualified call: pkg.Func.
+		f, _ := info.Uses[e.Sel].(*types.Func)
+		return f
+	}
+	return nil
+}
+
+// Named returns the named type of t, looking through one level of
+// pointer and through aliases. For an instantiated generic type it
+// returns the instance (use Origin to compare against the generic
+// declaration).
+func Named(t types.Type) (*types.Named, bool) {
+	t = types.Unalias(t)
+	if p, ok := t.(*types.Pointer); ok {
+		t = types.Unalias(p.Elem())
+	}
+	n, ok := t.(*types.Named)
+	return n, ok
+}
+
+// IsNamed reports whether t — possibly behind a pointer or alias, and
+// comparing generic instances by their origin — is the named type
+// pkgPath.name.
+func IsNamed(t types.Type, pkgPath, name string) bool {
+	n, ok := Named(t)
+	if !ok {
+		return false
+	}
+	obj := n.Origin().Obj()
+	return obj.Name() == name && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath
+}
+
+// IsContext reports whether t is context.Context.
+func IsContext(t types.Type) bool { return IsNamed(t, "context", "Context") }
+
+// ReceiverNamed returns the named type of f's receiver (through a
+// pointer), or nil when f is not a method.
+func ReceiverNamed(f *types.Func) *types.Named {
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	if n, ok := Named(sig.Recv().Type()); ok {
+		return n
+	}
+	return nil
+}
+
+// FuncName renders f for a diagnostic: "pkg.Func" for a package-level
+// function, "Type.Method" for a method.
+func FuncName(f *types.Func) string {
+	if n := ReceiverNamed(f); n != nil {
+		return n.Origin().Obj().Name() + "." + f.Name()
+	}
+	if f.Pkg() != nil {
+		return f.Pkg().Name() + "." + f.Name()
+	}
+	return f.Name()
+}
+
+// WithStack traverses root depth-first in source order, calling fn
+// with each node and the stack of its ancestors (outermost first, not
+// including n itself). If fn returns false the node's children are
+// skipped.
+func WithStack(root ast.Node, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		descend := fn(n, stack)
+		if descend {
+			stack = append(stack, n)
+			return true
+		}
+		return false
+	})
+}

@@ -1,0 +1,221 @@
+// Package analysistest runs a threadvet analyzer over fixture
+// packages and checks its diagnostics against // want annotations, in
+// the style of golang.org/x/tools/go/analysis/analysistest.
+//
+// A fixture is a directory of .go files (conventionally
+// testdata/src/<name> under the analyzer's package). A line expecting
+// diagnostics carries a trailing comment of one or more quoted Go
+// strings, each a regular expression:
+//
+//	futures.Async(...) // want `is discarded`
+//	x := f()           // want "first" "second"
+//
+// Every diagnostic must match an annotation on its line and every
+// annotation must be matched, so fixture files without annotations
+// double as negative (no-diagnostic) cases. Fixtures may import real
+// module packages ("threading/internal/futures", ...): the loader
+// resolves them from export data, so the analyzers see the same types
+// they see during a real threadvet run.
+package analysistest
+
+import (
+	"go/scanner"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"threading/internal/analysis"
+	"threading/internal/analysis/load"
+)
+
+// Run applies a to each fixture directory and reports mismatches
+// through t. Paths are relative to the calling test's package
+// directory (go test's working directory).
+func Run(t *testing.T, a *analysis.Analyzer, dirs ...string) {
+	t.Helper()
+	root, err := moduleRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := load.New(root)
+	for _, dir := range dirs {
+		runDir(t, l, a, dir)
+	}
+}
+
+func runDir(t *testing.T, l *load.Loader, a *analysis.Analyzer, dir string) {
+	t.Helper()
+	pkg, err := l.CheckDir(dir)
+	if err != nil {
+		t.Fatalf("%s: %v", dir, err)
+	}
+
+	wants, err := collectWants(pkg)
+	if err != nil {
+		t.Fatalf("%s: %v", dir, err)
+	}
+
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		Fset:      l.Fset(),
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.Info,
+		Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+	}
+	if err := a.Run(pass); err != nil {
+		t.Fatalf("%s: %s failed: %v", dir, a.Name, err)
+	}
+
+	for _, d := range diags {
+		pos := l.Fset().Position(d.Pos)
+		key := wantKey{file: pos.Filename, line: pos.Line}
+		matched := false
+		for _, w := range wants[key] {
+			if !w.matched && w.re.MatchString(d.Message) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s: %s", dir, pos, d.Message)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s: no diagnostic at %s:%d matching %q",
+					dir, key.file, key.line, w.re.String())
+			}
+		}
+	}
+}
+
+type wantKey struct {
+	file string
+	line int
+}
+
+type want struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+// collectWants parses the fixture's // want annotations.
+func collectWants(pkg *load.Package) (map[wantKey][]*want, error) {
+	out := make(map[wantKey][]*want)
+	for _, name := range fixtureFiles(pkg.Dir) {
+		src, err := os.ReadFile(name)
+		if err != nil {
+			return nil, err
+		}
+		// Scan with a private FileSet: only line numbers are needed,
+		// and the comments were already attached to pkg.Files in
+		// whatever grouping the parser chose.
+		fset := token.NewFileSet()
+		file := fset.AddFile(name, -1, len(src))
+		var s scanner.Scanner
+		s.Init(file, src, nil, scanner.ScanComments)
+		for {
+			pos, tok, lit := s.Scan()
+			if tok == token.EOF {
+				break
+			}
+			if tok != token.COMMENT {
+				continue
+			}
+			text, ok := strings.CutPrefix(lit, "// want ")
+			if !ok {
+				continue
+			}
+			position := fset.Position(pos)
+			key := wantKey{file: name, line: position.Line}
+			for _, pattern := range splitQuoted(text) {
+				unq, err := strconv.Unquote(pattern)
+				if err != nil {
+					return nil, err
+				}
+				re, err := regexp.Compile(unq)
+				if err != nil {
+					return nil, err
+				}
+				out[key] = append(out[key], &want{re: re})
+			}
+		}
+	}
+	return out, nil
+}
+
+// splitQuoted splits `"a" "b"` (double-quoted or backquoted Go string
+// literals separated by spaces) into its literals, quotes included.
+func splitQuoted(s string) []string {
+	var out []string
+	for {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			return out
+		}
+		var end int
+		switch s[0] {
+		case '`':
+			end = strings.IndexByte(s[1:], '`')
+			if end < 0 {
+				return out
+			}
+			end += 2
+		case '"':
+			end = 1
+			for end < len(s) && s[end] != '"' {
+				if s[end] == '\\' {
+					end++
+				}
+				end++
+			}
+			if end >= len(s) {
+				return out
+			}
+			end++
+		default:
+			return out
+		}
+		out = append(out, s[:end])
+		s = s[end:]
+	}
+}
+
+func fixtureFiles(dir string) []string {
+	entries, _ := os.ReadDir(dir)
+	var out []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			out = append(out, filepath.Join(dir, e.Name()))
+		}
+	}
+	return out
+}
+
+// moduleRoot walks up from the working directory to the enclosing
+// go.mod, where `go list` must run so fixture imports of module
+// packages resolve.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", os.ErrNotExist
+		}
+		dir = parent
+	}
+}

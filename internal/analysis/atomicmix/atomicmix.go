@@ -1,0 +1,144 @@
+// Package atomicmix reports struct fields that are accessed both
+// through sync/atomic operations and through plain loads or stores.
+//
+// Contract encoded: a memory location is either always accessed
+// atomically or always protected by a lock — never a mixture. Mixed
+// access is exactly the bug class the Chase-Lev deque's top/bottom
+// indices invite: the THE protocol is only correct when every access
+// to the shared indices is atomic, and one forgotten plain read turns
+// a published bound into a torn or stale one that the race detector
+// may or may not catch (this module's deques use the atomic.Int64
+// wrapper types precisely so the compiler rules the mixture out; this
+// analyzer covers code that still uses the function-based API on
+// plain fields).
+//
+// The check is per package: every &x.f argument to a sync/atomic
+// Load/Store/Add/Swap/CompareAndSwap/And/Or call registers field f as
+// atomic; any other selection of f in the package is then reported as
+// a plain access.
+package atomicmix
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"threading/internal/analysis"
+)
+
+// Analyzer is the atomicmix pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicmix",
+	Doc: "report struct fields accessed both via sync/atomic and via " +
+		"plain loads/stores",
+	Run: run,
+}
+
+// atomicOp reports whether name is a sync/atomic operation that takes
+// the address of the word it operates on.
+func atomicOp(name string) bool {
+	for _, prefix := range []string{
+		"Load", "Store", "Add", "Swap", "CompareAndSwap", "And", "Or",
+	} {
+		if strings.HasPrefix(name, prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+type fieldUse struct {
+	pos token.Pos
+	op  string // atomic operation name, e.g. "LoadInt64"
+}
+
+func run(pass *analysis.Pass) error {
+	atomicUses := make(map[*types.Var]fieldUse) // first atomic use per field
+	inAtomicArg := make(map[*ast.SelectorExpr]bool)
+
+	// Phase 1: record fields whose address feeds a sync/atomic call.
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := analysis.Callee(pass.TypesInfo, call)
+			if callee == nil || callee.Pkg() == nil ||
+				callee.Pkg().Path() != "sync/atomic" || !atomicOp(callee.Name()) {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					continue
+				}
+				sel, ok := ast.Unparen(un.X).(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				f := selectedField(pass, sel)
+				if f == nil {
+					continue
+				}
+				inAtomicArg[sel] = true
+				if _, seen := atomicUses[f]; !seen {
+					atomicUses[f] = fieldUse{pos: sel.Pos(), op: callee.Name()}
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicUses) == 0 {
+		return nil
+	}
+
+	// Phase 2: every other selection of those fields is a plain
+	// access.
+	var diags []analysis.Diagnostic
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || inAtomicArg[sel] {
+				return true
+			}
+			f := selectedField(pass, sel)
+			if f == nil {
+				return true
+			}
+			use, ok := atomicUses[f]
+			if !ok {
+				return true
+			}
+			diags = append(diags, analysis.Diagnostic{
+				Pos:      sel.Pos(),
+				Analyzer: pass.Analyzer.Name,
+				Message: "field " + fieldName(f) + " is accessed with atomic." + use.op +
+					" (" + pass.Fset.Position(use.pos).String() +
+					") but read/written plainly here; mixed access is racy",
+			})
+			return true
+		})
+	}
+	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	for _, d := range diags {
+		pass.Report(d)
+	}
+	return nil
+}
+
+// selectedField resolves sel to the struct field it selects, or nil.
+func selectedField(pass *analysis.Pass, sel *ast.SelectorExpr) *types.Var {
+	s, ok := pass.TypesInfo.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	f, _ := s.Obj().(*types.Var)
+	return f
+}
+
+func fieldName(f *types.Var) string {
+	return f.Name()
+}

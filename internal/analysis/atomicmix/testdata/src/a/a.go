@@ -1,0 +1,38 @@
+// Positive atomicmix cases: every annotated line must be reported.
+package a
+
+import "sync/atomic"
+
+// counter mixes atomic and plain access — the Chase-Lev top/bottom
+// bug class.
+type counter struct {
+	hits  int64
+	cold  int64
+	ticks uint32
+}
+
+func (c *counter) record() {
+	atomic.AddInt64(&c.hits, 1)
+	atomic.AddUint32(&c.ticks, 1)
+}
+
+func (c *counter) read() int64 {
+	return c.hits // want `field hits is accessed with atomic.AddInt64 .* but read/written plainly here`
+}
+
+func (c *counter) reset() {
+	c.hits = 0 // want `field hits is accessed with atomic.AddInt64 .* but read/written plainly here`
+	c.cold = 0 // cold is never touched atomically: fine
+}
+
+func (c *counter) tick() uint32 {
+	t := c.ticks // want `field ticks is accessed with atomic.AddUint32 .* but read/written plainly here`
+	return t
+}
+
+func casMix(c *counter) bool {
+	if c.hits > 0 { // want `field hits is accessed with atomic.AddInt64 .* but read/written plainly here`
+		return atomic.CompareAndSwapInt64(&c.hits, 1, 0)
+	}
+	return false
+}

@@ -1,0 +1,38 @@
+// Negative atomicmix cases: nothing in this file may be reported.
+package a
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// allAtomic only ever goes through sync/atomic: consistent.
+type allAtomic struct {
+	n int64
+}
+
+func (a *allAtomic) inc() { atomic.AddInt64(&a.n, 1) }
+
+func (a *allAtomic) get() int64 { return atomic.LoadInt64(&a.n) }
+
+// allPlain is guarded by a mutex and never touched atomically.
+type allPlain struct {
+	mu sync.Mutex
+	n  int64
+}
+
+func (p *allPlain) inc() {
+	p.mu.Lock()
+	p.n++
+	p.mu.Unlock()
+}
+
+// typedAtomic uses the wrapper types, where mixing is impossible by
+// construction — the style this module's deques use.
+type typedAtomic struct {
+	n atomic.Int64
+}
+
+func (t *typedAtomic) inc() { t.n.Add(1) }
+
+func (t *typedAtomic) get() int64 { return t.n.Load() }

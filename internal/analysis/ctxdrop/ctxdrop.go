@@ -1,0 +1,132 @@
+// Package ctxdrop reports calls that sever an in-scope
+// context.Context from a cancellation-aware API.
+//
+// Contract encoded: every blocking entry point in this module has a
+// context-aware sibling named by appending "Ctx" (ParallelFor →
+// ParallelForCtx, Run → RunCtx, Get → GetCtx, Join → JoinCtx, ...),
+// and a function that was handed a context must pass it on — calling
+// the plain variant silently severs cancellation, so a deadline or a
+// Ctrl-C stops propagating exactly at that frame. The sibling pairing
+// is discovered from the type information rather than a hard-coded
+// table: a call to N is flagged when the callee's package or receiver
+// type also declares N+"Ctx" whose first parameter is a
+// context.Context.
+//
+// Wrappers like func Run(...) { return RunCtx(context.Background(),
+// ...) } are not flagged: they have no context parameter in scope.
+package ctxdrop
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"threading/internal/analysis"
+)
+
+// Analyzer is the ctxdrop pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxdrop",
+	Doc: "report calls to the plain variant of an API with a Ctx sibling " +
+		"from a function that has a context.Context in scope",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		analysis.WithStack(file, func(n ast.Node, stack []ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if !ctxInScope(pass, stack) {
+				return true
+			}
+			check(pass, call)
+			return true
+		})
+	}
+	return nil
+}
+
+// ctxInScope reports whether the innermost enclosing function (or any
+// enclosing function literal chain) binds a usable — named —
+// context.Context parameter.
+func ctxInScope(pass *analysis.Pass, stack []ast.Node) bool {
+	has := false
+	for _, n := range stack {
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			// A declared function opens a fresh scope: closures above
+			// it in the file (there are none — FuncDecl is top-level)
+			// cannot leak a context in.
+			has = hasNamedCtxParam(pass, fn.Type)
+		case *ast.FuncLit:
+			// A literal inherits the lexical scope, so an outer
+			// context stays visible.
+			has = has || hasNamedCtxParam(pass, fn.Type)
+		}
+	}
+	return has
+}
+
+func hasNamedCtxParam(pass *analysis.Pass, ft *ast.FuncType) bool {
+	if ft.Params == nil {
+		return false
+	}
+	for _, field := range ft.Params.List {
+		tv, ok := pass.TypesInfo.Types[field.Type]
+		if !ok || !analysis.IsContext(tv.Type) {
+			continue
+		}
+		for _, name := range field.Names {
+			if name.Name != "_" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func check(pass *analysis.Pass, call *ast.CallExpr) {
+	callee := analysis.Callee(pass.TypesInfo, call)
+	if callee == nil || callee.Pkg() == nil {
+		return
+	}
+	name := callee.Name()
+	if strings.HasSuffix(name, "Ctx") {
+		return
+	}
+	sib := sibling(callee, name+"Ctx")
+	if sib == nil {
+		return
+	}
+	// The sibling must actually accept a context first, and must be
+	// callable from here.
+	sig, ok := sib.Type().(*types.Signature)
+	if !ok || sig.Params().Len() == 0 || !analysis.IsContext(sig.Params().At(0).Type()) {
+		return
+	}
+	if !sib.Exported() && sib.Pkg() != pass.Pkg {
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"a context.Context is in scope but %s is called; use %s so cancellation propagates",
+		analysis.FuncName(callee), sib.Name())
+}
+
+// sibling finds the method or package-level function named want
+// alongside callee.
+func sibling(callee *types.Func, want string) *types.Func {
+	sig, ok := callee.Type().(*types.Signature)
+	if !ok {
+		return nil
+	}
+	if recv := sig.Recv(); recv != nil {
+		obj, _, _ := types.LookupFieldOrMethod(recv.Type(), true, callee.Pkg(), want)
+		f, _ := obj.(*types.Func)
+		return f
+	}
+	f, _ := callee.Pkg().Scope().Lookup(want).(*types.Func)
+	return f
+}

@@ -1,0 +1,12 @@
+package ctxdrop_test
+
+import (
+	"testing"
+
+	"threading/internal/analysis/analysistest"
+	"threading/internal/analysis/ctxdrop"
+)
+
+func TestCtxDrop(t *testing.T) {
+	analysistest.Run(t, ctxdrop.Analyzer, "testdata/src/a")
+}

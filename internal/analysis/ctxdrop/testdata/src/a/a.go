@@ -1,0 +1,49 @@
+// Positive ctxdrop cases: every annotated line must be reported.
+package a
+
+import (
+	"context"
+
+	"threading/internal/models"
+	"threading/internal/worksteal"
+)
+
+// A local sibling pair: doWork has a Ctx variant, so calling the
+// plain form with a context in scope is a drop.
+func doWork(n int) int { return n }
+
+func doWorkCtx(ctx context.Context, n int) (int, error) { return n, ctx.Err() }
+
+func localPair(ctx context.Context) {
+	doWork(1) // want `context.Context is in scope but a.doWork is called; use doWorkCtx`
+	_ = ctx
+}
+
+// A local method pair.
+type runner struct{}
+
+func (runner) Launch(n int) {}
+
+func (runner) LaunchCtx(ctx context.Context, n int) error { return ctx.Err() }
+
+func methodPair(ctx context.Context, r runner) {
+	r.Launch(1) // want `context.Context is in scope but runner.Launch is called; use LaunchCtx`
+	_ = ctx
+}
+
+// The real Model surface: ParallelFor/ParallelReduce/TaskRun all have
+// Ctx siblings.
+func modelLoop(ctx context.Context, m models.Model, data []float64) {
+	m.ParallelFor(len(data), func(lo, hi int) {}) // want `Model.ParallelFor is called; use ParallelForCtx`
+}
+
+func poolRun(ctx context.Context, p *worksteal.Pool) {
+	p.Run(func(c *worksteal.Ctx) {}) // want `Pool.Run is called; use RunCtx`
+}
+
+// The context stays visible inside function literals.
+func insideClosure(ctx context.Context, m models.Model) func() {
+	return func() {
+		m.TaskRun(func(s models.TaskScope) {}) // want `Model.TaskRun is called; use TaskRunCtx`
+	}
+}

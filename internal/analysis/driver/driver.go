@@ -1,0 +1,210 @@
+// Package driver applies the threadvet analyzer suite to packages and
+// turns raw diagnostics into findings: positioned, sorted, and
+// filtered through //threadvet:ignore directives. cmd/threadvet is a
+// thin CLI over this package; tests drive it directly.
+package driver
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/token"
+	"io"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"threading/internal/analysis"
+	"threading/internal/analysis/atomicmix"
+	"threading/internal/analysis/ctxdrop"
+	"threading/internal/analysis/grainconst"
+	"threading/internal/analysis/joinleak"
+	"threading/internal/analysis/load"
+	"threading/internal/analysis/lockspawn"
+)
+
+// All is the full threadvet suite.
+var All = []*analysis.Analyzer{
+	atomicmix.Analyzer,
+	ctxdrop.Analyzer,
+	grainconst.Analyzer,
+	joinleak.Analyzer,
+	lockspawn.Analyzer,
+}
+
+// directivePrefix introduces a suppression comment:
+//
+//	//threadvet:ignore <analyzer> <reason>
+//
+// placed on the flagged line or on the line immediately above it. The
+// reason is mandatory — an unexplained suppression is itself a
+// finding — and the directive silences exactly the named analyzer.
+const directivePrefix = "threadvet:ignore"
+
+// Finding is one unsuppressed diagnostic, positioned for output.
+type Finding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// String renders the finding in the go vet style.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", f.File, f.Line, f.Col, f.Analyzer, f.Message)
+}
+
+// Run loads patterns (go list syntax) relative to dir, applies
+// analyzers to every matched package, and returns the unsuppressed
+// findings sorted by position. File paths are reported relative to
+// dir when possible.
+func Run(dir string, patterns []string, analyzers []*analysis.Analyzer) ([]Finding, error) {
+	if abs, err := filepath.Abs(dir); err == nil {
+		dir = abs
+	}
+	l := load.New(dir)
+	pkgs, err := l.Load(patterns...)
+	if err != nil {
+		return nil, err
+	}
+	var out []Finding
+	for _, pkg := range pkgs {
+		fs, err := AnalyzePackage(l.Fset(), pkg, analyzers)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, fs...)
+	}
+	for i := range out {
+		if rel, err := filepath.Rel(dir, out[i].File); err == nil && !strings.HasPrefix(rel, "..") {
+			out[i].File = rel
+		}
+	}
+	sortFindings(out)
+	return out, nil
+}
+
+// AnalyzePackage applies analyzers to one loaded package and returns
+// the findings that survive the package's ignore directives, sorted
+// by position. Malformed directives are reported as findings of the
+// pseudo-analyzer "directive".
+func AnalyzePackage(fset *token.FileSet, pkg *load.Package, analyzers []*analysis.Analyzer) ([]Finding, error) {
+	var diags []analysis.Diagnostic
+	for _, a := range analyzers {
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+			Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %v", a.Name, pkg.ImportPath, err)
+		}
+	}
+
+	ignores, malformed := collectDirectives(fset, pkg.Files)
+
+	var out []Finding
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		if ignores[suppressionKey{file: pos.Filename, line: pos.Line, analyzer: d.Analyzer}] {
+			continue
+		}
+		out = append(out, Finding{
+			File:     pos.Filename,
+			Line:     pos.Line,
+			Col:      pos.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		})
+	}
+	out = append(out, malformed...)
+	sortFindings(out)
+	return out, nil
+}
+
+type suppressionKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+// collectDirectives scans the package's comments for
+// //threadvet:ignore directives. A well-formed directive suppresses
+// its named analyzer on the directive's own line and on the following
+// line (so it works both as a trailing comment and as a comment
+// line above the flagged statement).
+func collectDirectives(fset *token.FileSet, files []*ast.File) (map[suppressionKey]bool, []Finding) {
+	ignores := make(map[suppressionKey]bool)
+	var malformed []Finding
+	for _, file := range files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//"+directivePrefix)
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				fields := strings.Fields(text)
+				if len(fields) < 2 {
+					malformed = append(malformed, Finding{
+						File:     pos.Filename,
+						Line:     pos.Line,
+						Col:      pos.Column,
+						Analyzer: "directive",
+						Message: "malformed " + directivePrefix +
+							" directive: want \"//" + directivePrefix + " <analyzer> <reason>\"",
+					})
+					continue
+				}
+				name := fields[0]
+				ignores[suppressionKey{file: pos.Filename, line: pos.Line, analyzer: name}] = true
+				ignores[suppressionKey{file: pos.Filename, line: pos.Line + 1, analyzer: name}] = true
+			}
+		}
+	}
+	return ignores, malformed
+}
+
+func sortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}
+
+// WriteText writes findings one per line in the go vet style.
+func WriteText(w io.Writer, fs []Finding) error {
+	for _, f := range fs {
+		if _, err := fmt.Fprintln(w, f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteJSON writes findings as newline-delimited JSON objects, one
+// diagnostic per line, for CI annotations and tooling:
+//
+//	{"file":"internal/x/y.go","line":10,"col":2,"analyzer":"ctxdrop","message":"..."}
+func WriteJSON(w io.Writer, fs []Finding) error {
+	enc := json.NewEncoder(w)
+	for _, f := range fs {
+		if err := enc.Encode(f); err != nil {
+			return err
+		}
+	}
+	return nil
+}

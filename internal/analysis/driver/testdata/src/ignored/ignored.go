@@ -1,0 +1,37 @@
+// Fixture for driver suppression tests. Each block below violates an
+// analyzer contract; the directives decide which findings survive.
+package ignored
+
+import (
+	"context"
+
+	"threading/internal/worksteal"
+)
+
+// Suppressed by a trailing directive on the flagged line.
+func trailing(c *worksteal.Ctx, n int) {
+	c.ForDAC(0, n, 1, func(cc *worksteal.Ctx, l, h int) {}) //threadvet:ignore grainconst deliberate blowup demo
+}
+
+// Suppressed by a directive on the line above.
+func lineAbove(c *worksteal.Ctx, n int) {
+	//threadvet:ignore grainconst deliberate blowup demo
+	c.ForDAC(0, n, 1, func(cc *worksteal.Ctx, l, h int) {})
+}
+
+// A directive names exactly one analyzer: this grainconst directive
+// does NOT silence the ctxdrop finding on the same line.
+func wrongAnalyzer(ctx context.Context, p *worksteal.Pool) {
+	p.Run(func(c *worksteal.Ctx) {}) //threadvet:ignore grainconst not the analyzer that fires here
+}
+
+// Unsuppressed: must be reported.
+func unsuppressed(c *worksteal.Ctx, n int) {
+	c.ForDAC(0, n, 1, func(cc *worksteal.Ctx, l, h int) {})
+}
+
+// A directive without a reason is malformed and is itself reported.
+func malformed(c *worksteal.Ctx, n int) {
+	//threadvet:ignore grainconst
+	c.ForDAC(0, n, 0, func(cc *worksteal.Ctx, l, h int) {})
+}

@@ -1,0 +1,92 @@
+// Package grainconst reports recursive-decomposition calls whose
+// constant grain or cut-off degenerates into one task per element.
+//
+// Contract encoded: the paper's task-parallelism stress test (Fig. 5,
+// fib) only terminates in reasonable time because recursion switches
+// to sequential execution below a cut-off — the uncut std::thread and
+// std::async configurations create one live thread per call-tree
+// branch and hang beyond fib(20). The same failure mode exists for
+// loops: a divide-and-conquer loop (ForDAC/ForEach) with a grain of 1
+// spawns one task per iteration, so scheduling overhead swamps the
+// body. This analyzer flags call sites that bake the degenerate
+// constant in: an argument of 1 for a parameter named "grain" (0
+// selects the runtime's default grain and is fine), and an argument
+// of 0 or 1 for a parameter named "cutoff" (which this module's APIs
+// document as disabling the cut-off entirely).
+//
+// Deliberate blowup demonstrations — reproducing the paper's uncut
+// runs — should carry a //threadvet:ignore grainconst directive with
+// the reason.
+package grainconst
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+
+	"threading/internal/analysis"
+)
+
+// Analyzer is the grainconst pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "grainconst",
+	Doc: "report constant grain 1 / cutoff 0|1 arguments that decompose " +
+		"into one task per element (the paper's fib-blowup failure mode)",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			check(pass, call)
+			return true
+		})
+	}
+	return nil
+}
+
+func check(pass *analysis.Pass, call *ast.CallExpr) {
+	callee := analysis.Callee(pass.TypesInfo, call)
+	if callee == nil {
+		return
+	}
+	sig, ok := callee.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	for i := 0; i < sig.Params().Len() && i < len(call.Args); i++ {
+		if sig.Variadic() && i == sig.Params().Len()-1 {
+			break
+		}
+		pname := sig.Params().At(i).Name()
+		if pname != "grain" && pname != "cutoff" {
+			continue
+		}
+		v, ok := constIntArg(pass, call.Args[i])
+		if !ok {
+			continue
+		}
+		switch {
+		case pname == "grain" && v == 1:
+			pass.Reportf(call.Args[i].Pos(),
+				"constant grain 1 passed to %s: one task per iteration swamps the body with scheduling overhead; pass 0 for the default grain or a coarser constant",
+				analysis.FuncName(callee))
+		case pname == "cutoff" && (v == 0 || v == 1):
+			pass.Reportf(call.Args[i].Pos(),
+				"constant cutoff %d passed to %s disables the sequential cut-off: recursion spawns a task per leaf (the paper's uncut fib hangs the thread-backed models); use a cutoff >= 2",
+				v, analysis.FuncName(callee))
+		}
+	}
+}
+
+func constIntArg(pass *analysis.Pass, arg ast.Expr) (int64, bool) {
+	tv, ok := pass.TypesInfo.Types[arg]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+		return 0, false
+	}
+	return constant.Int64Val(tv.Value)
+}

@@ -1,0 +1,12 @@
+package grainconst_test
+
+import (
+	"testing"
+
+	"threading/internal/analysis/analysistest"
+	"threading/internal/analysis/grainconst"
+)
+
+func TestGrainConst(t *testing.T) {
+	analysistest.Run(t, grainconst.Analyzer, "testdata/src/a")
+}

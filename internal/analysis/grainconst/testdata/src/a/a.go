@@ -1,0 +1,39 @@
+// Positive grainconst cases: every annotated line must be reported.
+package a
+
+import (
+	"threading/internal/kernels"
+	"threading/internal/models"
+	"threading/internal/worksteal"
+)
+
+func grainOfOne(c *worksteal.Ctx, n int) {
+	c.ForDAC(0, n, 1, func(cc *worksteal.Ctx, l, h int) {}) // want `constant grain 1 passed to Ctx.ForDAC`
+}
+
+func forEachGrainOfOne(c *worksteal.Ctx, n int) {
+	c.ForEach(0, n, 1, func(cc *worksteal.Ctx, i int) {}) // want `constant grain 1 passed to Ctx.ForEach`
+}
+
+func uncutFib(m models.Model) uint64 {
+	return kernels.FibTask(m, 30, 0) // want `constant cutoff 0 passed to kernels.FibTask disables the sequential cut-off`
+}
+
+func cutoffOfOne(m models.Model) uint64 {
+	return kernels.FibTask(m, 30, 1) // want `constant cutoff 1 passed to kernels.FibTask disables the sequential cut-off`
+}
+
+// Named constants count too: the value is what matters.
+const degenerate = 1
+
+func namedConstant(c *worksteal.Ctx, n int) {
+	c.ForDAC(0, n, degenerate, func(cc *worksteal.Ctx, l, h int) {}) // want `constant grain 1 passed to Ctx.ForDAC`
+}
+
+// Local helpers with the contract parameter names are covered by the
+// same check.
+func decompose(lo, hi, grain int) {}
+
+func localHelper() {
+	decompose(0, 1<<20, 1) // want `constant grain 1 passed to a.decompose`
+}

@@ -1,0 +1,36 @@
+// Negative grainconst cases: nothing in this file may be reported.
+package a
+
+import (
+	"threading/internal/kernels"
+	"threading/internal/models"
+	"threading/internal/worksteal"
+)
+
+// Grain 0 selects the runtime's default grain: the recommended form.
+func defaultGrain(c *worksteal.Ctx, n int) {
+	c.ForDAC(0, n, 0, func(cc *worksteal.Ctx, l, h int) {})
+}
+
+// A coarse constant grain is fine.
+func coarseGrain(c *worksteal.Ctx, n int) {
+	c.ForEach(0, n, 64, func(cc *worksteal.Ctx, i int) {})
+}
+
+// A real cut-off is fine.
+func cutFib(m models.Model) uint64 {
+	return kernels.FibTask(m, 30, 18)
+}
+
+// Non-constant arguments are out of scope for a static check.
+func dynamicGrain(c *worksteal.Ctx, n, grain int) {
+	c.ForDAC(0, n, grain, func(cc *worksteal.Ctx, l, h int) {})
+}
+
+// A parameter that merely contains the word is not the contract
+// parameter.
+func unrelated(grainy int) {}
+
+func callsUnrelated() {
+	unrelated(1)
+}

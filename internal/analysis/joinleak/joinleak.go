@@ -1,0 +1,255 @@
+// Package joinleak reports futures and threads that are created but
+// can never be joined.
+//
+// Contract encoded: every futures.Async / futures.NewThread handle
+// (and every combinator future from Then/WhenAll/WhenAny) must
+// eventually be consumed — Get/GetCtx on a future, Join/JoinCtx or an
+// explicit Detach on a thread. A handle that is discarded, or bound to
+// a local that is never consumed, leaves the underlying task running
+// with nobody to observe its result or its panic: under the
+// thread-per-task models that is a live goroutine pinned for the
+// process lifetime, and in the paper's terms it is an unjoined spawn —
+// the dominant bug class Kulkarni & Lumsdaine report for many-tasking
+// runtimes.
+//
+// The analysis is intraprocedural and conservative: a handle that
+// escapes the creating function (passed as an argument, returned,
+// stored into a field, slice, map, or channel, or reassigned) is
+// assumed joined elsewhere and not reported.
+package joinleak
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"threading/internal/analysis"
+)
+
+const futuresPath = "threading/internal/futures"
+
+// Analyzer is the joinleak pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "joinleak",
+	Doc: "report futures.Async/NewThread handles that are discarded or " +
+		"never consumed by Get/GetCtx/Join/JoinCtx/Detach",
+	Run: run,
+}
+
+type handleKind int
+
+const (
+	kindNone handleKind = iota
+	kindFuture
+	kindThread
+)
+
+func (k handleKind) String() string {
+	if k == kindThread {
+		return "thread"
+	}
+	return "future"
+}
+
+// consumers maps each handle kind to the methods that discharge the
+// join obligation. Observation-only methods (Ready, WaitFor,
+// Joinable) intentionally do not.
+var consumers = map[handleKind]map[string]bool{
+	kindFuture: {"Get": true, "GetCtx": true},
+	kindThread: {"Join": true, "JoinCtx": true, "Detach": true},
+}
+
+func consumerNames(k handleKind) string {
+	if k == kindThread {
+		return "Join/JoinCtx (or Detach)"
+	}
+	return "Get/GetCtx"
+}
+
+// handleType classifies t as a tracked handle.
+func handleType(t types.Type) handleKind {
+	if t == nil {
+		return kindNone
+	}
+	switch {
+	case analysis.IsNamed(t, futuresPath, "Future"):
+		return kindFuture
+	case analysis.IsNamed(t, futuresPath, "Thread"):
+		return kindThread
+	}
+	return kindNone
+}
+
+// creatorCall reports whether call invokes a package-level function
+// returning a fresh handle (futures.Async, futures.NewThread, the
+// threading re-exports, combinators, and any helper with the same
+// shape). Methods are excluded so accessors like Promise.Future do
+// not register a second obligation for the same task.
+func creatorCall(pass *analysis.Pass, call *ast.CallExpr) (handleKind, *types.Func) {
+	callee := analysis.Callee(pass.TypesInfo, call)
+	if callee == nil {
+		return kindNone, nil
+	}
+	if sig, ok := callee.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return kindNone, nil
+	}
+	tv, ok := pass.TypesInfo.Types[call]
+	if !ok {
+		return kindNone, nil
+	}
+	return handleType(tv.Type), callee
+}
+
+// candidate is one local variable bound to a fresh handle.
+type candidate struct {
+	kind    handleKind
+	creator *types.Func
+	pos     token.Pos
+	name    string
+	joined  bool
+	escaped bool
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		runFile(pass, file)
+	}
+	return nil
+}
+
+func runFile(pass *analysis.Pass, file *ast.File) {
+	candidates := make(map[*types.Var]*candidate)
+	var order []*types.Var
+
+	addCandidate := func(id *ast.Ident, kind handleKind, creator *types.Func) {
+		obj, _ := pass.TypesInfo.Defs[id].(*types.Var)
+		if obj == nil {
+			return
+		}
+		if prev, ok := candidates[obj]; ok {
+			// Redefinition in a nested scope shadows; track the
+			// variable conservatively by disqualifying both.
+			prev.escaped = true
+			return
+		}
+		candidates[obj] = &candidate{kind: kind, creator: creator, pos: id.Pos(), name: id.Name}
+		order = append(order, obj)
+	}
+
+	reportDiscard := func(pos token.Pos, kind handleKind, creator *types.Func) {
+		pass.Reportf(pos,
+			"result of %s is discarded: the %s it starts can never be joined; call %s",
+			analysis.FuncName(creator), kind, consumerNames(kind))
+	}
+
+	// Phase 1: collect creation sites — discarded results and local
+	// bindings.
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ExprStmt:
+			if call, ok := n.X.(*ast.CallExpr); ok {
+				if kind, creator := creatorCall(pass, call); kind != kindNone {
+					reportDiscard(call.Pos(), kind, creator)
+				}
+			}
+		case *ast.AssignStmt:
+			if len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, rhs := range n.Rhs {
+				call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+				if !ok {
+					continue
+				}
+				kind, creator := creatorCall(pass, call)
+				if kind == kindNone {
+					continue
+				}
+				id, ok := n.Lhs[i].(*ast.Ident)
+				if !ok {
+					continue // stored into a field/index: escapes
+				}
+				if id.Name == "_" {
+					reportDiscard(call.Pos(), kind, creator)
+					continue
+				}
+				if n.Tok == token.DEFINE {
+					addCandidate(id, kind, creator)
+				}
+				// Plain reassignment (tok == ASSIGN) is handled in
+				// phase 2: the LHS use disqualifies the variable.
+			}
+		case *ast.ValueSpec:
+			if len(n.Names) != len(n.Values) {
+				return true
+			}
+			for i, v := range n.Values {
+				call, ok := ast.Unparen(v).(*ast.CallExpr)
+				if !ok {
+					continue
+				}
+				kind, creator := creatorCall(pass, call)
+				if kind == kindNone {
+					continue
+				}
+				if n.Names[i].Name == "_" {
+					reportDiscard(call.Pos(), kind, creator)
+					continue
+				}
+				addCandidate(n.Names[i], kind, creator)
+			}
+		}
+		return true
+	})
+
+	if len(candidates) == 0 {
+		return
+	}
+
+	// Phase 2: classify every use of each candidate. A consuming
+	// method call discharges the obligation; an observation-only
+	// method is neutral; anything else (argument, return, store,
+	// reassignment, address-taking) is an escape and silences the
+	// check.
+	analysis.WithStack(file, func(n ast.Node, stack []ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj, _ := pass.TypesInfo.Uses[id].(*types.Var)
+		if obj == nil {
+			return true
+		}
+		c, ok := candidates[obj]
+		if !ok {
+			return true
+		}
+		if len(stack) >= 2 {
+			if sel, ok := stack[len(stack)-1].(*ast.SelectorExpr); ok && sel.X == id {
+				if call, ok := stack[len(stack)-2].(*ast.CallExpr); ok && call.Fun == sel {
+					if consumers[c.kind][sel.Sel.Name] {
+						c.joined = true
+					}
+					// Non-consuming methods (Ready, WaitFor,
+					// Joinable) neither join nor escape.
+					return true
+				}
+				// Method value or field-like use: escapes.
+				c.escaped = true
+				return true
+			}
+		}
+		c.escaped = true
+		return true
+	})
+
+	for _, obj := range order {
+		c := candidates[obj]
+		if c.joined || c.escaped {
+			continue
+		}
+		pass.Reportf(c.pos,
+			"%s %q from %s is never consumed: call %s on every path or the task leaks",
+			c.kind, c.name, analysis.FuncName(c.creator), consumerNames(c.kind))
+	}
+}

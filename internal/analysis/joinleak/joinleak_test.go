@@ -1,0 +1,12 @@
+package joinleak_test
+
+import (
+	"testing"
+
+	"threading/internal/analysis/analysistest"
+	"threading/internal/analysis/joinleak"
+)
+
+func TestJoinLeak(t *testing.T) {
+	analysistest.Run(t, joinleak.Analyzer, "testdata/src/a")
+}

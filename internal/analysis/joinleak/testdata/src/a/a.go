@@ -1,0 +1,43 @@
+// Positive joinleak cases: every annotated line must be reported.
+package a
+
+import (
+	"threading"
+	"threading/internal/futures"
+)
+
+func discardedFuture() {
+	futures.Async(futures.LaunchAsync, func() (int, error) { return 1, nil }) // want `result of futures.Async is discarded`
+}
+
+func discardedThread() {
+	futures.NewThread(func() {}) // want `result of futures.NewThread is discarded`
+}
+
+func blankFuture() {
+	_ = futures.Async(futures.LaunchAsync, func() (int, error) { return 1, nil }) // want `result of futures.Async is discarded`
+}
+
+func neverConsumedFuture() {
+	f := futures.Async(futures.LaunchAsync, func() (int, error) { return 1, nil }) // want `future "f" from futures.Async is never consumed`
+	_ = f.Ready()                                                                  // observation does not discharge the join
+}
+
+func neverConsumedThread() {
+	t := futures.NewThread(func() {}) // want `thread "t" from futures.NewThread is never consumed`
+	_ = t.Joinable()
+}
+
+func rootPackageWrapper() {
+	f := threading.Async(threading.LaunchAsync, func() (int, error) { return 1, nil }) // want `future "f" from threading.Async is never consumed`
+	_ = f.WaitFor(0)
+}
+
+func varDecl() {
+	var t = futures.NewThread(func() {}) // want `thread "t" from futures.NewThread is never consumed`
+	_ = t.Joinable()
+}
+
+func discardedCombinator(a, b *futures.Future[int]) {
+	futures.WhenAll(a, b) // want `result of futures.WhenAll is discarded`
+}

@@ -1,0 +1,62 @@
+// Negative joinleak cases: nothing in this file may be reported.
+package a
+
+import (
+	"context"
+
+	"threading/internal/futures"
+)
+
+func joined() int {
+	f := futures.Async(futures.LaunchAsync, func() (int, error) { return 1, nil })
+	v, _ := f.Get()
+	return v
+}
+
+func joinedCtx(ctx context.Context) error {
+	t := futures.NewThread(func() {})
+	return t.JoinCtx(ctx)
+}
+
+func detached() {
+	t := futures.NewThread(func() {})
+	t.Detach()
+}
+
+func joinedInClosure() func() {
+	f := futures.Async(futures.LaunchAsync, func() (int, error) { return 1, nil })
+	return func() { f.Get() }
+}
+
+func joinedLater() {
+	t := futures.NewThread(func() {})
+	defer t.Join()
+}
+
+func escapesAsArgument(join func(*futures.Thread)) {
+	t := futures.NewThread(func() {})
+	join(t)
+}
+
+func escapesByReturn() *futures.Future[int] {
+	f := futures.Async(futures.LaunchDeferred, func() (int, error) { return 1, nil })
+	return f
+}
+
+func escapesIntoSlice() []*futures.Future[int] {
+	fs := make([]*futures.Future[int], 0, 1)
+	f := futures.Async(futures.LaunchAsync, func() (int, error) { return 1, nil })
+	fs = append(fs, f)
+	return fs
+}
+
+func accessorNotCreator() {
+	p := futures.NewPromise[int]()
+	p.Future() // an accessor, not a fresh task: not a leak
+	p.Set(1)
+}
+
+func combinatorConsumed(a, b *futures.Future[int]) ([]int, error) {
+	all := futures.WhenAll(a, b)
+	return all.Get()
+}

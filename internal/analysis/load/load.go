@@ -1,0 +1,220 @@
+// Package load type-checks packages for the threadvet analyzers
+// without any dependency outside the standard library.
+//
+// Strategy: `go list -export -deps -json` enumerates the requested
+// packages and compiles their dependency graph into the build cache,
+// reporting an export-data file per dependency. Each requested package
+// is then parsed from source and type-checked with go/types, importing
+// its dependencies through the standard gc importer fed from those
+// export files. This is the same division of labour as
+// golang.org/x/tools/go/packages in LoadSyntax mode, scoped down to
+// what a single-module analysis driver needs, and it works fully
+// offline.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one parsed and type-checked package.
+type Package struct {
+	// ImportPath is the package's import path (for analysistest
+	// fixtures, a synthetic path derived from the directory name).
+	ImportPath string
+	// Dir is the directory holding the package's sources.
+	Dir   string
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// listedPkg is the subset of `go list -json` output the loader reads.
+type listedPkg struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// Loader loads packages for analysis. One Loader shares a FileSet and
+// an import cache across all packages it loads.
+type Loader struct {
+	// Dir is the directory `go list` runs in; it must be inside the
+	// module whose packages are being analyzed.
+	Dir string
+
+	fset    *token.FileSet
+	exports map[string]string // import path -> export data file
+	imp     types.Importer
+}
+
+// New returns a Loader rooted at dir.
+func New(dir string) *Loader {
+	l := &Loader{
+		Dir:     dir,
+		fset:    token.NewFileSet(),
+		exports: make(map[string]string),
+	}
+	l.imp = importer.ForCompiler(l.fset, "gc", l.lookup)
+	return l
+}
+
+// Fset returns the loader's file set.
+func (l *Loader) Fset() *token.FileSet { return l.fset }
+
+// golist runs `go list -e -export -deps -json` over patterns,
+// recording export-data locations for every listed package, and
+// returns the listed packages in dependency order.
+func (l *Loader) golist(patterns ...string) ([]*listedPkg, error) {
+	args := append([]string{
+		"list", "-e", "-export", "-deps",
+		"-json=ImportPath,Dir,Export,GoFiles,DepOnly,Error",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = l.Dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s",
+			strings.Join(patterns, " "), err, stderr.String())
+	}
+	var pkgs []*listedPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		p := new(listedPkg)
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list %s: decoding output: %v",
+				strings.Join(patterns, " "), err)
+		}
+		if p.Export != "" {
+			l.exports[p.ImportPath] = p.Export
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// lookup feeds the gc importer: it returns the export data for an
+// import path, listing it on demand when the path was not part of an
+// earlier Load (analysistest fixtures may import packages outside the
+// preloaded graph).
+func (l *Loader) lookup(path string) (io.ReadCloser, error) {
+	if f, ok := l.exports[path]; ok {
+		return os.Open(f)
+	}
+	if _, err := l.golist(path); err != nil {
+		return nil, err
+	}
+	if f, ok := l.exports[path]; ok {
+		return os.Open(f)
+	}
+	return nil, fmt.Errorf("no export data for %q", path)
+}
+
+// Load lists patterns (go list syntax, e.g. "./...") and type-checks
+// each matched package from source. Dependencies are imported from
+// export data and are not returned.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	listed, err := l.golist(patterns...)
+	if err != nil {
+		return nil, err
+	}
+	var out []*Package
+	for _, p := range listed {
+		if p.DepOnly {
+			continue
+		}
+		if p.Error != nil {
+			return nil, errors.New(p.Error.Err)
+		}
+		if len(p.GoFiles) == 0 {
+			continue
+		}
+		files := make([]string, len(p.GoFiles))
+		for i, f := range p.GoFiles {
+			files[i] = filepath.Join(p.Dir, f)
+		}
+		pkg, err := l.check(p.ImportPath, p.Dir, files)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// CheckDir parses every .go file in dir as one package and
+// type-checks it under a synthetic import path derived from the
+// directory name. It exists for analysistest fixtures, which live
+// under testdata and are invisible to `go list`; their imports of
+// real module packages resolve through the loader's importer.
+func (l *Loader) CheckDir(dir string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			files = append(files, filepath.Join(dir, e.Name()))
+		}
+	}
+	sort.Strings(files)
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no .go files in %s", dir)
+	}
+	return l.check(filepath.Base(dir), dir, files)
+}
+
+// check parses and type-checks one package from source.
+func (l *Loader) check(path, dir string, filenames []string) (*Package, error) {
+	var files []*ast.File
+	for _, name := range filenames {
+		f, err := parser.ParseFile(l.fset, name, nil,
+			parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Instances:  make(map[*ast.Ident]types.Instance),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: l.imp}
+	tpkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %v", path, err)
+	}
+	return &Package{
+		ImportPath: path,
+		Dir:        dir,
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
+	}, nil
+}

@@ -1,0 +1,93 @@
+package load_test
+
+import (
+	"go/token"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"threading/internal/analysis/load"
+)
+
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod above working directory")
+		}
+		dir = parent
+	}
+}
+
+// TestLoadPackage checks that a real module package round-trips
+// through the loader with full type information.
+func TestLoadPackage(t *testing.T) {
+	l := load.New(moduleRoot(t))
+	pkgs, err := l.Load("./internal/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1", len(pkgs))
+	}
+	p := pkgs[0]
+	if p.ImportPath != "threading/internal/stats" {
+		t.Errorf("ImportPath = %q", p.ImportPath)
+	}
+	if p.Types == nil || p.Types.Scope().Lookup("Summarize") == nil {
+		t.Error("type information missing: no Summarize in package scope")
+	}
+	if len(p.Info.Defs) == 0 || len(p.Info.Uses) == 0 {
+		t.Error("Info.Defs/Uses not populated")
+	}
+	if len(p.Files) == 0 {
+		t.Error("no parsed files")
+	}
+}
+
+// TestLoadResolvesModuleImports checks that dependencies of a loaded
+// package — including other module packages — import through export
+// data: internal/harness imports internal/models, internal/sched, ...
+func TestLoadResolvesModuleImports(t *testing.T) {
+	l := load.New(moduleRoot(t))
+	pkgs, err := l.Load("./internal/harness")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1", len(pkgs))
+	}
+	found := false
+	for _, imp := range pkgs[0].Types.Imports() {
+		if imp.Path() == "threading/internal/models" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("threading/internal/models not among harness imports")
+	}
+}
+
+// TestCheckDirFixture checks the analysistest path: a directory that
+// go list cannot see, importing a real module package.
+func TestCheckDirFixture(t *testing.T) {
+	l := load.New(moduleRoot(t))
+	p, err := l.CheckDir("testdata/src/fix")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Types.Scope().Lookup("Mean") == nil {
+		t.Error("Mean not in fixture scope")
+	}
+	if l.Fset() == (*token.FileSet)(nil) {
+		t.Error("nil fset")
+	}
+}

@@ -1,0 +1,10 @@
+// Fixture for TestCheckDirFixture: a package outside go list's view
+// that imports a real module package.
+package fix
+
+import "threading/internal/stats"
+
+// Mean exists only to exercise cross-package type resolution.
+func Mean() stats.Sample {
+	return stats.Sample{}
+}

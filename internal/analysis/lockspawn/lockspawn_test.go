@@ -1,0 +1,12 @@
+package lockspawn_test
+
+import (
+	"testing"
+
+	"threading/internal/analysis/analysistest"
+	"threading/internal/analysis/lockspawn"
+)
+
+func TestLockSpawn(t *testing.T) {
+	analysistest.Run(t, lockspawn.Analyzer, "testdata/src/a")
+}

@@ -1,0 +1,37 @@
+// Negative lockspawn cases: nothing in this file may be reported.
+package a
+
+import (
+	"sync"
+
+	"threading/internal/worksteal"
+)
+
+// Unlock before submitting: fine.
+func unlockFirst(mu *sync.Mutex, p *worksteal.Pool, state *int) {
+	mu.Lock()
+	*state++
+	mu.Unlock()
+	p.Run(func(c *worksteal.Ctx) {})
+}
+
+// Locking inside the task body is the correct shape: the lock is
+// taken and released by whichever worker runs the chunk, not held
+// across the join.
+func lockInsideBody(mu *sync.Mutex, p *worksteal.Pool, state *int) {
+	p.Run(func(c *worksteal.Ctx) {
+		mu.Lock()
+		*state++
+		mu.Unlock()
+	})
+}
+
+// A different function's lock does not leak into this one.
+func separateFunctions(mu *sync.Mutex) {
+	mu.Lock()
+	mu.Unlock()
+}
+
+func submitsFreely(p *worksteal.Pool) {
+	p.Run(func(c *worksteal.Ctx) {})
+}

@@ -38,6 +38,7 @@ func (m *cppThread) ParallelForCtx(ctx context.Context, n int, body func(lo, hi 
 		ths = append(ths, futures.NewThread(guarded(reg, func() { body(lo, hi) })))
 	}
 	for _, th := range ths {
+		//threadvet:ignore ctxdrop drain on purpose: guarded bodies stop at chunk boundaries once ctx cancels, and the region must be empty before the model is reusable (JoinCtx would abandon live threads)
 		th.Join()
 	}
 	return reg.Finish()
@@ -70,6 +71,7 @@ func (m *cppThread) ParallelReduceCtx(ctx context.Context, n int, identity float
 		ths = append(ths, futures.NewThread(guarded(reg, func() { partials[i] = body(lo, hi, identity) })))
 	}
 	for _, th := range ths {
+		//threadvet:ignore ctxdrop drain on purpose: guarded bodies stop at chunk boundaries once ctx cancels, and every partial must be written before the combine loop reads them
 		th.Join()
 	}
 	if err := reg.Finish(); err != nil {
@@ -168,6 +170,7 @@ func (m *cppAsync) ParallelForCtx(ctx context.Context, n int, body func(lo, hi i
 		}))
 	}
 	for _, f := range fs {
+		//threadvet:ignore ctxdrop drain on purpose: guarded bodies stop at chunk boundaries once ctx cancels; GetCtx would abandon running tasks and race the next region
 		if _, err := f.Get(); err != nil {
 			reg.RecordError(err)
 		}
@@ -204,6 +207,7 @@ func (m *cppAsync) ParallelReduceCtx(ctx context.Context, n int, identity float6
 	}
 	acc := identity
 	for _, f := range fs {
+		//threadvet:ignore ctxdrop drain on purpose: guarded bodies stop at chunk boundaries once ctx cancels; every chunk future must settle before the region is reported finished
 		v, err := f.Get()
 		if err != nil {
 			reg.RecordError(err)
