@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: all build test race race-sched vet lint bench-smoke bench-loopdist clean
+.PHONY: all build test race race-sched vet lint bench-smoke bench-loopdist bench-record bench-gate clean
 
-all: build vet lint test
+all: build vet lint test bench-gate
 
 build:
 	$(GO) build ./...
@@ -29,13 +29,30 @@ lint:
 	$(GO) run ./cmd/threadvet ./...
 
 # A fast, single-repetition pass over two figures — enough to catch a
-# harness regression without a full sweep.
+# harness regression without a full sweep. The raw samples land in
+# BENCH_smoke.json (benchgate schema), so even the smoke run leaves a
+# compare-able artifact.
 bench-smoke:
-	$(GO) run ./cmd/threadbench -fig fig1,fig5 -threads 1,2 -reps 1 -scale 0.1
+	$(GO) run ./cmd/threadbench -fig fig1,fig5 -threads 1,2 -reps 1 -scale 0.1 -out BENCH_smoke.json
 
-# Regenerate the eager-vs-lazy loop-distribution measurements.
+# Regenerate the eager-vs-lazy loop-distribution measurements
+# (benchgate schema; feed two runs to `benchgate compare`).
 bench-loopdist:
 	$(GO) run ./cmd/loopdist
+
+# Re-record the committed kernel baseline the regression gate compares
+# against. Run on the machine of record after an intentional perf
+# change, and commit the result.
+bench-record:
+	$(GO) run ./cmd/benchgate record -out BENCH_kernels.json
+
+# Statistical benchmark-regression gate: fresh samples against the
+# committed baseline, plus the paper's directional invariants
+# (work-sharing <= eager work-stealing on flat loops; lazy <= eager at
+# stress grain). Loose -ratio so shared/noisy machines don't flap;
+# exit 1 means a real ordering inversion or a significant regression.
+bench-gate:
+	$(GO) run ./cmd/benchgate check -reps 3 -alpha 0.05 -ratio 1.3
 
 clean:
 	$(GO) clean ./...

@@ -1,0 +1,289 @@
+// Command benchgate is the statistical benchmark-regression gate: it
+// records schema-versioned sample baselines, compares two recorded
+// runs with a Mann-Whitney U test plus a minimum-effect threshold,
+// and checks fresh samples against the committed baseline together
+// with the paper's directional invariants (work-sharing beats eager
+// work-stealing on flat loops; lazy splitting beats eager at stress
+// grain).
+//
+// Usage:
+//
+//	benchgate record  [-out BENCH_kernels.json] [-kernels axpy,sum,matvec]
+//	                  [-threads N] [-reps 7] [-grain 64] [-scale 0.1]
+//	benchgate compare [-alpha 0.05] [-ratio 1.1] [-json] old.json new.json
+//	benchgate check   [-baseline BENCH_kernels.json] [-reps N]
+//	                  [-alpha 0.05] [-ratio 1.3] [-json] [-out fresh.json]
+//
+// record runs the kernel suite through the benchmark harness and
+// writes every raw repetition with environment metadata (go version,
+// GOMAXPROCS, rep count). compare classifies each shared key as
+// improved / regressed / unchanged; a verdict only leaves unchanged
+// when the U test rejects equality at -alpha AND both min and median
+// moved by at least -ratio. check re-measures using the baseline's
+// recorded configuration, compares against the baseline, and asserts
+// the directional invariants on both sample sets; when the baseline
+// was recorded in a different environment (platform or GOMAXPROCS),
+// absolute regressions are reported but only invariants gate.
+//
+// -json emits one JSON object per verdict (and per invariant result
+// for check) on stdout. Exit status: 0 clean, 1 regressions or
+// violated invariants, 2 usage or load failure — the same convention
+// as threadvet. SIGINT exits 130.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"threading/internal/benchgate"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+const usage = `usage: benchgate <record|compare|check> [flags]
+
+  record   run the kernel suite and write a baseline sample file
+  compare  classify old.json -> new.json per key (improved/regressed/unchanged)
+  check    run fresh samples against the committed baseline + invariants
+`
+
+// run dispatches the subcommand and returns the process exit code:
+// 0 clean, 1 findings (regressions or violated invariants), 2 usage
+// or load failure, 130 interrupted.
+func run(args []string, stdout, stderr io.Writer) int {
+	if len(args) == 0 {
+		fmt.Fprint(stderr, usage)
+		return 2
+	}
+	switch args[0] {
+	case "record":
+		return runRecord(args[1:], stdout, stderr)
+	case "compare":
+		return runCompare(args[1:], stdout, stderr)
+	case "check":
+		return runCheck(args[1:], stdout, stderr)
+	case "help", "-h", "-help", "--help":
+		fmt.Fprint(stdout, usage)
+		return 0
+	default:
+		fmt.Fprintf(stderr, "benchgate: unknown mode %q\n%s", args[0], usage)
+		return 2
+	}
+}
+
+func signalCtx() (context.Context, context.CancelFunc) {
+	return signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+}
+
+func runRecord(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchgate record", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		out     = fs.String("out", "BENCH_kernels.json", "output sample file")
+		kernels = fs.String("kernels", "", "comma-separated kernels (axpy,sum,matvec,matmul); empty = default suite")
+		threads = fs.Int("threads", 0, "pool size; 0 = GOMAXPROCS")
+		reps    = fs.Int("reps", 0, "timed repetitions per series; 0 = 7")
+		grain   = fs.Int("grain", 0, "distribution-stressing grain; 0 = 64")
+		scale   = fs.Float64("scale", 0, "workload scale factor; 0 = 0.1")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	cfg := benchgate.SuiteConfig{
+		Threads: *threads, Reps: *reps, Grain: *grain, Scale: *scale,
+	}
+	if *kernels != "" {
+		cfg.Kernels = splitList(*kernels)
+	}
+	ctx, stop := signalCtx()
+	defer stop()
+	rep, err := benchgate.RunSuite(ctx, cfg)
+	if err != nil {
+		return suiteFailure(err, stderr)
+	}
+	if err := benchgate.WriteFile(*out, rep); err != nil {
+		fmt.Fprintf(stderr, "benchgate: %v\n", err)
+		return 2
+	}
+	writeReportSummary(stdout, rep)
+	fmt.Fprintf(stdout, "wrote %s (%d series, %d reps each)\n", *out, len(rep.Series), rep.Config.Reps)
+	return 0
+}
+
+func runCompare(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchgate compare", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		alpha   = fs.Float64("alpha", 0, "Mann-Whitney significance level; 0 = 0.05")
+		ratio   = fs.Float64("ratio", 0, "minimum effect ratio for a verdict to flip; 0 = 1.10")
+		jsonOut = fs.Bool("json", false, "emit newline-delimited JSON verdicts on stdout")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 2 {
+		fmt.Fprintf(stderr, "benchgate compare: want exactly two sample files, got %d\n", fs.NArg())
+		return 2
+	}
+	oldRep, err := benchgate.ReadFile(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintf(stderr, "benchgate: %v\n", err)
+		return 2
+	}
+	newRep, err := benchgate.ReadFile(fs.Arg(1))
+	if err != nil {
+		fmt.Fprintf(stderr, "benchgate: %v\n", err)
+		return 2
+	}
+	opt := benchgate.Options{Alpha: *alpha, MinRatio: *ratio}
+	verdicts, warnings := benchgate.Compare(oldRep, newRep, opt)
+	for _, w := range warnings {
+		fmt.Fprintf(stderr, "benchgate: warning: %s\n", w)
+	}
+	if *jsonOut {
+		if err := benchgate.WriteVerdictJSON(stdout, verdicts); err != nil {
+			fmt.Fprintf(stderr, "benchgate: %v\n", err)
+			return 2
+		}
+	} else {
+		benchgate.WriteVerdictTable(stdout, verdicts)
+	}
+	if benchgate.AnyRegressed(verdicts) {
+		return 1
+	}
+	return 0
+}
+
+func runCheck(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchgate check", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		baseline = fs.String("baseline", "BENCH_kernels.json", "committed baseline sample file")
+		reps     = fs.Int("reps", 0, "timed repetitions for the fresh run; 0 = the baseline's rep count")
+		alpha    = fs.Float64("alpha", 0, "Mann-Whitney significance level; 0 = 0.05")
+		ratio    = fs.Float64("ratio", 0, "minimum effect ratio; 0 = 1.10 (CI uses 1.3 so shared runners don't flap)")
+		jsonOut  = fs.Bool("json", false, "emit newline-delimited JSON verdicts and invariant results on stdout")
+		out      = fs.String("out", "", "also write the fresh samples to this path (CI artifact)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	base, err := benchgate.ReadFile(*baseline)
+	if err != nil {
+		fmt.Fprintf(stderr, "benchgate: %v\n", err)
+		return 2
+	}
+	opt := benchgate.Options{Alpha: *alpha, MinRatio: *ratio}
+	invs := benchgate.DefaultInvariants(base.Config.Threads, base.Config.Grain)
+
+	// The baseline must itself satisfy the paper's orderings: a
+	// doctored (or stale) baseline that inverts them fails the gate
+	// before any fresh measurement is trusted against it.
+	baseInv := benchgate.CheckInvariants(base, invs, opt)
+
+	cfg := benchgate.SuiteConfig{
+		Kernels: base.Config.Kernels,
+		Threads: base.Config.Threads,
+		Reps:    base.Config.Reps,
+		Grain:   base.Config.Grain,
+		Scale:   base.Config.Scale,
+	}
+	if *reps > 0 {
+		cfg.Reps = *reps
+	}
+	ctx, stop := signalCtx()
+	defer stop()
+	fresh, err := benchgate.RunSuite(ctx, cfg)
+	if err != nil {
+		return suiteFailure(err, stderr)
+	}
+	if *out != "" {
+		if err := benchgate.WriteFile(*out, fresh); err != nil {
+			fmt.Fprintf(stderr, "benchgate: %v\n", err)
+			return 2
+		}
+	}
+	verdicts, warnings := benchgate.Compare(base, fresh, opt)
+	freshInv := benchgate.CheckInvariants(fresh, invs, opt)
+	for _, w := range warnings {
+		fmt.Fprintf(stderr, "benchgate: warning: %s\n", w)
+	}
+
+	comparable := base.Env.Comparable(fresh.Env)
+	if *jsonOut {
+		if err := benchgate.WriteVerdictJSON(stdout, verdicts); err != nil {
+			fmt.Fprintf(stderr, "benchgate: %v\n", err)
+			return 2
+		}
+		if err := benchgate.WriteInvariantJSON(stdout, baseInv); err != nil {
+			fmt.Fprintf(stderr, "benchgate: %v\n", err)
+			return 2
+		}
+		if err := benchgate.WriteInvariantJSON(stdout, freshInv); err != nil {
+			fmt.Fprintf(stderr, "benchgate: %v\n", err)
+			return 2
+		}
+	} else {
+		benchgate.WriteVerdictTable(stdout, verdicts)
+		fmt.Fprintln(stdout)
+		benchgate.WriteInvariantTable(stdout, "baseline", baseInv)
+		benchgate.WriteInvariantTable(stdout, "fresh", freshInv)
+	}
+
+	failed := benchgate.AnyViolated(baseInv) || benchgate.AnyViolated(freshInv)
+	if benchgate.AnyRegressed(verdicts) {
+		if comparable {
+			failed = true
+		} else {
+			fmt.Fprintln(stderr, "benchgate: note: regressions vs a baseline from a different environment are advisory; gating on invariants only")
+		}
+	}
+	if failed {
+		return 1
+	}
+	return 0
+}
+
+// suiteFailure maps a suite error to an exit code: 130 for an
+// interrupt (mirroring threadbench), 2 otherwise.
+func suiteFailure(err error, stderr io.Writer) int {
+	if errors.Is(err, context.Canceled) {
+		fmt.Fprintln(stderr, "benchgate: interrupted")
+		return 130
+	}
+	fmt.Fprintf(stderr, "benchgate: %v\n", err)
+	return 2
+}
+
+func writeReportSummary(w io.Writer, rep *benchgate.Report) {
+	fmt.Fprintf(w, "%-34s %12s %12s %26s\n", "key", "min", "median", "95% CI (median)")
+	for _, s := range rep.Series {
+		sum := benchgate.Summarize(s.SampleNs)
+		fmt.Fprintf(w, "%-34s %12s %12s %12s %-12s\n",
+			s.Key,
+			time.Duration(sum.MinNs).Round(time.Microsecond),
+			time.Duration(sum.MedianNs).Round(time.Microsecond),
+			time.Duration(sum.CILoNs).Round(time.Microsecond),
+			"- "+time.Duration(sum.CIHiNs).Round(time.Microsecond).String())
+	}
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if p := strings.TrimSpace(part); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

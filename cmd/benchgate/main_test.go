@@ -1,0 +1,213 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"threading/internal/benchgate"
+	"threading/internal/models"
+)
+
+// writeReport persists a report for the CLI under test.
+func writeReport(t *testing.T, path string, rep *benchgate.Report) {
+	t.Helper()
+	if err := benchgate.WriteFile(path, rep); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// healthy builds a small report consistent with the paper's
+// orderings at threads=1, grain=64.
+func healthy() *benchgate.Report {
+	rep := benchgate.New("test", benchgate.RunConfig{
+		Threads: 1, Grain: 64, Scale: 0.01, Reps: 6, Kernels: []string{"axpy", "sum"},
+	})
+	for _, kernel := range []string{"axpy", "sum"} {
+		rep.Add(benchgate.Series{
+			Key:      benchgate.Key{Kernel: kernel, Model: models.OMPFor, Threads: 1, Grain: 0, Partitioner: "-"},
+			SampleNs: []int64{100, 101, 102, 103, 104, 105},
+		})
+		rep.Add(benchgate.Series{
+			Key:      benchgate.Key{Kernel: kernel, Model: models.CilkFor, Threads: 1, Grain: 64, Partitioner: "eager"},
+			SampleNs: []int64{400, 401, 402, 403, 404, 405},
+		})
+		rep.Add(benchgate.Series{
+			Key:      benchgate.Key{Kernel: kernel, Model: models.CilkFor, Threads: 1, Grain: 64, Partitioner: "lazy"},
+			SampleNs: []int64{110, 111, 112, 113, 114, 115},
+		})
+	}
+	return rep
+}
+
+func runCLI(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+// Exit-code contract: 0 clean, 1 findings, 2 usage/load failure —
+// pinned so CI scripts can rely on it.
+func TestExitCodeUsageErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{},                      // no mode
+		{"frobnicate"},          // unknown mode
+		{"compare"},             // missing files
+		{"compare", "only.one"}, // one file
+		{"compare", "-bogusflag", "a", "b"},
+		{"record", "-bogusflag"},
+		{"check", "-baseline", "does-not-exist.json"},
+	} {
+		if code, _, _ := runCLI(t, args...); code != 2 {
+			t.Errorf("run(%v) = %d, want 2", args, code)
+		}
+	}
+	if code, _, _ := runCLI(t, "help"); code != 0 {
+		t.Error("help should exit 0")
+	}
+}
+
+func TestExitCodeCompareUnchangedIsZero(t *testing.T) {
+	dir := t.TempDir()
+	a, b := filepath.Join(dir, "a.json"), filepath.Join(dir, "b.json")
+	writeReport(t, a, healthy())
+	writeReport(t, b, healthy())
+	code, out, _ := runCLI(t, "compare", a, b)
+	if code != 0 {
+		t.Fatalf("compare identical = %d, want 0\n%s", code, out)
+	}
+	if !strings.Contains(out, "unchanged") {
+		t.Errorf("table lacks unchanged verdicts:\n%s", out)
+	}
+}
+
+func TestExitCodeCompareRegressionIsOne(t *testing.T) {
+	dir := t.TempDir()
+	a, b := filepath.Join(dir, "a.json"), filepath.Join(dir, "b.json")
+	writeReport(t, a, healthy())
+	slow := healthy()
+	s := slow.Find(benchgate.Key{Kernel: "axpy", Model: models.OMPFor, Threads: 1, Grain: 0, Partitioner: "-"})
+	for i := range s.SampleNs {
+		s.SampleNs[i] *= 3
+	}
+	writeReport(t, b, slow)
+	if code, _, _ := runCLI(t, "compare", a, b); code != 1 {
+		t.Errorf("compare with regression = %d, want 1", code)
+	}
+	// Same pair reversed is an improvement: clean exit.
+	if code, _, _ := runCLI(t, "compare", b, a); code != 0 {
+		t.Errorf("compare with improvement = %d, want 0", code)
+	}
+}
+
+func TestCompareJSONShapeAndExitCode(t *testing.T) {
+	dir := t.TempDir()
+	a, b := filepath.Join(dir, "a.json"), filepath.Join(dir, "b.json")
+	writeReport(t, a, healthy())
+	slow := healthy()
+	for i := range slow.Series {
+		for j := range slow.Series[i].SampleNs {
+			slow.Series[i].SampleNs[j] *= 3
+		}
+	}
+	writeReport(t, b, slow)
+	code, out, _ := runCLI(t, "compare", "-json", a, b)
+	if code != 1 {
+		t.Fatalf("compare -json = %d, want 1", code)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 6 {
+		t.Fatalf("got %d NDJSON lines, want 6:\n%s", len(lines), out)
+	}
+	for _, line := range lines {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", line, err)
+		}
+		for _, field := range []string{"kernel", "model", "outcome", "p", "min_ratio"} {
+			if _, ok := m[field]; !ok {
+				t.Errorf("verdict missing %q: %s", field, line)
+			}
+		}
+		if m["outcome"] != string(benchgate.Regressed) {
+			t.Errorf("outcome = %v, want regressed", m["outcome"])
+		}
+	}
+}
+
+// check against a baseline doctored to invert the
+// work-sharing-vs-work-stealing ordering must exit 1, whatever the
+// fresh measurements say: the baseline itself no longer encodes the
+// paper's claim.
+func TestExitCodeCheckDoctoredBaselineIsOne(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the measurement suite")
+	}
+	dir := t.TempDir()
+	baseline := filepath.Join(dir, "baseline.json")
+	doctored := healthy()
+	doctored.Config.Reps = 2 // keep the fresh run cheap
+	for _, kernel := range []string{"axpy", "sum"} {
+		s := doctored.Find(benchgate.Key{Kernel: kernel, Model: models.OMPFor, Threads: 1, Grain: 0, Partitioner: "-"})
+		for i := range s.SampleNs {
+			s.SampleNs[i] *= 100 // work-sharing now loses: inverted ordering
+		}
+	}
+	writeReport(t, baseline, doctored)
+	code, out, errOut := runCLI(t, "check", "-baseline", baseline, "-reps", "2")
+	if code != 1 {
+		t.Fatalf("check doctored baseline = %d, want 1\nstdout:\n%s\nstderr:\n%s", code, out, errOut)
+	}
+	if !strings.Contains(out, "VIOLATED") {
+		t.Errorf("check output lacks violation marker:\n%s", out)
+	}
+}
+
+func TestCheckWritesFreshArtifact(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the measurement suite")
+	}
+	dir := t.TempDir()
+	baseline := filepath.Join(dir, "baseline.json")
+	fresh := filepath.Join(dir, "fresh.json")
+	base := healthy()
+	base.Config.Reps = 2
+	writeReport(t, baseline, base)
+	// Exit code is noise-dependent (synthetic baseline vs real
+	// timings); only the artifact contract is under test here.
+	runCLI(t, "check", "-baseline", baseline, "-reps", "2", "-out", fresh)
+	rep, err := benchgate.ReadFile(fresh)
+	if err != nil {
+		t.Fatalf("fresh artifact unreadable: %v", err)
+	}
+	// The fresh run measures the full per-kernel spec grid (5 series
+	// per kernel), regardless of how sparse the baseline was.
+	if want := 2 * 5; len(rep.Series) != want {
+		t.Errorf("fresh artifact has %d series, want %d", len(rep.Series), want)
+	}
+}
+
+func TestRecordWritesValidReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the measurement suite")
+	}
+	path := filepath.Join(t.TempDir(), "rec.json")
+	code, out, errOut := runCLI(t, "record", "-out", path,
+		"-kernels", "axpy", "-reps", "2", "-scale", "0.01")
+	if code != 0 {
+		t.Fatalf("record = %d\nstdout:\n%s\nstderr:\n%s", code, out, errOut)
+	}
+	rep, err := benchgate.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != benchgate.SchemaVersion || rep.Env.GoVersion == "" || rep.Env.GOMAXPROCS < 1 {
+		t.Errorf("recorded env/schema incomplete: %+v", rep)
+	}
+	if rep.Config.Reps != 2 || len(rep.Series) != 5 {
+		t.Errorf("recorded config/series unexpected: %+v", rep.Config)
+	}
+}

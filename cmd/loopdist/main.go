@@ -1,8 +1,10 @@
 // Command loopdist measures the adaptive work-distribution win: it
 // runs the paper's flat data kernels under cilk_for with the eager
 // (paper-faithful) and lazy (demand-driven) partitioners and records
-// per-kernel minimum times plus the lazy-over-eager speedup to a JSON
-// file.
+// the raw repetition timings per kernel, plus the lazy-over-eager
+// speedup, in the shared benchmark-gate sample schema
+// (internal/benchgate), so the file can be fed straight to
+// `benchgate compare`.
 //
 // Usage:
 //
@@ -14,47 +16,24 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
 	"time"
 
+	"threading/internal/benchgate"
 	"threading/internal/kernels"
 	"threading/internal/models"
 	"threading/internal/worksteal"
 )
-
-// row is one (kernel, grain) measurement pair.
-type row struct {
-	Kernel     string `json:"kernel"`
-	N          int    `json:"n"`
-	Grain      int    `json:"grain"` // 0 = default heuristic
-	EagerMinNs int64  `json:"eager_min_ns"`
-	LazyMinNs  int64  `json:"lazy_min_ns"`
-	// Speedup is eager/lazy time: >1 means lazy wins.
-	Speedup float64 `json:"speedup"`
-	// EagerSpawns/LazySplits show why: tasks created per timed run.
-	EagerSpawns int64 `json:"eager_spawns_per_run"`
-	LazySplits  int64 `json:"lazy_splits_per_run"`
-}
-
-// report is the file schema.
-type report struct {
-	Tool       string `json:"tool"`
-	GoMaxProcs int    `json:"gomaxprocs"`
-	Workers    int    `json:"workers"`
-	Reps       int    `json:"reps"`
-	Rows       []row  `json:"rows"`
-}
 
 func main() {
 	var (
 		threads = flag.Int("threads", runtime.GOMAXPROCS(0), "work-stealing pool size")
 		reps    = flag.Int("reps", 5, "timed repetitions per cell (minimum is reported)")
 		grain   = flag.Int("grain", 64, "distribution-stressing grain size")
-		out     = flag.String("out", "BENCH_loopdist.json", "output JSON path")
+		out     = flag.String("out", "BENCH_loopdist.json", "output JSON path (benchgate sample schema)")
 	)
 	flag.Parse()
 
@@ -74,61 +53,68 @@ func main() {
 
 	kernelSet := []struct {
 		name string
-		n    int
 		run  func(m models.Model)
 	}{
-		{"axpy", vecN, func(m models.Model) { kernels.Axpy(m, 2.0, x, y) }},
-		{"sum", vecN, func(m models.Model) { kernels.Sum(m, 2.0, x) }},
-		{"matvec", matN, func(m models.Model) { kernels.Matvec(m, mva, mvx, mvy, matN) }},
-		{"matmul", mulN, func(m models.Model) { kernels.Matmul(m, mma, mmb, mmc, mulN) }},
+		{"axpy", func(m models.Model) { kernels.Axpy(m, 2.0, x, y) }},
+		{"sum", func(m models.Model) { kernels.Sum(m, 2.0, x) }},
+		{"matvec", func(m models.Model) { kernels.Matvec(m, mva, mvx, mvy, matN) }},
+		{"matmul", func(m models.Model) { kernels.Matmul(m, mma, mmb, mmc, mulN) }},
 	}
 
-	rep := report{
-		Tool:       "cmd/loopdist",
-		GoMaxProcs: runtime.GOMAXPROCS(0),
-		Workers:    *threads,
-		Reps:       *reps,
-	}
+	rep := benchgate.New("cmd/loopdist", benchgate.RunConfig{
+		Threads: *threads,
+		Grain:   *grain,
+		Scale:   1,
+		Reps:    *reps,
+		Kernels: []string{"axpy", "sum", "matvec", "matmul"},
+	})
 	for _, k := range kernelSet {
 		for _, g := range []int{*grain, 0} {
-			eagerNs, eagerSpawns := measure(*threads, g, worksteal.Eager, *reps, k.run)
-			lazyNs, lazySplits := measure(*threads, g, worksteal.Lazy, *reps, k.run)
-			r := row{
-				Kernel:      k.name,
-				N:           k.n,
-				Grain:       g,
-				EagerMinNs:  eagerNs,
-				LazyMinNs:   lazyNs,
-				EagerSpawns: eagerSpawns,
-				LazySplits:  lazySplits,
+			eager, eagerSpawns := measure(*threads, g, worksteal.Eager, *reps, k.run)
+			lazy, lazySplits := measure(*threads, g, worksteal.Lazy, *reps, k.run)
+			rep.Add(series(k.name, *threads, g, worksteal.Eager, eager,
+				map[string]int64{"spawns_per_run": eagerSpawns}))
+			rep.Add(series(k.name, *threads, g, worksteal.Lazy, lazy,
+				map[string]int64{"lazy_splits_per_run": lazySplits}))
+			eagerMin, lazyMin := minNs(eager), minNs(lazy)
+			speedup := 0.0
+			if lazyMin > 0 {
+				speedup = float64(eagerMin) / float64(lazyMin)
 			}
-			if lazyNs > 0 {
-				r.Speedup = float64(eagerNs) / float64(lazyNs)
-			}
-			rep.Rows = append(rep.Rows, r)
 			fmt.Printf("%-8s grain=%-7s eager=%-12v lazy=%-12v lazy speedup=%.2fx\n",
-				k.name, grainName(g), time.Duration(eagerNs), time.Duration(lazyNs), r.Speedup)
+				k.name, grainName(g), time.Duration(eagerMin), time.Duration(lazyMin), speedup)
 		}
 	}
 
-	data, err := json.MarshalIndent(&rep, "", "  ")
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "loopdist: %v\n", err)
-		os.Exit(1)
-	}
-	data = append(data, '\n')
-	if err := os.WriteFile(*out, data, 0o644); err != nil {
+	if err := benchgate.WriteFile(*out, rep); err != nil {
 		fmt.Fprintf(os.Stderr, "loopdist: %v\n", err)
 		os.Exit(1)
 	}
 	fmt.Printf("wrote %s\n", *out)
 }
 
+func series(kernel string, threads, grain int, part worksteal.Partitioner,
+	sampleNs []int64, counters map[string]int64) benchgate.Series {
+
+	return benchgate.Series{
+		Key: benchgate.Key{
+			Kernel:      kernel,
+			Model:       models.CilkFor,
+			Threads:     threads,
+			Grain:       grain,
+			Partitioner: part.String(),
+		},
+		SampleNs: sampleNs,
+		Counters: counters,
+	}
+}
+
 // measure times reps runs of run under a fresh cilk_for model with the
-// given grain and partitioner, returning the minimum wall time and the
-// per-run task-creation counter (spawns for eager, splits for lazy).
+// given grain and partitioner, returning every wall-time sample and
+// the per-run task-creation counter (spawns for eager, splits for
+// lazy).
 func measure(threads, grain int, part worksteal.Partitioner, reps int,
-	run func(m models.Model)) (minNs, created int64) {
+	run func(m models.Model)) (sampleNs []int64, created int64) {
 
 	m := models.NewCilkForGrainPartitioner(threads, grain, part)
 	defer m.Close()
@@ -137,9 +123,7 @@ func measure(threads, grain int, part worksteal.Partitioner, reps int,
 	for r := 0; r < reps; r++ {
 		start := time.Now()
 		run(m)
-		if ns := time.Since(start).Nanoseconds(); minNs == 0 || ns < minNs {
-			minNs = ns
-		}
+		sampleNs = append(sampleNs, time.Since(start).Nanoseconds())
 	}
 	if s, ok := m.SchedulerStats(); ok {
 		if part == worksteal.Lazy {
@@ -148,7 +132,17 @@ func measure(threads, grain int, part worksteal.Partitioner, reps int,
 			created = s.Spawns / int64(reps)
 		}
 	}
-	return minNs, created
+	return sampleNs, created
+}
+
+func minNs(ns []int64) int64 {
+	var min int64
+	for _, v := range ns {
+		if min == 0 || v < min {
+			min = v
+		}
+	}
+	return min
 }
 
 func grainName(g int) string {

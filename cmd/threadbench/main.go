@@ -9,7 +9,7 @@
 //
 //	threadbench [-fig fig1,fig5] [-threads 1,2,4] [-reps 3]
 //	            [-scale 1.0] [-partitioner eager|lazy] [-stats]
-//	            [-verify] [-csv] [-list]
+//	            [-verify] [-csv] [-out samples.json] [-list]
 //
 // With no -fig, all ten experiments run. -scale shrinks or grows the
 // workloads relative to the laptop-scale defaults (the paper's sizes
@@ -18,7 +18,9 @@
 // "eager" (default) is the paper-faithful cilk_for decomposition and
 // must be used when reproducing the figures; "lazy" enables
 // demand-driven splitting. -stats appends per-cell scheduler counters
-// to the tables.
+// to the tables. -out additionally writes every raw repetition in the
+// benchmark-gate sample schema (internal/benchgate), so even a smoke
+// run leaves an artifact `benchgate compare` can consume.
 package main
 
 import (
@@ -32,6 +34,7 @@ import (
 	"strings"
 	"syscall"
 
+	"threading/internal/benchgate"
 	"threading/internal/core"
 	"threading/internal/harness"
 	"threading/internal/worksteal"
@@ -47,6 +50,7 @@ func main() {
 		stat    = flag.Bool("stats", false, "append per-cell scheduler counters to the tables")
 		verify  = flag.Bool("verify", false, "verify each model against the sequential reference before timing")
 		csv     = flag.Bool("csv", false, "emit CSV instead of tables")
+		out     = flag.String("out", "", "also write raw samples to this path in the benchmark-gate schema (compare with cmd/benchgate)")
 		list    = flag.Bool("list", false, "list experiments and exit")
 	)
 	flag.Parse()
@@ -72,6 +76,7 @@ func main() {
 		Partitioner: part,
 		Stats:       *stat,
 		CSV:         *csv,
+		KeepSamples: *out != "",
 	}
 	if *figs != "" {
 		cfg.Experiments = strings.Split(*figs, ",")
@@ -93,6 +98,16 @@ func main() {
 	defer stop()
 
 	results, err := core.RunSuiteCtx(ctx, cfg, os.Stdout)
+	// Export whatever completed — an interrupted sweep still leaves a
+	// compare-able partial artifact.
+	if *out != "" && len(results) > 0 {
+		rep := benchgate.FromResults(results, "cmd/threadbench", *reps, *scale)
+		if werr := benchgate.WriteFile(*out, rep); werr != nil {
+			fmt.Fprintf(os.Stderr, "threadbench: %v\n", werr)
+		} else {
+			fmt.Printf("wrote %s (%d series)\n", *out, len(rep.Series))
+		}
+	}
 	if err != nil {
 		if errors.Is(err, context.Canceled) {
 			fmt.Fprintln(os.Stderr, "threadbench: interrupted; partial results above")

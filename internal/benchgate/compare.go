@@ -1,0 +1,216 @@
+package benchgate
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"threading/internal/stats"
+)
+
+// Options controls verdict classification.
+type Options struct {
+	// Alpha is the Mann-Whitney U significance level. A key's verdict
+	// can only leave "unchanged" when the two sample sets differ at
+	// this level. Zero selects 0.05.
+	Alpha float64
+	// MinRatio is the minimum effect threshold: both the min and the
+	// median must move by at least this factor for a verdict to flip,
+	// so a statistically detectable but practically irrelevant shift
+	// stays "unchanged". Zero selects 1.10.
+	MinRatio float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Alpha <= 0 {
+		o.Alpha = 0.05
+	}
+	if o.MinRatio <= 1 {
+		o.MinRatio = 1.10
+	}
+	return o
+}
+
+// Outcome classifies one key across two runs.
+type Outcome string
+
+const (
+	// Unchanged: no statistically significant shift beyond the
+	// minimum effect threshold.
+	Unchanged Outcome = "unchanged"
+	// Improved: the new run is significantly faster.
+	Improved Outcome = "improved"
+	// Regressed: the new run is significantly slower.
+	Regressed Outcome = "regressed"
+	// Added / Removed: the key exists in only one of the runs.
+	Added   Outcome = "added"
+	Removed Outcome = "removed"
+)
+
+// Summary condenses one series' samples: min, median, and a
+// distribution-free ~95% confidence interval on the median.
+type Summary struct {
+	N        int   `json:"n"`
+	MinNs    int64 `json:"min_ns"`
+	MedianNs int64 `json:"median_ns"`
+	CILoNs   int64 `json:"ci_lo_ns"`
+	CIHiNs   int64 `json:"ci_hi_ns"`
+}
+
+// Summarize computes a Summary from raw nanosecond samples.
+func Summarize(ns []int64) Summary {
+	if len(ns) == 0 {
+		return Summary{}
+	}
+	ds := make([]time.Duration, len(ns))
+	fs := make([]float64, len(ns))
+	for i, v := range ns {
+		ds[i] = time.Duration(v)
+		fs[i] = float64(v)
+	}
+	s := stats.Summarize(ds)
+	lo, hi := stats.MedianCI(fs, 0.95)
+	return Summary{
+		N:        s.N,
+		MinNs:    int64(s.Min),
+		MedianNs: int64(s.Median),
+		CILoNs:   int64(lo),
+		CIHiNs:   int64(hi),
+	}
+}
+
+// Verdict is the comparison result for one key.
+type Verdict struct {
+	Key
+	Outcome Outcome `json:"outcome"`
+	// P is the two-sided Mann-Whitney U p-value (1 for added/removed
+	// keys, where no test ran).
+	P float64 `json:"p"`
+	// MinRatio and MedianRatio are new/old; > 1 means slower.
+	MinRatio    float64  `json:"min_ratio"`
+	MedianRatio float64  `json:"median_ratio"`
+	Old         *Summary `json:"old,omitempty"`
+	New         *Summary `json:"new,omitempty"`
+}
+
+// classify runs the statistical test for one key present in both
+// runs. A verdict leaves Unchanged only when the U test rejects the
+// null at alpha AND both the min and the median moved by at least
+// MinRatio in the same direction — the two-condition design keeps
+// single-run noise (which can achieve significance on micro-kernels)
+// from flipping a verdict without a material effect.
+func classify(k Key, oldNs, newNs []int64, opt Options) Verdict {
+	oldF := toFloat(oldNs)
+	newF := toFloat(newNs)
+	u := stats.MannWhitneyU(oldF, newF)
+	oldSum, newSum := Summarize(oldNs), Summarize(newNs)
+	v := Verdict{
+		Key:         k,
+		Outcome:     Unchanged,
+		P:           u.P,
+		MinRatio:    ratio(newSum.MinNs, oldSum.MinNs),
+		MedianRatio: ratio(newSum.MedianNs, oldSum.MedianNs),
+		Old:         &oldSum,
+		New:         &newSum,
+	}
+	if u.P >= opt.Alpha {
+		return v
+	}
+	switch {
+	case v.MinRatio >= opt.MinRatio && v.MedianRatio >= opt.MinRatio:
+		v.Outcome = Regressed
+	case v.MinRatio <= 1/opt.MinRatio && v.MedianRatio <= 1/opt.MinRatio:
+		v.Outcome = Improved
+	}
+	return v
+}
+
+// Compare classifies every key across the two reports: old-report
+// order first, then keys only the new report has. The returned
+// warnings flag conditions (environment mismatch) under which the
+// regression verdicts are advisory rather than gating.
+func Compare(old, new *Report, opt Options) (verdicts []Verdict, warnings []string) {
+	opt = opt.withDefaults()
+	if !old.Env.Comparable(new.Env) {
+		warnings = append(warnings, fmt.Sprintf(
+			"environments differ (old %s/%s p=%d, new %s/%s p=%d): absolute comparisons are advisory",
+			old.Env.GOOS, old.Env.GOARCH, old.Env.GOMAXPROCS,
+			new.Env.GOOS, new.Env.GOARCH, new.Env.GOMAXPROCS))
+	}
+	if old.Config.Scale != new.Config.Scale {
+		warnings = append(warnings, fmt.Sprintf(
+			"workload scales differ (old %g, new %g): timings are not comparable",
+			old.Config.Scale, new.Config.Scale))
+	}
+	for _, os := range old.Series {
+		ns := new.Find(os.Key)
+		if ns == nil {
+			sum := Summarize(os.SampleNs)
+			verdicts = append(verdicts, Verdict{Key: os.Key, Outcome: Removed, P: 1, Old: &sum})
+			continue
+		}
+		verdicts = append(verdicts, classify(os.Key, os.SampleNs, ns.SampleNs, opt))
+	}
+	for _, ns := range new.Series {
+		if old.Find(ns.Key) == nil {
+			sum := Summarize(ns.SampleNs)
+			verdicts = append(verdicts, Verdict{Key: ns.Key, Outcome: Added, P: 1, New: &sum})
+		}
+	}
+	return verdicts, warnings
+}
+
+// AnyRegressed reports whether any verdict is a regression.
+func AnyRegressed(vs []Verdict) bool {
+	for _, v := range vs {
+		if v.Outcome == Regressed {
+			return true
+		}
+	}
+	return false
+}
+
+// WriteVerdictTable renders verdicts as an aligned human table.
+func WriteVerdictTable(w io.Writer, vs []Verdict) {
+	fmt.Fprintf(w, "%-34s %12s %12s %7s %8s  %s\n",
+		"key", "old min", "new min", "ratio", "p", "verdict")
+	for _, v := range vs {
+		oldMin, newMin := "-", "-"
+		if v.Old != nil {
+			oldMin = time.Duration(v.Old.MinNs).Round(time.Microsecond).String()
+		}
+		if v.New != nil {
+			newMin = time.Duration(v.New.MinNs).Round(time.Microsecond).String()
+		}
+		fmt.Fprintf(w, "%-34s %12s %12s %7.3f %8.4f  %s\n",
+			v.Key, oldMin, newMin, v.MinRatio, v.P, v.Outcome)
+	}
+}
+
+// WriteVerdictJSON emits one JSON object per verdict (NDJSON), the
+// machine-readable twin of WriteVerdictTable.
+func WriteVerdictJSON(w io.Writer, vs []Verdict) error {
+	enc := json.NewEncoder(w)
+	for _, v := range vs {
+		if err := enc.Encode(v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func toFloat(ns []int64) []float64 {
+	out := make([]float64, len(ns))
+	for i, v := range ns {
+		out[i] = float64(v)
+	}
+	return out
+}
+
+func ratio(num, den int64) float64 {
+	if den <= 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}

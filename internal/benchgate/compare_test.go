@@ -1,0 +1,180 @@
+package benchgate
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// mkReport builds a report holding one series per entry of samples.
+func mkReport(samples map[Key][]int64) *Report {
+	rep := New("test", RunConfig{Threads: 1, Grain: 64, Scale: 1, Reps: 8})
+	// Deterministic order: insertion via sorted-ish fixed keys is not
+	// needed for these tests; Compare walks old.Series order.
+	for k, ns := range samples {
+		rep.Add(Series{Key: k, SampleNs: ns})
+	}
+	return rep
+}
+
+var testKey = Key{Kernel: "axpy", Model: "cilk_for", Threads: 1, Grain: 64, Partitioner: "eager"}
+
+func verdictFor(t *testing.T, old, new []int64, opt Options) Verdict {
+	t.Helper()
+	vs, _ := Compare(mkReport(map[Key][]int64{testKey: old}),
+		mkReport(map[Key][]int64{testKey: new}), opt)
+	if len(vs) != 1 {
+		t.Fatalf("got %d verdicts, want 1", len(vs))
+	}
+	return vs[0]
+}
+
+func TestClassifyClearRegression(t *testing.T) {
+	old := []int64{100, 101, 102, 103, 104, 105, 106, 107}
+	slow := []int64{150, 151, 152, 153, 154, 155, 156, 157}
+	v := verdictFor(t, old, slow, Options{})
+	if v.Outcome != Regressed {
+		t.Errorf("clear regression classified as %s (p=%v ratio=%v)", v.Outcome, v.P, v.MinRatio)
+	}
+	if v.MinRatio < 1.4 || v.MedianRatio < 1.4 {
+		t.Errorf("ratios = %v/%v, want ~1.5", v.MinRatio, v.MedianRatio)
+	}
+}
+
+func TestClassifyClearWin(t *testing.T) {
+	old := []int64{150, 151, 152, 153, 154, 155, 156, 157}
+	fast := []int64{100, 101, 102, 103, 104, 105, 106, 107}
+	v := verdictFor(t, old, fast, Options{})
+	if v.Outcome != Improved {
+		t.Errorf("clear win classified as %s (p=%v ratio=%v)", v.Outcome, v.P, v.MinRatio)
+	}
+}
+
+func TestClassifyPureNoise(t *testing.T) {
+	// Interleaved draws from the same spread: the U test must not
+	// reject, whatever the effect gate says.
+	a := []int64{100, 104, 101, 107, 102, 106, 103, 105}
+	b := []int64{103, 100, 106, 102, 107, 101, 105, 104}
+	v := verdictFor(t, a, b, Options{})
+	if v.Outcome != Unchanged {
+		t.Errorf("noise classified as %s (p=%v)", v.Outcome, v.P)
+	}
+}
+
+func TestClassifySignificantButTinyEffectStaysUnchanged(t *testing.T) {
+	// Fully separated (p = 2/C(16,8) ~ 0.00016) but only 2% slower:
+	// the minimum-effect threshold must hold the verdict at
+	// unchanged.
+	old := []int64{1000, 1001, 1002, 1003, 1004, 1005, 1006, 1007}
+	slightly := []int64{1020, 1021, 1022, 1023, 1024, 1025, 1026, 1027}
+	v := verdictFor(t, old, slightly, Options{})
+	if v.P >= 0.05 {
+		t.Fatalf("setup broken: p = %v, want significant", v.P)
+	}
+	if v.Outcome != Unchanged {
+		t.Errorf("2%% shift classified as %s, want unchanged", v.Outcome)
+	}
+	// Lowering the effect threshold flips it.
+	v = verdictFor(t, old, slightly, Options{MinRatio: 1.01})
+	if v.Outcome != Regressed {
+		t.Errorf("2%% shift at ratio 1.01 classified as %s, want regressed", v.Outcome)
+	}
+}
+
+func TestClassifySingleRunOutlierCannotFlip(t *testing.T) {
+	// One wild sample in the new run (GC pause, preemption): min and
+	// U test both keep the verdict at unchanged.
+	old := []int64{100, 101, 102, 103, 104, 105, 106, 107}
+	noisy := []int64{101, 100, 103, 102, 500, 104, 106, 105}
+	v := verdictFor(t, old, noisy, Options{})
+	if v.Outcome != Unchanged {
+		t.Errorf("single outlier classified as %s (p=%v, ratios %v/%v)",
+			v.Outcome, v.P, v.MinRatio, v.MedianRatio)
+	}
+}
+
+func TestCompareIdenticalReportAllUnchanged(t *testing.T) {
+	rep := mkReport(map[Key][]int64{
+		testKey: {100, 101, 102, 103, 104},
+		{Kernel: "sum", Model: "omp_for", Threads: 1, Grain: 0, Partitioner: "-"}: {50, 51, 52, 53, 54},
+	})
+	vs, warnings := Compare(rep, rep, Options{})
+	if len(warnings) != 0 {
+		t.Errorf("warnings on self-compare: %v", warnings)
+	}
+	if len(vs) != 2 {
+		t.Fatalf("got %d verdicts, want 2", len(vs))
+	}
+	for _, v := range vs {
+		if v.Outcome != Unchanged {
+			t.Errorf("%s: self-compare verdict %s", v.Key, v.Outcome)
+		}
+	}
+}
+
+func TestCompareAddedRemoved(t *testing.T) {
+	kOld := Key{Kernel: "old", Model: "omp_for", Threads: 1, Partitioner: "-"}
+	kNew := Key{Kernel: "new", Model: "omp_for", Threads: 1, Partitioner: "-"}
+	vs, _ := Compare(mkReport(map[Key][]int64{kOld: {1, 2, 3}}),
+		mkReport(map[Key][]int64{kNew: {1, 2, 3}}), Options{})
+	if len(vs) != 2 {
+		t.Fatalf("got %d verdicts, want 2", len(vs))
+	}
+	outcomes := map[Key]Outcome{vs[0].Key: vs[0].Outcome, vs[1].Key: vs[1].Outcome}
+	if outcomes[kOld] != Removed || outcomes[kNew] != Added {
+		t.Errorf("outcomes = %v", outcomes)
+	}
+	if AnyRegressed(vs) {
+		t.Error("added/removed keys must not gate")
+	}
+}
+
+func TestCompareWarnsOnEnvAndScaleMismatch(t *testing.T) {
+	a := mkReport(map[Key][]int64{testKey: {1, 2, 3}})
+	b := mkReport(map[Key][]int64{testKey: {1, 2, 3}})
+	b.Env.GOMAXPROCS = a.Env.GOMAXPROCS + 1
+	b.Config.Scale = a.Config.Scale * 2
+	_, warnings := Compare(a, b, Options{})
+	if len(warnings) != 2 {
+		t.Errorf("warnings = %v, want env + scale", warnings)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]int64{5, 1, 4, 2, 3})
+	if s.N != 5 || s.MinNs != 1 || s.MedianNs != 3 {
+		t.Errorf("Summarize = %+v", s)
+	}
+	if s.CILoNs != 1 || s.CIHiNs != 5 {
+		// n=5 cannot reach 95% coverage: full range.
+		t.Errorf("CI = [%d, %d], want [1, 5]", s.CILoNs, s.CIHiNs)
+	}
+	if z := Summarize(nil); z.N != 0 {
+		t.Errorf("Summarize(nil) = %+v", z)
+	}
+}
+
+func TestWriteVerdictJSONShape(t *testing.T) {
+	old := []int64{100, 101, 102, 103, 104, 105, 106, 107}
+	slow := []int64{150, 151, 152, 153, 154, 155, 156, 157}
+	v := verdictFor(t, old, slow, Options{})
+	var buf bytes.Buffer
+	if err := WriteVerdictJSON(&buf, []Verdict{v}); err != nil {
+		t.Fatal(err)
+	}
+	line := strings.TrimSpace(buf.String())
+	var m map[string]any
+	if err := json.Unmarshal([]byte(line), &m); err != nil {
+		t.Fatalf("NDJSON line is not JSON: %v", err)
+	}
+	for _, field := range []string{"kernel", "model", "threads", "grain", "partitioner",
+		"outcome", "p", "min_ratio", "median_ratio", "old", "new"} {
+		if _, ok := m[field]; !ok {
+			t.Errorf("verdict JSON missing %q: %s", field, line)
+		}
+	}
+	if m["outcome"] != "regressed" {
+		t.Errorf("outcome = %v", m["outcome"])
+	}
+}

@@ -1,0 +1,140 @@
+package benchgate
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"threading/internal/models"
+	"threading/internal/stats"
+	"threading/internal/worksteal"
+)
+
+// Invariant is one of the paper's directional ordering claims as a
+// machine-checked assertion over a single report: the Fast key's
+// wall-time must not exceed the Slow key's beyond tolerance. These
+// are within-run relative claims, so they gate even when a baseline
+// was recorded on different hardware.
+type Invariant struct {
+	// Name identifies the invariant, e.g. "sum-sharing-beats-stealing".
+	Name string `json:"name"`
+	// Claim states the paper's finding the invariant encodes.
+	Claim string `json:"claim"`
+	// Fast must not be slower than Slow beyond the Options tolerance.
+	Fast Key `json:"fast"`
+	Slow Key `json:"slow"`
+}
+
+// DefaultInvariants returns the gated ordering claims at the given
+// thread count and stress grain:
+//
+//   - work-sharing (omp_for) is not slower than eager work-stealing
+//     (cilk_for) on the flat Axpy and Sum loops at stress grain — the
+//     paper's Fig. 1/Fig. 2 ordering (cilk_for ~2x / ~5x worse);
+//   - lazy splitting is not slower than eager at stress grain on the
+//     same loops — the PR 2 adaptive-distribution win.
+func DefaultInvariants(threads, grain int) []Invariant {
+	var out []Invariant
+	for _, kernel := range []string{"axpy", "sum"} {
+		eager := Key{Kernel: kernel, Model: models.CilkFor, Threads: threads,
+			Grain: grain, Partitioner: worksteal.Eager.String()}
+		out = append(out,
+			Invariant{
+				Name:  kernel + "-sharing-beats-stealing",
+				Claim: fmt.Sprintf("omp_for <= eager cilk_for on flat %s at grain %d (paper Figs. 1-2)", kernel, grain),
+				Fast:  Key{Kernel: kernel, Model: models.OMPFor, Threads: threads, Grain: 0, Partitioner: "-"},
+				Slow:  eager,
+			},
+			Invariant{
+				Name:  kernel + "-lazy-beats-eager",
+				Claim: fmt.Sprintf("lazy cilk_for <= eager cilk_for on flat %s at grain %d (adaptive distribution)", kernel, grain),
+				Fast: Key{Kernel: kernel, Model: models.CilkFor, Threads: threads,
+					Grain: grain, Partitioner: worksteal.Lazy.String()},
+				Slow: eager,
+			})
+	}
+	return out
+}
+
+// InvariantResult is the checked outcome of one invariant.
+type InvariantResult struct {
+	Invariant
+	// Holds is false only for a statistically significant inversion
+	// beyond tolerance. A skipped invariant holds vacuously.
+	Holds bool `json:"holds"`
+	// Skipped is true when the report lacks one of the keys.
+	Skipped bool `json:"skipped"`
+	// P is the U-test p-value for fast-vs-slow samples.
+	P float64 `json:"p"`
+	// MinRatio and MedianRatio are fast/slow; > 1 means the claimed
+	// faster side measured slower.
+	MinRatio    float64 `json:"min_ratio"`
+	MedianRatio float64 `json:"median_ratio"`
+}
+
+// CheckInvariants evaluates each invariant against the report. An
+// invariant is violated only when the claimed-faster side is slower
+// by at least opt.MinRatio on both min and median AND the U test
+// rejects equality at opt.Alpha — mirroring the regression verdict
+// logic, so runner noise cannot flap the gate.
+func CheckInvariants(rep *Report, invs []Invariant, opt Options) []InvariantResult {
+	opt = opt.withDefaults()
+	out := make([]InvariantResult, 0, len(invs))
+	for _, inv := range invs {
+		res := InvariantResult{Invariant: inv, Holds: true}
+		fast, slow := rep.Find(inv.Fast), rep.Find(inv.Slow)
+		if fast == nil || slow == nil {
+			res.Skipped = true
+			res.P = 1
+			out = append(out, res)
+			continue
+		}
+		u := stats.MannWhitneyU(toFloat(fast.SampleNs), toFloat(slow.SampleNs))
+		fastSum, slowSum := Summarize(fast.SampleNs), Summarize(slow.SampleNs)
+		res.P = u.P
+		res.MinRatio = ratio(fastSum.MinNs, slowSum.MinNs)
+		res.MedianRatio = ratio(fastSum.MedianNs, slowSum.MedianNs)
+		if u.P < opt.Alpha && res.MinRatio >= opt.MinRatio && res.MedianRatio >= opt.MinRatio {
+			res.Holds = false
+		}
+		out = append(out, res)
+	}
+	return out
+}
+
+// AnyViolated reports whether any invariant failed.
+func AnyViolated(rs []InvariantResult) bool {
+	for _, r := range rs {
+		if !r.Holds {
+			return true
+		}
+	}
+	return false
+}
+
+// WriteInvariantTable renders invariant results as a human table.
+func WriteInvariantTable(w io.Writer, label string, rs []InvariantResult) {
+	fmt.Fprintf(w, "directional invariants (%s):\n", label)
+	for _, r := range rs {
+		status := "ok"
+		switch {
+		case r.Skipped:
+			status = "skipped (keys absent)"
+		case !r.Holds:
+			status = fmt.Sprintf("VIOLATED (fast/slow min ratio %.2f, p=%.4f)", r.MinRatio, r.P)
+		}
+		fmt.Fprintf(w, "  %-28s %-10s %s\n", r.Name, status, r.Claim)
+	}
+}
+
+// WriteInvariantJSON emits one JSON object per invariant result
+// (NDJSON).
+func WriteInvariantJSON(w io.Writer, rs []InvariantResult) error {
+	enc := json.NewEncoder(w)
+	for _, r := range rs {
+		if err := enc.Encode(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,142 @@
+package benchgate
+
+import (
+	"context"
+	"testing"
+
+	"threading/internal/models"
+)
+
+// healthyReport satisfies the paper's orderings: omp_for fastest,
+// lazy cilk_for close behind, eager cilk_for far slower.
+func healthyReport(threads, grain int) *Report {
+	rep := New("test", RunConfig{Threads: threads, Grain: grain, Scale: 1, Reps: 6})
+	for _, kernel := range []string{"axpy", "sum"} {
+		rep.Add(Series{
+			Key:      Key{Kernel: kernel, Model: models.OMPFor, Threads: threads, Grain: 0, Partitioner: "-"},
+			SampleNs: []int64{100, 101, 102, 103, 104, 105},
+		})
+		rep.Add(Series{
+			Key:      Key{Kernel: kernel, Model: models.CilkFor, Threads: threads, Grain: grain, Partitioner: "eager"},
+			SampleNs: []int64{400, 401, 402, 403, 404, 405},
+		})
+		rep.Add(Series{
+			Key:      Key{Kernel: kernel, Model: models.CilkFor, Threads: threads, Grain: grain, Partitioner: "lazy"},
+			SampleNs: []int64{110, 111, 112, 113, 114, 115},
+		})
+	}
+	return rep
+}
+
+func TestInvariantsHoldOnHealthyReport(t *testing.T) {
+	rep := healthyReport(1, 64)
+	rs := CheckInvariants(rep, DefaultInvariants(1, 64), Options{})
+	if len(rs) != 4 {
+		t.Fatalf("got %d results, want 4", len(rs))
+	}
+	for _, r := range rs {
+		if r.Skipped {
+			t.Errorf("%s skipped; keys not found", r.Name)
+		}
+		if !r.Holds {
+			t.Errorf("%s violated on healthy data (ratio %v, p %v)", r.Name, r.MinRatio, r.P)
+		}
+	}
+	if AnyViolated(rs) {
+		t.Error("AnyViolated on healthy data")
+	}
+}
+
+func TestInvariantsCatchDoctoredInversion(t *testing.T) {
+	rep := healthyReport(1, 64)
+	// Doctor the baseline: make work-sharing far slower than eager
+	// work-stealing on sum — the inversion of the paper's Fig. 2
+	// ordering.
+	s := rep.Find(Key{Kernel: "sum", Model: models.OMPFor, Threads: 1, Grain: 0, Partitioner: "-"})
+	for i := range s.SampleNs {
+		s.SampleNs[i] *= 100
+	}
+	rs := CheckInvariants(rep, DefaultInvariants(1, 64), Options{})
+	var violated []string
+	for _, r := range rs {
+		if !r.Holds {
+			violated = append(violated, r.Name)
+		}
+	}
+	if len(violated) != 1 || violated[0] != "sum-sharing-beats-stealing" {
+		t.Errorf("violated = %v, want exactly sum-sharing-beats-stealing", violated)
+	}
+	if !AnyViolated(rs) {
+		t.Error("AnyViolated missed the doctored inversion")
+	}
+}
+
+func TestInvariantToleranceAbsorbsSmallInversion(t *testing.T) {
+	rep := healthyReport(1, 64)
+	// omp_for 10% slower than eager: inverted, but inside the loose
+	// 1.3 ratio CI uses — must not gate.
+	s := rep.Find(Key{Kernel: "axpy", Model: models.OMPFor, Threads: 1, Grain: 0, Partitioner: "-"})
+	eager := rep.Find(Key{Kernel: "axpy", Model: models.CilkFor, Threads: 1, Grain: 64, Partitioner: "eager"})
+	for i := range s.SampleNs {
+		s.SampleNs[i] = eager.SampleNs[i] + eager.SampleNs[i]/10
+	}
+	rs := CheckInvariants(rep, DefaultInvariants(1, 64), Options{MinRatio: 1.3})
+	for _, r := range rs {
+		if !r.Holds {
+			t.Errorf("%s violated inside tolerance (ratio %v)", r.Name, r.MinRatio)
+		}
+	}
+}
+
+func TestInvariantsSkipMissingKeys(t *testing.T) {
+	rep := New("test", RunConfig{})
+	rep.Add(Series{Key: Key{Kernel: "matvec", Model: models.OMPFor, Threads: 1, Partitioner: "-"},
+		SampleNs: []int64{1}})
+	rs := CheckInvariants(rep, DefaultInvariants(1, 64), Options{})
+	for _, r := range rs {
+		if !r.Skipped || !r.Holds {
+			t.Errorf("%s: skipped=%v holds=%v, want vacuous hold", r.Name, r.Skipped, r.Holds)
+		}
+	}
+}
+
+// The suite itself, at a tiny scale: keys must line up with what the
+// default invariants expect, and a run must be self-consistent.
+func TestRunSuiteProducesInvariantKeys(t *testing.T) {
+	if testing.Short() {
+		t.Skip("measures wall time")
+	}
+	cfg := SuiteConfig{Kernels: []string{"axpy", "sum"}, Threads: 1, Reps: 3, Grain: 64, Scale: 0.01}
+	rep, err := RunSuite(context.Background(), cfg)
+	if err != nil {
+		t.Fatalf("RunSuite: %v", err)
+	}
+	if got, want := len(rep.Series), 2*5; got != want {
+		t.Fatalf("got %d series, want %d", got, want)
+	}
+	for _, s := range rep.Series {
+		if len(s.SampleNs) != 3 {
+			t.Errorf("%s: %d samples, want 3", s.Key, len(s.SampleNs))
+		}
+	}
+	rs := CheckInvariants(rep, DefaultInvariants(1, 64), Options{})
+	for _, r := range rs {
+		if r.Skipped {
+			t.Errorf("%s skipped: suite keys do not line up with invariant keys", r.Name)
+		}
+	}
+}
+
+func TestRunSuiteUnknownKernel(t *testing.T) {
+	if _, err := RunSuite(context.Background(), SuiteConfig{Kernels: []string{"nope"}}); err == nil {
+		t.Error("RunSuite accepted an unknown kernel")
+	}
+}
+
+func TestRunSuiteCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunSuite(ctx, SuiteConfig{Kernels: []string{"axpy"}, Reps: 1, Scale: 0.01}); err == nil {
+		t.Error("RunSuite ignored a canceled context")
+	}
+}

@@ -1,0 +1,180 @@
+// Package benchgate turns the repository's benchmark trajectory into
+// an enforced contract. It defines a schema-versioned sample format
+// shared by every bench-emitting tool (cmd/benchgate, cmd/loopdist,
+// cmd/threadbench -out), a statistical comparison engine that
+// classifies each measurement key as improved / regressed / unchanged
+// using a Mann-Whitney U test plus a minimum-effect threshold, and
+// machine-checked directional invariants encoding the paper's
+// quantitative ordering claims (work-sharing beats work-stealing on
+// flat loops; lazy splitting beats eager at stress grain).
+package benchgate
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+)
+
+// SchemaVersion is the current sample-file schema. Readers accept
+// files up to and including this version; newer files are rejected so
+// an old gate never silently misreads a future format.
+const SchemaVersion = 1
+
+// Key identifies one measured series: a kernel executed under a
+// model at a thread count, grain, and loop partitioner. Two reports
+// are comparable key-by-key.
+type Key struct {
+	// Kernel names the workload, e.g. "axpy".
+	Kernel string `json:"kernel"`
+	// Model is the threading model, e.g. "omp_for".
+	Model string `json:"model"`
+	// Threads is the degree of parallelism.
+	Threads int `json:"threads"`
+	// Grain is the fixed loop grain; 0 is the runtime's default
+	// heuristic.
+	Grain int `json:"grain"`
+	// Partitioner is "eager" or "lazy" for the work-stealing models
+	// and "-" for models the option does not apply to.
+	Partitioner string `json:"partitioner"`
+}
+
+func (k Key) String() string {
+	return fmt.Sprintf("%s/%s t=%d g=%d %s",
+		k.Kernel, k.Model, k.Threads, k.Grain, k.Partitioner)
+}
+
+// Series is one key plus its raw repetition timings. All statistics
+// (min, median, CI, U test) are derived from SampleNs at comparison
+// time, so the file stays a faithful record of what was measured.
+type Series struct {
+	Key
+	// SampleNs holds every timed repetition, in nanoseconds, in
+	// measurement order.
+	SampleNs []int64 `json:"sample_ns"`
+	// Counters optionally carries scheduler counters explaining the
+	// timings (e.g. spawns or lazy splits per run).
+	Counters map[string]int64 `json:"counters,omitempty"`
+}
+
+// Env records where a report was measured. Cross-environment
+// comparisons are advisory: absolute times from different machines do
+// not gate (see Comparable).
+type Env struct {
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+}
+
+// NewEnv captures the current process environment.
+func NewEnv() Env {
+	return Env{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+}
+
+// Comparable reports whether absolute timings from the two
+// environments may be compared for gating: same platform and the
+// same degree of hardware parallelism. Go patch versions may differ.
+func (e Env) Comparable(o Env) bool {
+	return e.GOOS == o.GOOS && e.GOARCH == o.GOARCH && e.GOMAXPROCS == o.GOMAXPROCS
+}
+
+// RunConfig records the suite configuration a report was produced
+// with, so `check` can regenerate comparable samples.
+type RunConfig struct {
+	// Threads is the pool size every series was run at.
+	Threads int `json:"threads"`
+	// Grain is the distribution-stressing grain the work-stealing
+	// series were additionally run at.
+	Grain int `json:"grain"`
+	// Scale is the workload scale factor (see harness.Config.Scale).
+	Scale float64 `json:"scale"`
+	// Reps is the number of timed repetitions per series.
+	Reps int `json:"reps"`
+	// Kernels lists the measured kernels in order.
+	Kernels []string `json:"kernels,omitempty"`
+}
+
+// Report is the sample-file schema shared by all bench tools.
+type Report struct {
+	Schema int       `json:"schema"`
+	Tool   string    `json:"tool"`
+	Env    Env       `json:"env"`
+	Config RunConfig `json:"config"`
+	Series []Series  `json:"series"`
+}
+
+// New returns an empty report stamped with the current schema version
+// and environment.
+func New(tool string, cfg RunConfig) *Report {
+	return &Report{Schema: SchemaVersion, Tool: tool, Env: NewEnv(), Config: cfg}
+}
+
+// Add appends a series.
+func (r *Report) Add(s Series) { r.Series = append(r.Series, s) }
+
+// Find returns the series with the given key, or nil.
+func (r *Report) Find(k Key) *Series {
+	for i := range r.Series {
+		if r.Series[i].Key == k {
+			return &r.Series[i]
+		}
+	}
+	return nil
+}
+
+// Validate checks the schema version and that every series carries
+// samples.
+func (r *Report) Validate() error {
+	if r.Schema < 1 {
+		return fmt.Errorf("benchgate: missing or invalid schema version %d", r.Schema)
+	}
+	if r.Schema > SchemaVersion {
+		return fmt.Errorf("benchgate: schema version %d is newer than this tool supports (%d)",
+			r.Schema, SchemaVersion)
+	}
+	seen := make(map[Key]bool, len(r.Series))
+	for _, s := range r.Series {
+		if len(s.SampleNs) == 0 {
+			return fmt.Errorf("benchgate: series %s has no samples", s.Key)
+		}
+		if seen[s.Key] {
+			return fmt.Errorf("benchgate: duplicate series %s", s.Key)
+		}
+		seen[s.Key] = true
+	}
+	return nil
+}
+
+// WriteFile marshals the report to path as indented JSON.
+func WriteFile(path string, r *Report) error {
+	if err := r.Validate(); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadFile parses and validates a report.
+func ReadFile(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("benchgate: %s: %w", path, err)
+	}
+	if err := r.Validate(); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}

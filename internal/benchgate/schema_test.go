@@ -1,0 +1,115 @@
+package benchgate
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func sampleReport() *Report {
+	rep := New("test", RunConfig{Threads: 2, Grain: 64, Scale: 0.5, Reps: 3, Kernels: []string{"axpy"}})
+	rep.Add(Series{
+		Key:      Key{Kernel: "axpy", Model: "omp_for", Threads: 2, Grain: 0, Partitioner: "-"},
+		SampleNs: []int64{100, 110, 105},
+	})
+	rep.Add(Series{
+		Key:      Key{Kernel: "axpy", Model: "cilk_for", Threads: 2, Grain: 64, Partitioner: "eager"},
+		SampleNs: []int64{200, 220, 210},
+		Counters: map[string]int64{"spawns_per_run": 4095},
+	})
+	return rep
+}
+
+func TestSchemaRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "r.json")
+	want := sampleReport()
+	if err := WriteFile(path, want); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestSchemaVersionChecks(t *testing.T) {
+	dir := t.TempDir()
+
+	newer := sampleReport()
+	newer.Schema = SchemaVersion + 1
+	path := filepath.Join(dir, "newer.json")
+	if err := WriteFile(path, newer); err == nil {
+		t.Error("WriteFile accepted a future schema version")
+	}
+	// Bypass the writer's validation to simulate a file written by a
+	// future tool.
+	if err := os.WriteFile(path, []byte(`{"schema": 99, "series": [{"kernel":"a","model":"m","threads":1,"grain":0,"partitioner":"-","sample_ns":[1]}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFile(path); err == nil || !strings.Contains(err.Error(), "newer") {
+		t.Errorf("ReadFile(schema 99) err = %v, want newer-schema error", err)
+	}
+
+	missing := filepath.Join(dir, "missing.json")
+	if err := os.WriteFile(missing, []byte(`{"series": []}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFile(missing); err == nil {
+		t.Error("ReadFile accepted a file without a schema version")
+	}
+
+	if _, err := ReadFile(filepath.Join(dir, "nonexistent.json")); err == nil {
+		t.Error("ReadFile accepted a nonexistent path")
+	}
+
+	garbage := filepath.Join(dir, "garbage.json")
+	if err := os.WriteFile(garbage, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFile(garbage); err == nil {
+		t.Error("ReadFile accepted non-JSON input")
+	}
+}
+
+func TestValidateRejectsBadSeries(t *testing.T) {
+	empty := sampleReport()
+	empty.Series[0].SampleNs = nil
+	if err := empty.Validate(); err == nil {
+		t.Error("Validate accepted a series without samples")
+	}
+
+	dup := sampleReport()
+	dup.Add(dup.Series[0])
+	if err := dup.Validate(); err == nil {
+		t.Error("Validate accepted duplicate keys")
+	}
+}
+
+func TestFind(t *testing.T) {
+	rep := sampleReport()
+	k := rep.Series[1].Key
+	if s := rep.Find(k); s == nil || s.SampleNs[0] != 200 {
+		t.Errorf("Find(%v) = %v", k, s)
+	}
+	if s := rep.Find(Key{Kernel: "nope"}); s != nil {
+		t.Errorf("Find(unknown) = %v, want nil", s)
+	}
+}
+
+func TestEnvComparable(t *testing.T) {
+	a := Env{GoVersion: "go1.23.0", GOOS: "linux", GOARCH: "amd64", GOMAXPROCS: 4}
+	b := a
+	b.GoVersion = "go1.24.0" // patch/minor drift alone stays comparable
+	if !a.Comparable(b) {
+		t.Error("go version drift should stay comparable")
+	}
+	b.GOMAXPROCS = 8
+	if a.Comparable(b) {
+		t.Error("different GOMAXPROCS must not be comparable")
+	}
+}

@@ -1,0 +1,196 @@
+package benchgate
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+
+	"threading/internal/harness"
+	"threading/internal/models"
+	"threading/internal/worksteal"
+)
+
+// kernelFigs maps suite kernel names to the registered harness
+// experiments whose workloads they reuse, so the gate measures
+// exactly what the paper's figures measure.
+var kernelFigs = map[string]string{
+	"axpy":   "fig1",
+	"sum":    "fig2",
+	"matvec": "fig3",
+	"matmul": "fig4",
+}
+
+// DefaultKernels is the default suite: the flat data-parallel loops
+// whose ordering the paper's headline claims (and the gated
+// invariants) are about, plus matvec for a higher-intensity point.
+func DefaultKernels() []string { return []string{"axpy", "sum", "matvec"} }
+
+// SuiteConfig selects what RunSuite measures.
+type SuiteConfig struct {
+	// Kernels to measure; empty selects DefaultKernels.
+	Kernels []string
+	// Threads is the pool size; 0 selects GOMAXPROCS.
+	Threads int
+	// Reps is the number of timed repetitions per series; 0 selects 7
+	// (odd, and large enough for the exact U distribution to resolve
+	// p < 0.05).
+	Reps int
+	// Grain is the distribution-stressing grain for the work-stealing
+	// series; 0 selects 64.
+	Grain int
+	// Scale is the workload scale factor; 0 selects 0.1 (the gate
+	// favors many cheap repetitions over one large run).
+	Scale float64
+}
+
+func (c SuiteConfig) withDefaults() SuiteConfig {
+	if len(c.Kernels) == 0 {
+		c.Kernels = DefaultKernels()
+	}
+	if c.Threads <= 0 {
+		c.Threads = runtime.GOMAXPROCS(0)
+	}
+	if c.Reps <= 0 {
+		c.Reps = 7
+	}
+	if c.Grain <= 0 {
+		c.Grain = 64
+	}
+	if c.Scale <= 0 {
+		c.Scale = 0.1
+	}
+	return c
+}
+
+// RunConfig returns the schema record of this configuration.
+func (c SuiteConfig) RunConfig() RunConfig {
+	c = c.withDefaults()
+	return RunConfig{
+		Threads: c.Threads,
+		Grain:   c.Grain,
+		Scale:   c.Scale,
+		Reps:    c.Reps,
+		Kernels: c.Kernels,
+	}
+}
+
+// seriesSpec is one measured configuration of a kernel.
+type seriesSpec struct {
+	model       string
+	grain       int
+	partitioner worksteal.Partitioner
+}
+
+// specs returns the per-kernel series: the work-sharing reference
+// plus the work-stealing model under {stress, default} grain x
+// {eager, lazy} — the grid the invariants and the loop-distribution
+// trajectory are defined over.
+func specs(stressGrain int) []seriesSpec {
+	return []seriesSpec{
+		{models.OMPFor, 0, worksteal.Eager},
+		{models.CilkFor, stressGrain, worksteal.Eager},
+		{models.CilkFor, stressGrain, worksteal.Lazy},
+		{models.CilkFor, 0, worksteal.Eager},
+		{models.CilkFor, 0, worksteal.Lazy},
+	}
+}
+
+// RunSuite measures the configured kernels and returns a report in
+// the shared schema. Each series runs through harness.RunCtx against
+// the registered figure workload, with the raw repetition samples
+// exported via the harness sample hook; ctx cancels the sweep at the
+// next measurement boundary.
+func RunSuite(ctx context.Context, cfg SuiteConfig) (*Report, error) {
+	cfg = cfg.withDefaults()
+	rep := New("cmd/benchgate", cfg.RunConfig())
+	for _, kernel := range cfg.Kernels {
+		figID, ok := kernelFigs[kernel]
+		if !ok {
+			return nil, fmt.Errorf("benchgate: unknown kernel %q (have axpy, sum, matvec, matmul)", kernel)
+		}
+		base, ok := harness.ByID(figID)
+		if !ok {
+			return nil, fmt.Errorf("benchgate: experiment %s not registered", figID)
+		}
+		for _, sp := range specs(cfg.Grain) {
+			exp := &harness.Experiment{
+				ID:      kernel,
+				Title:   base.Title,
+				Finding: base.Finding,
+				Models:  []string{sp.model},
+				Prepare: base.Prepare,
+			}
+			res, err := harness.RunCtx(ctx, exp, harness.Config{
+				Threads:     []int{cfg.Threads},
+				Reps:        cfg.Reps,
+				Scale:       cfg.Scale,
+				Grain:       sp.grain,
+				Partitioner: sp.partitioner,
+				KeepSamples: true,
+			})
+			if err != nil {
+				return nil, err
+			}
+			samples := res.RawSamples[sp.model][cfg.Threads]
+			ns := make([]int64, len(samples))
+			for i, d := range samples {
+				ns[i] = d.Nanoseconds()
+			}
+			rep.Add(Series{
+				Key: Key{
+					Kernel:      kernel,
+					Model:       sp.model,
+					Threads:     cfg.Threads,
+					Grain:       sp.grain,
+					Partitioner: partitionerName(sp.model, sp.partitioner),
+				},
+				SampleNs: ns,
+			})
+		}
+	}
+	return rep, rep.Validate()
+}
+
+// FromResults converts harness results collected with
+// Config.KeepSamples into a schema report — the export path
+// cmd/threadbench uses so a smoke run doubles as a compare-able
+// artifact. The kernel name of each series is the experiment ID
+// (fig1..fig10).
+func FromResults(results []*harness.Result, tool string, reps int, scale float64) *Report {
+	rep := New(tool, RunConfig{Scale: scale, Reps: reps})
+	for _, r := range results {
+		for _, m := range r.Models {
+			for _, t := range r.Threads {
+				samples, ok := r.RawSamples[m][t]
+				if !ok {
+					continue
+				}
+				ns := make([]int64, len(samples))
+				for i, d := range samples {
+					ns[i] = d.Nanoseconds()
+				}
+				rep.Add(Series{
+					Key: Key{
+						Kernel:      r.Experiment.ID,
+						Model:       m,
+						Threads:     t,
+						Grain:       0,
+						Partitioner: partitionerName(m, r.Partitioner),
+					},
+					SampleNs: ns,
+				})
+			}
+		}
+	}
+	return rep
+}
+
+// partitionerName is the schema spelling of the partitioner for a
+// model: the partitioner's name for the work-stealing models, "-"
+// for models the option does not apply to.
+func partitionerName(model string, p worksteal.Partitioner) string {
+	if model == models.CilkFor || model == models.CilkSpawn {
+		return p.String()
+	}
+	return "-"
+}

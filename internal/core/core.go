@@ -40,6 +40,10 @@ type SuiteConfig struct {
 	Stats bool
 	// CSV switches output from human-readable tables to CSV.
 	CSV bool
+	// KeepSamples retains the raw per-repetition timings in each
+	// result's RawSamples (see harness.Config.KeepSamples), so the
+	// run can be exported in the benchmark-gate sample schema.
+	KeepSamples bool
 }
 
 // RunSuite executes the selected experiments and writes their tables
@@ -72,6 +76,7 @@ func RunSuiteCtx(ctx context.Context, cfg SuiteConfig, out io.Writer) ([]*harnes
 			Verify:      cfg.Verify,
 			Partitioner: cfg.Partitioner,
 			Stats:       cfg.Stats,
+			KeepSamples: cfg.KeepSamples,
 		})
 		if err != nil {
 			return results, err

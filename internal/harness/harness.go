@@ -69,6 +69,15 @@ type Config struct {
 	// runtime records them), reset after each warm-up so the numbers
 	// cover exactly the timed repetitions.
 	Stats bool
+	// Grain fixes the cilk_for loop grain; the zero value keeps the
+	// default heuristic (see models.WithGrain). The benchmark gate
+	// uses it to measure the distribution-stressing regime.
+	Grain int
+	// KeepSamples retains every raw repetition timing in
+	// Result.RawSamples — the sample-export hook the statistical
+	// regression gate (internal/benchgate) is built on. Off by
+	// default: a full sweep holds models x threads x reps durations.
+	KeepSamples bool
 }
 
 // DefaultThreads returns the default sweep {1, 2, 4, ...} up to twice
@@ -116,6 +125,10 @@ type Result struct {
 	// run was configured with Stats and the model's runtime collects
 	// them.
 	Sched map[string]map[int]sched.Snapshot
+	// RawSamples holds every timed repetition per cell, in
+	// measurement order, present only when the run was configured
+	// with KeepSamples.
+	RawSamples map[string]map[int][]time.Duration
 }
 
 // Run executes the experiment under cfg.
@@ -156,13 +169,17 @@ func RunCtx(ctx context.Context, e *Experiment, cfg Config) (*Result, error) {
 	if cfg.Stats {
 		res.Sched = make(map[string]map[int]sched.Snapshot)
 	}
+	if cfg.KeepSamples {
+		res.RawSamples = make(map[string]map[int][]time.Duration)
+	}
 	for _, name := range e.Models {
 		res.Cells[name] = make(map[int]stats.Sample)
 		for _, threads := range cfg.Threads {
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
-			m, err := models.New(name, threads, models.WithPartitioner(cfg.Partitioner))
+			m, err := models.New(name, threads,
+				models.WithPartitioner(cfg.Partitioner), models.WithGrain(cfg.Grain))
 			if err != nil {
 				return nil, err
 			}
@@ -191,6 +208,12 @@ func RunCtx(ctx context.Context, e *Experiment, cfg Config) (*Result, error) {
 					}
 					res.Sched[name][threads] = snap
 				}
+			}
+			if cfg.KeepSamples {
+				if res.RawSamples[name] == nil {
+					res.RawSamples[name] = make(map[int][]time.Duration)
+				}
+				res.RawSamples[name][threads] = ts
 			}
 			m.Close()
 			res.Cells[name][threads] = stats.Summarize(ts)

@@ -127,6 +127,7 @@ type Option func(*config)
 // config collects the resolved Option values.
 type config struct {
 	partitioner worksteal.Partitioner
+	grain       int
 }
 
 // WithPartitioner selects the loop partitioner used by the
@@ -138,11 +139,21 @@ func WithPartitioner(p worksteal.Partitioner) Option {
 	return func(c *config) { c.partitioner = p }
 }
 
+// WithGrain fixes the cilk_for loop grain (the smallest chunk the
+// divide-and-conquer decomposition produces). The zero value keeps
+// the default heuristic min(2048, ceil(n/8p)); small fixed grains
+// stress the distribution machinery, which is what the benchmark
+// gate's work-stealing series measure. Models without a grain knob
+// ignore this option.
+func WithGrain(g int) Option {
+	return func(c *config) { c.grain = g }
+}
+
 // factories maps model names to constructors.
 var factories = map[string]func(threads int, cfg config) Model{
 	OMPFor:    func(t int, _ config) Model { return NewOMPFor(t) },
 	OMPTask:   func(t int, _ config) Model { return NewOMPTask(t) },
-	CilkFor:   func(t int, cfg config) Model { return NewCilkForPartitioner(t, cfg.partitioner) },
+	CilkFor:   func(t int, cfg config) Model { return NewCilkForGrainPartitioner(t, cfg.grain, cfg.partitioner) },
 	CilkSpawn: func(t int, cfg config) Model { return NewCilkSpawnPartitioner(t, cfg.partitioner) },
 	CPPThread: func(t int, _ config) Model { return NewCPPThread(t) },
 	CPPAsync:  func(t int, _ config) Model { return NewCPPAsync(t) },

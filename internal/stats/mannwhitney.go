@@ -1,0 +1,199 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// UTest is the result of a two-sided Mann-Whitney U test: the
+// rank-based significance test the benchmark gate uses to decide
+// whether two sample sets of timings come from the same distribution.
+// It makes no normality assumption, which matters for wall-clock
+// samples (long right tails from preemption and frequency shifts).
+type UTest struct {
+	// N1, N2 are the sample sizes.
+	N1, N2 int
+	// U is the Mann-Whitney U statistic for the first sample: the
+	// number of (x, y) pairs with x > y, counting ties as 1/2.
+	U float64
+	// P is the two-sided p-value: the probability of a U at least
+	// this extreme when both samples come from the same distribution.
+	P float64
+	// Exact reports whether P came from the exact permutation
+	// distribution (small, tie-free samples) or from the normal
+	// approximation with tie correction and continuity correction.
+	Exact bool
+}
+
+// exactLimit is the largest per-sample size for which the exact U
+// distribution is enumerated. Above it (or in the presence of ties)
+// the normal approximation is used; at benchmark rep counts (3-20)
+// tie-free samples always take the exact path.
+const exactLimit = 25
+
+// MannWhitneyU runs a two-sided Mann-Whitney U test on the two sample
+// sets. Degenerate inputs (an empty sample, or all values identical
+// across both sets) yield P = 1: no evidence of a difference.
+func MannWhitneyU(x, y []float64) UTest {
+	n1, n2 := len(x), len(y)
+	t := UTest{N1: n1, N2: n2, P: 1}
+	if n1 == 0 || n2 == 0 {
+		return t
+	}
+
+	// Midranks over the pooled sample.
+	type val struct {
+		v     float64
+		first bool // from x
+	}
+	pool := make([]val, 0, n1+n2)
+	for _, v := range x {
+		pool = append(pool, val{v, true})
+	}
+	for _, v := range y {
+		pool = append(pool, val{v, false})
+	}
+	sort.Slice(pool, func(i, j int) bool { return pool[i].v < pool[j].v })
+
+	n := n1 + n2
+	ranks := make([]float64, n)
+	ties := false
+	var tieCorr float64 // sum over tie groups of t^3 - t
+	for i := 0; i < n; {
+		j := i
+		for j < n && pool[j].v == pool[i].v {
+			j++
+		}
+		r := float64(i+j+1) / 2 // midrank, 1-based
+		for k := i; k < j; k++ {
+			ranks[k] = r
+		}
+		if g := j - i; g > 1 {
+			ties = true
+			tieCorr += float64(g*g*g - g)
+		}
+		i = j
+	}
+
+	var r1 float64
+	for i, p := range pool {
+		if p.first {
+			r1 += ranks[i]
+		}
+	}
+	u1 := r1 - float64(n1*(n1+1))/2
+	u2 := float64(n1*n2) - u1
+	t.U = u1
+
+	if !ties && n1 <= exactLimit && n2 <= exactLimit {
+		t.Exact = true
+		t.P = exactP(n1, n2, math.Min(u1, u2))
+		return t
+	}
+
+	// Normal approximation with tie correction and continuity
+	// correction.
+	mu := float64(n1*n2) / 2
+	sigma2 := float64(n1*n2) / 12 * (float64(n+1) - tieCorr/float64(n*(n-1)))
+	if sigma2 <= 0 {
+		// Every pooled value identical: no information.
+		t.P = 1
+		return t
+	}
+	z := (math.Abs(u1-mu) - 0.5) / math.Sqrt(sigma2)
+	if z < 0 {
+		z = 0
+	}
+	t.P = math.Erfc(z / math.Sqrt2)
+	return t
+}
+
+// exactP returns the exact two-sided p-value 2*P(U <= umin) under the
+// null, clamped to 1. The U distribution is built with the standard
+// recurrence on the largest pooled element: if it belongs to the
+// first sample it dominates all n2 of the second, contributing n2 to
+// U; otherwise U is unchanged.
+//
+//	f(n1, n2, u) = f(n1-1, n2, u-n2) + f(n1, n2-1, u)
+//
+// Counts stay below 2^53 for the sizes exactLimit admits, so float64
+// arithmetic is exact.
+func exactP(n1, n2 int, umin float64) float64 {
+	k := int(umin) // tie-free U is integral
+	maxU := n1 * n2
+	// f[j][u] for the current i (number of first-sample elements).
+	f := make([][]float64, n2+1)
+	for j := range f {
+		f[j] = make([]float64, maxU+1)
+		f[j][0] = 1 // i = 0: only u = 0
+	}
+	for i := 1; i <= n1; i++ {
+		for j := 0; j <= n2; j++ {
+			for u := maxU; u >= 0; u-- {
+				var w float64
+				if u >= j {
+					w = f[j][u-j] // largest element from the first sample: beats j
+				}
+				if j > 0 {
+					w += f[j-1][u]
+				}
+				f[j][u] = w
+			}
+		}
+	}
+	var tail, total float64
+	for u, w := range f[n2] {
+		total += w
+		if u <= k {
+			tail += w
+		}
+	}
+	p := 2 * tail / total
+	if p > 1 {
+		p = 1
+	}
+	return p
+}
+
+// MedianCI returns a distribution-free confidence interval for the
+// median at confidence level conf (e.g. 0.95), built from order
+// statistics: the widest symmetric pair (x_(r), x_(n+1-r)) whose
+// binomial coverage 1 - 2*BinCDF(r-1; n, 1/2) reaches conf. When no
+// interior pair achieves the requested coverage (n < 6 at 0.95) the
+// full sample range is returned. The input need not be sorted; an
+// empty input yields (0, 0).
+func MedianCI(ds []float64, conf float64) (lo, hi float64) {
+	n := len(ds)
+	if n == 0 {
+		return 0, 0
+	}
+	sorted := make([]float64, n)
+	copy(sorted, ds)
+	sort.Float64s(sorted)
+	if n == 1 {
+		return sorted[0], sorted[0]
+	}
+	best := 1 // 1-based r; r = 1 is the full range
+	for r := 2; r <= n/2; r++ {
+		if 1-2*binomCDF(r-1, n) >= conf {
+			best = r
+		} else {
+			break
+		}
+	}
+	return sorted[best-1], sorted[n-best]
+}
+
+// binomCDF is P(X <= k) for X ~ Binomial(n, 1/2).
+func binomCDF(k, n int) float64 {
+	if k < 0 {
+		return 0
+	}
+	var sum float64
+	c := 1.0 // C(n, 0)
+	for i := 0; i <= k; i++ {
+		sum += c
+		c = c * float64(n-i) / float64(i+1)
+	}
+	return sum / math.Pow(2, float64(n))
+}
