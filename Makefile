@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race race-sched vet lint bench-smoke bench-loopdist bench-record bench-gate clean
+.PHONY: all build test race race-sched vet lint bench-smoke bench-loopdist bench-record bench-gate trace-smoke clean
 
 all: build vet lint test bench-gate
 
@@ -53,6 +53,14 @@ bench-record:
 # exit 1 means a real ordering inversion or a significant regression.
 bench-gate:
 	$(GO) run ./cmd/benchgate check -reps 3 -alpha 0.05 -ratio 1.3
+
+# End-to-end exercise of the tracing pipeline: a small Sum+Fib sweep
+# with -trace, then traceview converts the raw events to Chrome
+# trace-event JSON and prints the derived-metrics summary. Leaves
+# trace-smoke.json + trace-smoke.chrome.json for inspection.
+trace-smoke:
+	$(GO) run ./cmd/threadbench -fig fig2,fig5 -threads 2 -reps 1 -scale 0.1 -trace trace-smoke.json
+	$(GO) run ./cmd/traceview trace-smoke.json
 
 clean:
 	$(GO) clean ./...

@@ -7,19 +7,27 @@
 //
 //	kernelrun -app axpy|sum|matvec|matmul|fib|bfs|hotspot|lud|lavamd|srad
 //	          [-model cilk_for] [-threads N] [-scale 1.0] [-reps 3]
-//	          [-partitioner eager|lazy]
+//	          [-partitioner eager|lazy] [-trace trace.json]
+//
+// -trace records per-worker scheduler events during the timed runs and
+// writes them to the given path; inspect with cmd/traceview, which
+// also converts to Chrome/Perfetto timeline JSON.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
+	"strconv"
 	"time"
 
 	"threading/internal/harness"
 	"threading/internal/models"
 	"threading/internal/stats"
+	"threading/internal/tracez"
 	"threading/internal/worksteal"
 )
 
@@ -45,6 +53,7 @@ func main() {
 		scale   = flag.Float64("scale", 1.0, "workload scale factor")
 		reps    = flag.Int("reps", 3, "timed repetitions")
 		partStr = flag.String("partitioner", "eager", "loop partitioner for work-stealing models: eager (paper-faithful) or lazy")
+		traceTo = flag.String("trace", "", "write per-worker scheduler events to this path (view with cmd/traceview)")
 	)
 	flag.Parse()
 
@@ -79,7 +88,13 @@ func main() {
 	w := e.Prepare(*scale)
 	fmt.Printf("%s under %s, %d threads — %s\n", *app, *model, *threads, w.Desc)
 
-	m, err := models.New(*model, *threads, models.WithPartitioner(part))
+	var tracer *tracez.Tracer
+	if *traceTo != "" {
+		tracer = tracez.New(tracez.DefaultCapacity)
+	}
+
+	m, err := models.New(*model, *threads,
+		models.WithPartitioner(part), models.WithTracer(tracer))
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "kernelrun: %v\n", err)
 		os.Exit(1)
@@ -94,15 +109,22 @@ func main() {
 		fmt.Println("verification: ok (matches sequential reference)")
 	}
 
-	w.Run(m)                // warm-up
-	m.ResetSchedulerStats() // counters should reflect timed runs only
+	w.Run(m) // warm-up
+	// Snapshot after the warm-up so the reported counters are the delta
+	// covering exactly the timed runs.
+	base, _ := m.SchedulerStats()
 
 	var ts []time.Duration
-	for r := 0; r < *reps; r++ {
-		start := time.Now()
-		w.Run(m)
-		ts = append(ts, time.Since(start))
-	}
+	// Label the timed runs so a CPU profile taken against this process
+	// attributes samples to the kernel and model under study.
+	pprof.Do(context.Background(), pprof.Labels("kernel", *app, "model", *model),
+		func(context.Context) {
+			for r := 0; r < *reps; r++ {
+				start := time.Now()
+				w.Run(m)
+				ts = append(ts, time.Since(start))
+			}
+		})
 	sample := stats.Summarize(ts)
 	fmt.Printf("time: min=%v mean=%v median=%v max=%v (n=%d)\n",
 		sample.Min.Round(time.Microsecond), sample.Mean.Round(time.Microsecond),
@@ -110,17 +132,22 @@ func main() {
 
 	if s, ok := m.SchedulerStats(); ok {
 		fmt.Printf("scheduler counters over %d timed runs:\n", *reps)
-		fmt.Printf("  tasks executed: %d\n", s.TasksExecuted)
-		fmt.Printf("  spawns:         %d\n", s.Spawns)
-		fmt.Printf("  steals:         %d\n", s.Steals)
-		fmt.Printf("  failed steals:  %d\n", s.FailedSteals)
-		fmt.Printf("  parks:          %d\n", s.Parks)
-		fmt.Printf("  barrier waits:  %d\n", s.BarrierWaits)
-		fmt.Printf("  loop chunks:    %d\n", s.LoopChunks)
-		fmt.Printf("  lazy splits:    %d\n", s.LazySplits)
-		fmt.Printf("  batch steals:   %d (%d tasks)\n", s.BatchSteals, s.BatchStolen)
-		fmt.Printf("  help-first:     %d\n", s.HelpFirstTasks)
+		for _, f := range s.Delta(base).Fields() {
+			fmt.Printf("  %-14s %d\n", f.Name+":", f.Value)
+		}
 	} else {
 		fmt.Println("scheduler counters: none (model has no persistent runtime)")
+	}
+
+	if tracer != nil {
+		snap := tracer.Snapshot()
+		snap.Meta["kernel"] = *app
+		snap.Meta["model"] = *model
+		snap.Meta["threads"] = strconv.Itoa(*threads)
+		if err := tracez.WriteFile(*traceTo, snap); err != nil {
+			fmt.Fprintf(os.Stderr, "kernelrun: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote trace to %s (inspect with: traceview %s)\n", *traceTo, *traceTo)
 	}
 }

@@ -10,6 +10,8 @@
 //	threadbench [-fig fig1,fig5] [-threads 1,2,4] [-reps 3]
 //	            [-scale 1.0] [-partitioner eager|lazy] [-stats]
 //	            [-verify] [-csv] [-out samples.json] [-list]
+//	            [-trace trace.json] [-cpuprofile cpu.pb.gz]
+//	            [-memprofile mem.pb.gz]
 //
 // With no -fig, all ten experiments run. -scale shrinks or grows the
 // workloads relative to the laptop-scale defaults (the paper's sizes
@@ -21,6 +23,14 @@
 // to the tables. -out additionally writes every raw repetition in the
 // benchmark-gate sample schema (internal/benchgate), so even a smoke
 // run leaves an artifact `benchgate compare` can consume.
+//
+// Observability: -trace records per-worker scheduler events across the
+// whole sweep and writes them as raw tracez JSON (inspect or convert
+// with cmd/traceview). -cpuprofile/-memprofile write standard pprof
+// profiles; worker goroutines carry pprof labels (runtime, worker) so
+// `go tool pprof -tagfocus` can isolate one runtime's workers. All
+// three artifacts are written even when the sweep is interrupted with
+// Ctrl-C, so a partial run still leaves something to inspect.
 package main
 
 import (
@@ -30,6 +40,8 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"syscall"
@@ -37,10 +49,17 @@ import (
 	"threading/internal/benchgate"
 	"threading/internal/core"
 	"threading/internal/harness"
+	"threading/internal/tracez"
 	"threading/internal/worksteal"
 )
 
 func main() {
+	// All work happens in run so deferred artifact writes (profiles,
+	// trace) execute on every exit path, including interrupt.
+	os.Exit(run())
+}
+
+func run() int {
 	var (
 		figs    = flag.String("fig", "", "comma-separated experiment IDs (fig1..fig10); empty = all")
 		threads = flag.String("threads", "", "comma-separated thread counts; empty = 1,2,4,... up to 2*GOMAXPROCS")
@@ -52,13 +71,16 @@ func main() {
 		csv     = flag.Bool("csv", false, "emit CSV instead of tables")
 		out     = flag.String("out", "", "also write raw samples to this path in the benchmark-gate schema (compare with cmd/benchgate)")
 		list    = flag.Bool("list", false, "list experiments and exit")
+		traceTo = flag.String("trace", "", "write per-worker scheduler events to this path (view with cmd/traceview)")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this path")
+		memProf = flag.String("memprofile", "", "write a heap profile to this path on exit")
 	)
 	flag.Parse()
 
 	part, err := worksteal.ParsePartitioner(*partStr)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "threadbench: %v\n", err)
-		os.Exit(2)
+		return 2
 	}
 
 	if *list {
@@ -66,7 +88,56 @@ func main() {
 			e, _ := harness.ByID(id)
 			fmt.Printf("%-6s %s\n       paper: %s\n", e.ID, e.Title, e.Finding)
 		}
-		return
+		return 0
+	}
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "threadbench: %v\n", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "threadbench: start cpu profile: %v\n", err)
+			f.Close()
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+			fmt.Fprintf(os.Stderr, "wrote cpu profile to %s\n", *cpuProf)
+		}()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "threadbench: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle live heap before the snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "threadbench: write heap profile: %v\n", err)
+				return
+			}
+			fmt.Fprintf(os.Stderr, "wrote heap profile to %s\n", *memProf)
+		}()
+	}
+
+	var tracer *tracez.Tracer
+	if *traceTo != "" {
+		tracer = tracez.New(tracez.DefaultCapacity)
+		defer func() {
+			snap := tracer.Snapshot()
+			snap.Meta["tool"] = "threadbench"
+			snap.Meta["scale"] = fmt.Sprintf("%g", *scale)
+			if err := tracez.WriteFile(*traceTo, snap); err != nil {
+				fmt.Fprintf(os.Stderr, "threadbench: %v\n", err)
+				return
+			}
+			fmt.Fprintf(os.Stderr, "wrote trace to %s (inspect with: traceview %s)\n", *traceTo, *traceTo)
+		}()
 	}
 
 	cfg := core.SuiteConfig{
@@ -77,6 +148,7 @@ func main() {
 		Stats:       *stat,
 		CSV:         *csv,
 		KeepSamples: *out != "",
+		Tracer:      tracer,
 	}
 	if *figs != "" {
 		cfg.Experiments = strings.Split(*figs, ",")
@@ -86,7 +158,7 @@ func main() {
 			n, err := strconv.Atoi(strings.TrimSpace(part))
 			if err != nil || n < 1 {
 				fmt.Fprintf(os.Stderr, "threadbench: bad thread count %q\n", part)
-				os.Exit(2)
+				return 2
 			}
 			cfg.Threads = append(cfg.Threads, n)
 		}
@@ -111,10 +183,10 @@ func main() {
 	if err != nil {
 		if errors.Is(err, context.Canceled) {
 			fmt.Fprintln(os.Stderr, "threadbench: interrupted; partial results above")
-			os.Exit(130)
+			return 130
 		}
 		fmt.Fprintf(os.Stderr, "threadbench: %v\n", err)
-		os.Exit(1)
+		return 1
 	}
 	if !*csv {
 		fmt.Println("summary (at the largest thread count):")
@@ -124,4 +196,5 @@ func main() {
 				s.Experiment, s.Best, s.Worst, s.WorstOverBest)
 		}
 	}
+	return 0
 }

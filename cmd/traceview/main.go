@@ -1,0 +1,93 @@
+// Command traceview inspects a raw scheduler trace produced by the
+// -trace flag of threadbench or kernelrun. It prints a text summary
+// (per-worker utilization, steal-latency and chunk-size histograms,
+// load-imbalance ratio) and converts the trace to Chrome trace-event
+// JSON for chrome://tracing or ui.perfetto.dev.
+//
+// Usage:
+//
+//	traceview [-chrome out.json] [-summary=false] trace.json
+//
+// -chrome defaults to the input path with a .chrome.json suffix; pass
+// -chrome "" to skip the conversion and only print the summary.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"threading/internal/tracez"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		chrome  = flag.String("chrome", "\x00", `write Chrome trace-event JSON here (default: <input>.chrome.json; "" disables)`)
+		summary = flag.Bool("summary", true, "print the derived-metrics text summary")
+	)
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: traceview [-chrome out.json] [-summary=false] trace.json")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		return 2
+	}
+	in := flag.Arg(0)
+
+	tr, err := tracez.ReadFile(in)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "traceview: %v\n", err)
+		return 1
+	}
+
+	chromeOut := *chrome
+	if chromeOut == "\x00" {
+		chromeOut = strings.TrimSuffix(in, ".json") + ".chrome.json"
+	}
+	if chromeOut != "" {
+		f, err := os.Create(chromeOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "traceview: %v\n", err)
+			return 1
+		}
+		if err := tracez.ExportChrome(f, tr); err != nil {
+			f.Close()
+			fmt.Fprintf(os.Stderr, "traceview: %v\n", err)
+			return 1
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "traceview: %v\n", err)
+			return 1
+		}
+		fmt.Printf("wrote %s (load in chrome://tracing or ui.perfetto.dev)\n", chromeOut)
+	}
+
+	if *summary {
+		if len(tr.Meta) > 0 {
+			fmt.Printf("trace meta:")
+			for _, k := range sortedKeys(tr.Meta) {
+				fmt.Printf(" %s=%s", k, tr.Meta[k])
+			}
+			fmt.Println()
+		}
+		tracez.Summarize(tr).Render(os.Stdout)
+	}
+	return 0
+}
+
+func sortedKeys(m map[string]string) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -17,6 +17,7 @@ import (
 	"threading/internal/features"
 	"threading/internal/harness"
 	"threading/internal/models"
+	"threading/internal/tracez"
 	"threading/internal/worksteal"
 )
 
@@ -44,6 +45,9 @@ type SuiteConfig struct {
 	// result's RawSamples (see harness.Config.KeepSamples), so the
 	// run can be exported in the benchmark-gate sample schema.
 	KeepSamples bool
+	// Tracer, when non-nil, records scheduler events from every model
+	// the suite constructs (see harness.Config.Tracer).
+	Tracer *tracez.Tracer
 }
 
 // RunSuite executes the selected experiments and writes their tables
@@ -77,6 +81,7 @@ func RunSuiteCtx(ctx context.Context, cfg SuiteConfig, out io.Writer) ([]*harnes
 			Partitioner: cfg.Partitioner,
 			Stats:       cfg.Stats,
 			KeepSamples: cfg.KeepSamples,
+			Tracer:      cfg.Tracer,
 		})
 		if err != nil {
 			return results, err

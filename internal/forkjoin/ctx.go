@@ -4,6 +4,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"threading/internal/tracez"
 )
 
 // Ctx is a member's handle inside a parallel region. All members of a
@@ -54,7 +56,10 @@ func (tc *Ctx) guard(body func(l, h int)) func(l, h int) {
 // member per phase.
 func (tc *Ctx) Barrier() bool {
 	tc.m.st.CountBarrierWait()
-	return tc.m.team.barrier.Wait()
+	tc.m.ring.Record(tracez.KindBarrierStart, 0, 0)
+	last := tc.m.team.barrier.Wait()
+	tc.m.ring.Record(tracez.KindBarrierEnd, 0, 0)
+	return last
 }
 
 // Critical executes fn under the team-wide critical-section lock —
@@ -122,6 +127,16 @@ func (tc *Ctx) forRange(s Schedule, lo, hi int, body func(l, h int)) {
 	seq := tc.loopSeq
 	tc.loopSeq++
 	run := tc.guard(body)
+	if ring := tc.m.ring; ring != nil {
+		// Wrap once per loop, not per chunk, so the disabled path pays
+		// only this nil check.
+		inner := run
+		run = func(l, h int) {
+			ring.Record(tracez.KindChunkStart, int64(l), int64(h))
+			inner(l, h)
+			ring.Record(tracez.KindChunkEnd, int64(l), int64(h))
+		}
+	}
 	switch s.Kind {
 	case ScheduleStatic:
 		// No shared descriptor needed: assignment is a pure function
@@ -199,6 +214,7 @@ type task struct {
 func (tc *Ctx) Task(fn func(*Ctx)) {
 	t := tc.m.team
 	tc.m.st.CountSpawn()
+	tc.m.ring.Record(tracez.KindSpawn, 0, 0)
 	node := &taskNode{parent: tc.m.cur}
 	tc.m.cur.children.Add(1)
 	if t.opts.Policy == TaskImmediate {

@@ -17,12 +17,16 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
 	"threading/internal/deque"
 	"threading/internal/sched"
 	"threading/internal/syncprim"
+	"threading/internal/tracez"
 )
 
 // TaskPolicy selects when an explicit task body runs.
@@ -63,6 +67,10 @@ type Options struct {
 	// that ask the team for its default (Team.DefaultSchedule). The
 	// zero value is the static schedule.
 	DefaultSchedule Schedule
+	// Tracer, when non-nil, receives per-member runtime events
+	// (task/chunk spans, spawns, steals, barrier waits). Nil disables
+	// tracing; the hot paths then pay only a nil check.
+	Tracer *tracez.Tracer
 }
 
 // Option configures a Team at construction. The legacy Options struct
@@ -104,6 +112,13 @@ func WithSchedule(s Schedule) Option {
 	return teamOption(func(o *Options) { o.DefaultSchedule = s })
 }
 
+// WithTracer attaches a runtime-event tracer: every member records its
+// events into the tracer's ring for its member id. A nil tracer leaves
+// tracing disabled.
+func WithTracer(tr *tracez.Tracer) Option {
+	return teamOption(func(o *Options) { o.Tracer = tr })
+}
+
 // Team is a fixed-size group of workers executing parallel regions.
 // The calling goroutine acts as member 0 (the master); members
 // 1..n-1 are persistent goroutines that block between regions, so a
@@ -139,6 +154,7 @@ type member struct {
 	st   *sched.Shard
 	cur  *taskNode     // node whose children a taskwait would join
 	reg  *sched.Region // cancellation state of the region being run
+	ring *tracez.Ring  // nil unless the team was built WithTracer
 }
 
 // region is the shared state of one parallel region: the body, the
@@ -187,6 +203,10 @@ func NewTeam(n int, options ...Option) *Team {
 			rng:  sched.NewRand(uint64(i)*0x9E3779B9 + 7),
 			st:   t.stats.Shard(i),
 		}
+		if opts.Tracer != nil {
+			m.ring = opts.Tracer.Ring(i)
+			opts.Tracer.Label(i, "fj-m"+strconv.Itoa(i))
+		}
 		if i > 0 {
 			m.cmds = make(chan *region)
 		}
@@ -194,7 +214,15 @@ func NewTeam(n int, options ...Option) *Team {
 	}
 	for i := 1; i < n; i++ {
 		t.wg.Add(1)
-		go t.members[i].loop()
+		m := t.members[i]
+		go func() {
+			// pprof label the member goroutine so CPU profiles split by
+			// runtime and member, not one anonymous goroutine blob.
+			// Member 0 is the caller's goroutine and keeps its labels.
+			pprof.Do(context.Background(), pprof.Labels(
+				"runtime", "forkjoin", "worker", strconv.Itoa(m.id),
+			), func(context.Context) { m.loop() })
+		}()
 	}
 	return t
 }
@@ -298,7 +326,9 @@ func (m *member) runRegion(r *region) {
 	// finished, then join the implicit barrier.
 	m.drainAllTasks(tc)
 	m.st.CountBarrierWait()
+	m.ring.Record(tracez.KindBarrierStart, 0, 0)
 	m.team.barrier.Wait()
+	m.ring.Record(tracez.KindBarrierEnd, 0, 0)
 	m.cur = nil
 	m.reg = nil
 }
@@ -339,10 +369,12 @@ func (m *member) findTask() *task {
 		}
 		if tk := v.dq.Steal(); tk != nil {
 			m.st.CountSteal()
+			m.ring.Record(tracez.KindSteal, int64(v.id), 1)
 			return tk
 		}
 	}
 	m.st.CountFailedSteal()
+	m.ring.Record(tracez.KindStealFail, 0, 0)
 	return nil
 }
 
@@ -352,6 +384,10 @@ func (m *member) findTask() *task {
 // queued tasks drain and taskwait/region-end conditions resolve.
 func (m *member) execute(tc *Ctx, tk *task) {
 	m.st.CountTask()
+	m.ring.Record(tracez.KindTaskStart, 0, 0)
+	if m.ring != nil && trace.IsEnabled() {
+		defer trace.StartRegion(context.Background(), "forkjoin.task").End()
+	}
 	saved := m.cur
 	m.cur = tk.node
 	if !m.reg.Canceled() {
@@ -365,6 +401,7 @@ func (m *member) execute(tc *Ctx, tk *task) {
 		}()
 	}
 	m.cur = saved
+	m.ring.Record(tracez.KindTaskEnd, 0, 0)
 	tk.node.parent.children.Add(-1)
 	m.team.outstanding.Add(-1)
 }

@@ -1,0 +1,51 @@
+package futures
+
+import (
+	"context"
+	"runtime/pprof"
+
+	"threading/internal/tracez"
+)
+
+// This file is the tracing bridge for the C++11-style layer. Threads
+// here are fresh goroutines with no persistent worker identity, so the
+// caller supplies the ring to record into (typically one ring per
+// chunk index, plus an overflow ring for recursive tasks) and the
+// thread body brackets itself with KindThreadStart/KindThreadEnd. The
+// [lo, hi) pair carries the chunk's iteration range when there is one,
+// which is how manual chunking shows up in the chunk-size histogram
+// alongside the other runtimes' loop chunks.
+
+// NewThreadTraced is NewThread with tracing: the spawned thread
+// records a thread span covering fn (tagged with the [lo, hi) chunk
+// range, zeros when there is none) into r, and runs under a pprof
+// label identifying the runtime. A nil ring is exactly NewThread.
+func NewThreadTraced(r *tracez.Ring, lo, hi int64, fn func()) *Thread {
+	if r == nil {
+		return NewThread(fn)
+	}
+	return NewThread(func() {
+		pprof.Do(context.Background(), pprof.Labels(
+			"runtime", "futures",
+		), func(context.Context) {
+			r.Record(tracez.KindThreadStart, lo, hi)
+			defer r.Record(tracez.KindThreadEnd, lo, hi)
+			fn()
+		})
+	})
+}
+
+// AsyncTraced is Async with tracing: the task body records a thread
+// span into r around fn, wherever the policy runs it (a fresh thread
+// for LaunchAsync, the getter's goroutine for LaunchDeferred). A nil
+// ring is exactly Async.
+func AsyncTraced[T any](r *tracez.Ring, policy Policy, lo, hi int64, fn func() (T, error)) *Future[T] {
+	if r == nil {
+		return Async(policy, fn)
+	}
+	return Async(policy, func() (T, error) {
+		r.Record(tracez.KindThreadStart, lo, hi)
+		defer r.Record(tracez.KindThreadEnd, lo, hi)
+		return fn()
+	})
+}

@@ -1,0 +1,62 @@
+package futures
+
+import (
+	"testing"
+
+	"threading/internal/tracez"
+)
+
+func TestNewThreadTracedRecordsSpan(t *testing.T) {
+	tr := tracez.New(64)
+	ring := tr.Ring(0)
+	th := NewThreadTraced(ring, 10, 20, func() {})
+	th.Join()
+	wt := tr.Snapshot().Workers[0]
+	if len(wt.Events) != 2 {
+		t.Fatalf("events = %d, want thread start + end", len(wt.Events))
+	}
+	if wt.Events[0].Kind != tracez.KindThreadStart || wt.Events[1].Kind != tracez.KindThreadEnd {
+		t.Fatalf("unexpected kinds: %v, %v", wt.Events[0].Kind, wt.Events[1].Kind)
+	}
+	if wt.Events[0].A1 != 10 || wt.Events[0].A2 != 20 {
+		t.Fatalf("span range = [%d, %d), want [10, 20)", wt.Events[0].A1, wt.Events[0].A2)
+	}
+}
+
+func TestNewThreadTracedNilRing(t *testing.T) {
+	th := NewThreadTraced(nil, 0, 0, func() {})
+	th.Join() // must behave exactly like NewThread
+}
+
+func TestAsyncTracedRecordsSpan(t *testing.T) {
+	tr := tracez.New(64)
+	ring := tr.Ring(0)
+	f := AsyncTraced(ring, LaunchAsync, 0, 8, func() (int, error) { return 7, nil })
+	v, err := f.Get()
+	if err != nil || v != 7 {
+		t.Fatalf("Get = %d, %v", v, err)
+	}
+	wt := tr.Snapshot().Workers[0]
+	if len(wt.Events) != 2 {
+		t.Fatalf("events = %d, want thread start + end", len(wt.Events))
+	}
+}
+
+func TestAsyncTracedDeferredRecordsOnGet(t *testing.T) {
+	tr := tracez.New(64)
+	ring := tr.Ring(0)
+	f := AsyncTraced(ring, LaunchDeferred, 0, 0, func() (int, error) { return 1, nil })
+	if n := len(tr.Snapshot().Workers); n != 0 {
+		// The ring exists but must still be empty: deferred work has
+		// not run yet.
+		if len(tr.Snapshot().Workers[0].Events) != 0 {
+			t.Fatal("deferred async recorded before Get")
+		}
+	}
+	if v, err := f.Get(); err != nil || v != 1 {
+		t.Fatalf("Get = %d, %v", v, err)
+	}
+	if len(tr.Snapshot().Workers[0].Events) != 2 {
+		t.Fatal("deferred async did not record its span on Get")
+	}
+}

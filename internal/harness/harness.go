@@ -16,6 +16,7 @@ import (
 	"threading/internal/models"
 	"threading/internal/sched"
 	"threading/internal/stats"
+	"threading/internal/tracez"
 	"threading/internal/worksteal"
 )
 
@@ -78,6 +79,12 @@ type Config struct {
 	// regression gate (internal/benchgate) is built on. Off by
 	// default: a full sweep holds models x threads x reps durations.
 	KeepSamples bool
+	// Tracer, when non-nil, is attached to every model the sweep
+	// constructs, so each cell's runtime records scheduler events into
+	// it. The rings wrap around, so the capture covers the tail of the
+	// sweep — trace a single figure/model/threads selection for a
+	// readable timeline.
+	Tracer *tracez.Tracer
 }
 
 // DefaultThreads returns the default sweep {1, 2, 4, ...} up to twice
@@ -179,7 +186,8 @@ func RunCtx(ctx context.Context, e *Experiment, cfg Config) (*Result, error) {
 				return nil, err
 			}
 			m, err := models.New(name, threads,
-				models.WithPartitioner(cfg.Partitioner), models.WithGrain(cfg.Grain))
+				models.WithPartitioner(cfg.Partitioner), models.WithGrain(cfg.Grain),
+				models.WithTracer(cfg.Tracer))
 			if err != nil {
 				return nil, err
 			}
@@ -190,7 +198,10 @@ func RunCtx(ctx context.Context, e *Experiment, cfg Config) (*Result, error) {
 				}
 			}
 			w.Run(m) // warm-up, untimed
-			m.ResetSchedulerStats()
+			// Bracket the timed reps with snapshots instead of resetting,
+			// so the reported counters are a true delta even if the
+			// runtime saw other activity.
+			base, _ := m.SchedulerStats()
 			var ts []time.Duration
 			for r := 0; r < cfg.Reps; r++ {
 				if err := ctx.Err(); err != nil {
@@ -206,7 +217,7 @@ func RunCtx(ctx context.Context, e *Experiment, cfg Config) (*Result, error) {
 					if res.Sched[name] == nil {
 						res.Sched[name] = make(map[int]sched.Snapshot)
 					}
-					res.Sched[name][threads] = snap
+					res.Sched[name][threads] = snap.Delta(base)
 				}
 			}
 			if cfg.KeepSamples {
@@ -273,8 +284,11 @@ func (r *Result) RenderStats(w io.Writer) {
 		return
 	}
 	fmt.Fprintf(w, "scheduler counters (timed reps only):\n")
-	fmt.Fprintf(w, "%-12s %-8s %10s %10s %10s %10s %10s %10s %10s\n",
-		"model", "threads", "tasks", "steals", "failed", "lazysplit", "bsteals", "bstolen", "helpfirst")
+	fmt.Fprintf(w, "%-12s %-8s", "model", "threads")
+	for _, f := range (sched.Snapshot{}).Fields() {
+		fmt.Fprintf(w, " %13s", f.Name)
+	}
+	fmt.Fprintln(w)
 	for _, m := range r.Models {
 		cells, ok := r.Sched[m]
 		if !ok {
@@ -285,9 +299,11 @@ func (r *Result) RenderStats(w io.Writer) {
 			if !ok {
 				continue
 			}
-			fmt.Fprintf(w, "%-12s %-8d %10d %10d %10d %10d %10d %10d %10d\n",
-				m, t, s.TasksExecuted, s.Steals, s.FailedSteals,
-				s.LazySplits, s.BatchSteals, s.BatchStolen, s.HelpFirstTasks)
+			fmt.Fprintf(w, "%-12s %-8d", m, t)
+			for _, f := range s.Fields() {
+				fmt.Fprintf(w, " %13d", f.Value)
+			}
+			fmt.Fprintln(w)
 		}
 	}
 	fmt.Fprintln(w)

@@ -27,17 +27,22 @@ func NewCilkFor(threads int) Model {
 	return NewCilkForPartitioner(threads, worksteal.Eager)
 }
 
+// newWorkstealPool builds the lock-free pool shared by the cilk
+// models from the resolved model options. A nil tracer in cfg leaves
+// tracing disabled.
+func newWorkstealPool(threads int, cfg config) *worksteal.Pool {
+	return worksteal.NewPool(threads,
+		worksteal.WithDequeKind(deque.KindChaseLev),
+		worksteal.WithPartitioner(cfg.partitioner),
+		worksteal.WithTracer(cfg.tracer))
+}
+
 // NewCilkForPartitioner returns a cilk_for model whose loops are
 // decomposed by the given partitioner — worksteal.Eager for the
 // paper's up-front divide-and-conquer, worksteal.Lazy for
 // demand-driven splitting.
 func NewCilkForPartitioner(threads int, part worksteal.Partitioner) Model {
-	return &cilkFor{
-		pool: worksteal.NewPool(threads,
-			worksteal.WithDequeKind(deque.KindChaseLev),
-			worksteal.WithPartitioner(part)),
-		n: threads,
-	}
+	return &cilkFor{pool: newWorkstealPool(threads, config{partitioner: part}), n: threads}
 }
 
 // NewCilkForGrain returns a cilk_for model with a fixed grain size,
@@ -133,12 +138,7 @@ func NewCilkSpawn(threads int) Model {
 // bodies that call back into ForDAC-based helpers; it is accepted here
 // so a harness can configure every work-stealing model uniformly.
 func NewCilkSpawnPartitioner(threads int, part worksteal.Partitioner) Model {
-	return &cilkSpawn{
-		pool: worksteal.NewPool(threads,
-			worksteal.WithDequeKind(deque.KindChaseLev),
-			worksteal.WithPartitioner(part)),
-		n: threads,
-	}
+	return &cilkSpawn{pool: newWorkstealPool(threads, config{partitioner: part}), n: threads}
 }
 
 // NewCilkSpawnWithDeque returns a cilk_spawn model over the given

@@ -2,9 +2,11 @@ package models
 
 import (
 	"context"
+	"strconv"
 
 	"threading/internal/futures"
 	"threading/internal/sched"
+	"threading/internal/tracez"
 )
 
 // cppThread is the C++11 std::thread configuration: no runtime at
@@ -13,11 +15,31 @@ import (
 // overhead is paid on every parallel operation, exactly as in the
 // paper's std::thread versions.
 type cppThread struct {
-	n int
+	n  int
+	tr *tracez.Tracer
 }
 
 // NewCPPThread returns the cpp_thread model.
-func NewCPPThread(threads int) Model { return &cppThread{n: threads} }
+func NewCPPThread(threads int) Model { return newCPPThread(threads, nil) }
+
+func newCPPThread(threads int, tr *tracez.Tracer) Model {
+	labelChunkRings(tr, threads)
+	return &cppThread{n: threads, tr: tr}
+}
+
+// labelChunkRings names the rings a thread-per-chunk model records
+// into: chunk index i writes ring i, and recursive task spawns (which
+// have no stable chunk identity) share the overflow ring n. The rings
+// are created lazily by the first Record; only the labels are eager.
+func labelChunkRings(tr *tracez.Tracer, n int) {
+	if tr == nil {
+		return
+	}
+	for i := 0; i < n; i++ {
+		tr.Label(i, "cpp-c"+strconv.Itoa(i))
+	}
+	tr.Label(n, "cpp-task")
+}
 
 func (m *cppThread) Name() string { return CPPThread }
 func (m *cppThread) Threads() int { return m.n }
@@ -35,7 +57,8 @@ func (m *cppThread) ParallelForCtx(ctx context.Context, n int, body func(lo, hi 
 		if lo >= hi {
 			continue
 		}
-		ths = append(ths, futures.NewThread(guarded(reg, func() { body(lo, hi) })))
+		ths = append(ths, futures.NewThreadTraced(m.tr.Ring(i), int64(lo), int64(hi),
+			guarded(reg, func() { body(lo, hi) })))
 	}
 	for _, th := range ths {
 		//threadvet:ignore ctxdrop drain on purpose: guarded bodies stop at chunk boundaries once ctx cancels, and the region must be empty before the model is reusable (JoinCtx would abandon live threads)
@@ -68,7 +91,8 @@ func (m *cppThread) ParallelReduceCtx(ctx context.Context, n int, identity float
 		if lo >= hi {
 			continue
 		}
-		ths = append(ths, futures.NewThread(guarded(reg, func() { partials[i] = body(lo, hi, identity) })))
+		ths = append(ths, futures.NewThreadTraced(m.tr.Ring(i), int64(lo), int64(hi),
+			guarded(reg, func() { partials[i] = body(lo, hi, identity) })))
 	}
 	for _, th := range ths {
 		//threadvet:ignore ctxdrop drain on purpose: guarded bodies stop at chunk boundaries once ctx cancels, and every partial must be written before the combine loop reads them
@@ -95,6 +119,7 @@ func (m *cppThread) SupportsTasks() bool { return true }
 // region rather than re-panicking out of Join.
 type threadScope struct {
 	reg      *sched.Region
+	ring     *tracez.Ring // shared overflow ring; nil disables tracing
 	children []*futures.Thread
 }
 
@@ -102,9 +127,9 @@ func (s *threadScope) Spawn(fn func(TaskScope)) {
 	if s.reg.Canceled() {
 		return
 	}
-	reg := s.reg
-	s.children = append(s.children, futures.NewThread(guarded(reg, func() {
-		child := &threadScope{reg: reg}
+	reg, ring := s.reg, s.ring
+	s.children = append(s.children, futures.NewThreadTraced(ring, 0, 0, guarded(reg, func() {
+		child := &threadScope{reg: reg, ring: ring}
 		fn(child)
 		child.Sync() // a thread joins its own children before exiting
 	})))
@@ -123,7 +148,7 @@ func (m *cppThread) TaskRun(root func(TaskScope)) {
 
 func (m *cppThread) TaskRunCtx(ctx context.Context, root func(TaskScope)) error {
 	reg := sched.NewRegion(ctx)
-	s := &threadScope{reg: reg}
+	s := &threadScope{reg: reg, ring: m.tr.Ring(m.n)}
 	guarded(reg, func() { root(s) })()
 	s.Sync() // drain spawned threads even when root panicked or was skipped
 	return reg.Finish()
@@ -142,11 +167,17 @@ func (m *cppThread) Close() {}
 // thread of execution (std::launch::async), so it shares cpp_thread's
 // creation overhead but adds future synchronization.
 type cppAsync struct {
-	n int
+	n  int
+	tr *tracez.Tracer
 }
 
 // NewCPPAsync returns the cpp_async model.
-func NewCPPAsync(threads int) Model { return &cppAsync{n: threads} }
+func NewCPPAsync(threads int) Model { return newCPPAsync(threads, nil) }
+
+func newCPPAsync(threads int, tr *tracez.Tracer) Model {
+	labelChunkRings(tr, threads)
+	return &cppAsync{n: threads, tr: tr}
+}
 
 func (m *cppAsync) Name() string { return CPPAsync }
 func (m *cppAsync) Threads() int { return m.n }
@@ -164,10 +195,11 @@ func (m *cppAsync) ParallelForCtx(ctx context.Context, n int, body func(lo, hi i
 		if lo >= hi {
 			continue
 		}
-		fs = append(fs, futures.Async(futures.LaunchAsync, func() (struct{}, error) {
-			guarded(reg, func() { body(lo, hi) })()
-			return struct{}{}, nil
-		}))
+		fs = append(fs, futures.AsyncTraced(m.tr.Ring(i), futures.LaunchAsync, int64(lo), int64(hi),
+			func() (struct{}, error) {
+				guarded(reg, func() { body(lo, hi) })()
+				return struct{}{}, nil
+			}))
 	}
 	for _, f := range fs {
 		//threadvet:ignore ctxdrop drain on purpose: guarded bodies stop at chunk boundaries once ctx cancels; GetCtx would abandon running tasks and race the next region
@@ -199,11 +231,12 @@ func (m *cppAsync) ParallelReduceCtx(ctx context.Context, n int, identity float6
 		if lo >= hi {
 			continue
 		}
-		fs = append(fs, futures.Async(futures.LaunchAsync, func() (v float64, _ error) {
-			v = identity
-			guarded(reg, func() { v = body(lo, hi, identity) })()
-			return v, nil
-		}))
+		fs = append(fs, futures.AsyncTraced(m.tr.Ring(i), futures.LaunchAsync, int64(lo), int64(hi),
+			func() (v float64, _ error) {
+				v = identity
+				guarded(reg, func() { v = body(lo, hi, identity) })()
+				return v, nil
+			}))
 	}
 	acc := identity
 	for _, f := range fs {
@@ -229,6 +262,7 @@ func (m *cppAsync) SupportsTasks() bool { return true }
 // region rather than surfacing as a future error.
 type asyncScope struct {
 	reg      *sched.Region
+	ring     *tracez.Ring // shared overflow ring; nil disables tracing
 	children []*futures.Future[struct{}]
 }
 
@@ -236,11 +270,11 @@ func (s *asyncScope) Spawn(fn func(TaskScope)) {
 	if s.reg.Canceled() {
 		return
 	}
-	reg := s.reg
-	s.children = append(s.children, futures.Async(futures.LaunchAsync,
+	reg, ring := s.reg, s.ring
+	s.children = append(s.children, futures.AsyncTraced(ring, futures.LaunchAsync, 0, 0,
 		func() (struct{}, error) {
 			guarded(reg, func() {
-				child := &asyncScope{reg: reg}
+				child := &asyncScope{reg: reg, ring: ring}
 				fn(child)
 				child.Sync()
 			})()
@@ -263,7 +297,7 @@ func (m *cppAsync) TaskRun(root func(TaskScope)) {
 
 func (m *cppAsync) TaskRunCtx(ctx context.Context, root func(TaskScope)) error {
 	reg := sched.NewRegion(ctx)
-	s := &asyncScope{reg: reg}
+	s := &asyncScope{reg: reg, ring: m.tr.Ring(m.n)}
 	guarded(reg, func() { root(s) })()
 	s.Sync() // drain spawned futures even when root panicked or was skipped
 	return reg.Finish()

@@ -21,7 +21,9 @@ import (
 	"fmt"
 	"sort"
 
+	"threading/internal/forkjoin"
 	"threading/internal/sched"
+	"threading/internal/tracez"
 	"threading/internal/worksteal"
 )
 
@@ -128,6 +130,7 @@ type Option func(*config)
 type config struct {
 	partitioner worksteal.Partitioner
 	grain       int
+	tracer      *tracez.Tracer
 }
 
 // WithPartitioner selects the loop partitioner used by the
@@ -149,14 +152,31 @@ func WithGrain(g int) Option {
 	return func(c *config) { c.grain = g }
 }
 
+// WithTracer attaches a scheduler-event tracer to the model's runtime:
+// the pooled runtimes record per-worker events, the thread-per-chunk
+// models record one ring per chunk index plus an overflow ring for
+// recursive tasks. A nil tracer (the zero value) disables tracing, and
+// the runtimes' hot paths then pay only a nil check.
+func WithTracer(tr *tracez.Tracer) Option {
+	return func(c *config) { c.tracer = tr }
+}
+
 // factories maps model names to constructors.
 var factories = map[string]func(threads int, cfg config) Model{
-	OMPFor:    func(t int, _ config) Model { return NewOMPFor(t) },
-	OMPTask:   func(t int, _ config) Model { return NewOMPTask(t) },
-	CilkFor:   func(t int, cfg config) Model { return NewCilkForGrainPartitioner(t, cfg.grain, cfg.partitioner) },
-	CilkSpawn: func(t int, cfg config) Model { return NewCilkSpawnPartitioner(t, cfg.partitioner) },
-	CPPThread: func(t int, _ config) Model { return NewCPPThread(t) },
-	CPPAsync:  func(t int, _ config) Model { return NewCPPAsync(t) },
+	OMPFor: func(t int, cfg config) Model {
+		return NewOMPForWithOptions(t, forkjoin.Options{Tracer: cfg.tracer})
+	},
+	OMPTask: func(t int, cfg config) Model {
+		return NewOMPTaskWithOptions(t, forkjoin.Options{Tracer: cfg.tracer})
+	},
+	CilkFor: func(t int, cfg config) Model {
+		return &cilkFor{pool: newWorkstealPool(t, cfg), n: t, grain: cfg.grain}
+	},
+	CilkSpawn: func(t int, cfg config) Model {
+		return &cilkSpawn{pool: newWorkstealPool(t, cfg), n: t}
+	},
+	CPPThread: func(t int, cfg config) Model { return newCPPThread(t, cfg.tracer) },
+	CPPAsync:  func(t int, cfg config) Model { return newCPPAsync(t, cfg.tracer) },
 }
 
 // Names returns all model names in a stable order.

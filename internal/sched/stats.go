@@ -112,6 +112,53 @@ func (s *Stats) Snapshot() Snapshot {
 	return out
 }
 
+// Delta returns the counter increments between prev and s: the
+// activity of the interval that started when prev was taken. Callers
+// bracket a region with two Snapshots and subtract, instead of
+// Resetting shared counters (which would race concurrent regions and
+// lose history).
+func (s Snapshot) Delta(prev Snapshot) Snapshot {
+	return Snapshot{
+		TasksExecuted:  s.TasksExecuted - prev.TasksExecuted,
+		Spawns:         s.Spawns - prev.Spawns,
+		Steals:         s.Steals - prev.Steals,
+		FailedSteals:   s.FailedSteals - prev.FailedSteals,
+		Parks:          s.Parks - prev.Parks,
+		BarrierWaits:   s.BarrierWaits - prev.BarrierWaits,
+		LoopChunks:     s.LoopChunks - prev.LoopChunks,
+		LazySplits:     s.LazySplits - prev.LazySplits,
+		BatchSteals:    s.BatchSteals - prev.BatchSteals,
+		BatchStolen:    s.BatchStolen - prev.BatchStolen,
+		HelpFirstTasks: s.HelpFirstTasks - prev.HelpFirstTasks,
+	}
+}
+
+// Field is one named Snapshot counter, as produced by Fields.
+type Field struct {
+	Name  string
+	Value int64
+}
+
+// Fields returns every counter with its display name, in the stable
+// presentation order the CLI tools print. Renderers iterate this
+// instead of hardcoding the column list, so a new counter shows up
+// everywhere by extending this one method.
+func (s Snapshot) Fields() []Field {
+	return []Field{
+		{"tasks", s.TasksExecuted},
+		{"spawns", s.Spawns},
+		{"steals", s.Steals},
+		{"failed-steals", s.FailedSteals},
+		{"batch-steals", s.BatchSteals},
+		{"batch-stolen", s.BatchStolen},
+		{"help-first", s.HelpFirstTasks},
+		{"parks", s.Parks},
+		{"barriers", s.BarrierWaits},
+		{"loop-chunks", s.LoopChunks},
+		{"lazy-splits", s.LazySplits},
+	}
+}
+
 // Reset zeroes all counters.
 func (s *Stats) Reset() {
 	for i := range s.shards {

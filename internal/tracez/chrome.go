@@ -1,0 +1,171 @@
+package tracez
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// This file converts a Trace to the Chrome trace-event JSON format
+// (the "JSON Array with metadata" flavor: {"traceEvents": [...]}),
+// which chrome://tracing and ui.perfetto.dev load directly. Each
+// worker becomes one thread track: spans (tasks, loop chunks, barrier
+// and park waits) render as complete "X" events, instants (spawns,
+// steals, lazy splits, help-first claims) as "i" events, so the
+// paper's mechanisms — e.g. eager cilk_for's steal cascade — are
+// visible as timeline shapes.
+
+// chromeEvent is one trace-event object. TS and Dur are microseconds
+// (fractional, so nanosecond resolution survives).
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Ph    string         `json:"ph"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	TS    float64        `json:"ts"`
+	Dur   float64        `json:"dur,omitempty"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+const chromePID = 1
+
+// usec converts a trace timestamp (ns) to Chrome microseconds.
+func usec(ns int64) float64 { return float64(ns) / 1e3 }
+
+// spanStart returns the matching start kind when k is a span-end
+// kind, and KindNone otherwise.
+func spanStart(k Kind) Kind {
+	switch k {
+	case KindTaskEnd:
+		return KindTaskStart
+	case KindChunkEnd:
+		return KindChunkStart
+	case KindBarrierEnd:
+		return KindBarrierStart
+	case KindUnpark:
+		return KindPark
+	case KindThreadEnd:
+		return KindThreadStart
+	default:
+		return KindNone
+	}
+}
+
+// isSpanStart reports whether k opens a span.
+func isSpanStart(k Kind) bool {
+	switch k {
+	case KindTaskStart, KindChunkStart, KindBarrierStart, KindPark, KindThreadStart:
+		return true
+	}
+	return false
+}
+
+// spanArgs returns the args object for a completed span.
+func spanArgs(e Event) map[string]any {
+	switch e.Kind {
+	case KindChunkStart, KindThreadStart:
+		if e.A2 > e.A1 {
+			return map[string]any{"lo": e.A1, "hi": e.A2, "iters": e.A2 - e.A1}
+		}
+	}
+	return nil
+}
+
+// instantArgs returns the args object for an instant event.
+func instantArgs(e Event) map[string]any {
+	switch e.Kind {
+	case KindSteal:
+		return map[string]any{"victim": e.A1, "tasks": e.A2}
+	case KindLazySplit:
+		return map[string]any{"lo": e.A1, "hi": e.A2}
+	case KindHelpClaim:
+		return map[string]any{"slot": e.A1}
+	}
+	return nil
+}
+
+// ExportChrome writes tr as Chrome trace-event JSON. Spans whose
+// start was overwritten by ring wraparound are drawn from the
+// worker's first retained timestamp; spans still open at capture end
+// are closed at the worker's last timestamp.
+func ExportChrome(w io.Writer, tr *Trace) error {
+	if tr == nil {
+		return fmt.Errorf("tracez: nil trace")
+	}
+	events := []chromeEvent{{
+		Name: "process_name", Ph: "M", PID: chromePID,
+		Args: map[string]any{"name": "threading scheduler"},
+	}}
+	for _, wt := range tr.Workers {
+		events = append(events, chromeEvent{
+			Name: "thread_name", Ph: "M", PID: chromePID, TID: wt.ID,
+			Args: map[string]any{"name": wt.Label},
+		}, chromeEvent{
+			Name: "thread_sort_index", Ph: "M", PID: chromePID, TID: wt.ID,
+			Args: map[string]any{"sort_index": wt.ID},
+		})
+		events = append(events, workerChromeEvents(wt)...)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(map[string]any{
+		"traceEvents":     events,
+		"displayTimeUnit": "ns",
+		"otherData":       tr.Meta,
+	})
+}
+
+// workerChromeEvents converts one worker's event stream, pairing span
+// starts with their ends.
+func workerChromeEvents(wt WorkerTrace) []chromeEvent {
+	if len(wt.Events) == 0 {
+		return nil
+	}
+	windowStart := wt.Events[0].TS
+	windowEnd := wt.Events[len(wt.Events)-1].TS
+	out := make([]chromeEvent, 0, len(wt.Events)/2+4)
+	var stack []Event
+
+	span := func(start Event, endTS int64) {
+		dur := usec(endTS - start.TS)
+		if dur <= 0 {
+			dur = 0.001 // keep zero-length spans visible and valid
+		}
+		out = append(out, chromeEvent{
+			Name: start.Kind.String(), Ph: "X", PID: chromePID, TID: wt.ID,
+			TS: usec(start.TS), Dur: dur, Args: spanArgs(start),
+		})
+	}
+
+	for _, e := range wt.Events {
+		switch {
+		case isSpanStart(e.Kind):
+			stack = append(stack, e)
+		case spanStart(e.Kind) != KindNone:
+			want := spanStart(e.Kind)
+			matched := false
+			for i := len(stack) - 1; i >= 0; i-- {
+				if stack[i].Kind == want {
+					span(stack[i], e.TS)
+					stack = append(stack[:i], stack[i+1:]...)
+					matched = true
+					break
+				}
+			}
+			if !matched {
+				// Start lost to wraparound: draw from the window edge.
+				span(Event{TS: windowStart, Kind: want, A1: e.A1, A2: e.A2}, e.TS)
+			}
+		default:
+			out = append(out, chromeEvent{
+				Name: e.Kind.String(), Ph: "i", PID: chromePID, TID: wt.ID,
+				TS: usec(e.TS), Scope: "t", Args: instantArgs(e),
+			})
+		}
+	}
+	// Spans still open at capture end.
+	for _, s := range stack {
+		span(s, windowEnd)
+	}
+	return out
+}

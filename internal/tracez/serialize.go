@@ -1,0 +1,62 @@
+package tracez
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Event serializes as the compact array [ts, kind, a1, a2]: a trace
+// holds up to capacity*workers events, and the keyed-object encoding
+// would triple the file size for no information.
+
+// MarshalJSON implements json.Marshaler.
+func (e Event) MarshalJSON() ([]byte, error) {
+	return json.Marshal([4]int64{e.TS, int64(e.Kind), e.A1, e.A2})
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (e *Event) UnmarshalJSON(data []byte) error {
+	var a [4]int64
+	if err := json.Unmarshal(data, &a); err != nil {
+		return fmt.Errorf("tracez: event must be [ts, kind, a1, a2]: %w", err)
+	}
+	if a[1] < 0 || a[1] >= int64(kindCount) {
+		return fmt.Errorf("tracez: unknown event kind %d", a[1])
+	}
+	e.TS, e.Kind, e.A1, e.A2 = a[0], Kind(a[1]), a[2], a[3]
+	return nil
+}
+
+// WriteFile serializes tr to path as JSON (the raw trace format the
+// -trace flags produce and cmd/traceview consumes).
+func WriteFile(path string, tr *Trace) error {
+	if tr == nil {
+		return fmt.Errorf("tracez: nil trace")
+	}
+	data, err := json.Marshal(tr)
+	if err != nil {
+		return fmt.Errorf("tracez: encode trace: %w", err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("tracez: write %s: %w", path, err)
+	}
+	return nil
+}
+
+// ReadFile parses a raw trace written by WriteFile.
+func ReadFile(path string) (*Trace, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("tracez: read %s: %w", path, err)
+	}
+	var tr Trace
+	if err := json.Unmarshal(data, &tr); err != nil {
+		return nil, fmt.Errorf("tracez: parse %s: %w", path, err)
+	}
+	if tr.Version != Version {
+		return nil, fmt.Errorf("tracez: %s: unsupported trace version %d (want %d)", path, tr.Version, Version)
+	}
+	return &tr, nil
+}

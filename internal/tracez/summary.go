@@ -1,0 +1,246 @@
+package tracez
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"threading/internal/stats"
+)
+
+// This file derives the scheduler-behavior metrics a timeline alone
+// makes you eyeball: per-worker utilization, steal latency (how long
+// a worker hunted before a successful steal), the loop-chunk size
+// distribution, and the load-imbalance ratio. These are the numbers
+// behind the paper's narrative — eager cilk_for shows up as a long
+// steal-latency tail and many small chunks; work-sharing as near-even
+// utilization with no steals at all.
+
+// WorkerSummary aggregates one worker's event stream.
+type WorkerSummary struct {
+	ID      int
+	Label   string
+	Dropped int64
+	Events  int
+
+	// BusyNs is the union of this worker's task/chunk/thread spans.
+	BusyNs int64
+	// ParkedNs is the union of park..unpark intervals.
+	ParkedNs int64
+	// BarrierNs is the union of barrier-wait intervals.
+	BarrierNs int64
+
+	Tasks        int64
+	Chunks       int64
+	Spawns       int64
+	Steals       int64
+	StolenTasks  int64
+	FailedSteals int64
+	LazySplits   int64
+	HelpClaims   int64
+	Parks        int64
+	BarrierWaits int64
+}
+
+// Summary is the derived-metrics view of a Trace.
+type Summary struct {
+	Workers []WorkerSummary
+	// WallNs spans the earliest to the latest event in the capture.
+	WallNs int64
+	// TotalBusyNs sums the workers' busy time.
+	TotalBusyNs int64
+	// Imbalance is max(worker busy)/mean(worker busy); 1.0 is a
+	// perfectly balanced run, large values mean idle workers.
+	Imbalance float64
+	// StealLatency buckets, per successful steal, the nanoseconds
+	// between the stealing worker going hungry (its previous busy span
+	// ending, or the capture start) and the steal landing.
+	StealLatency stats.LogHist
+	// ChunkSizes buckets the iteration count of every loop-chunk and
+	// chunk-thread span.
+	ChunkSizes stats.LogHist
+}
+
+// Summarize derives a Summary from tr.
+func Summarize(tr *Trace) *Summary {
+	s := &Summary{}
+	var minTS, maxTS int64
+	first := true
+	for _, wt := range tr.Workers {
+		ws := summarizeWorker(wt, &s.StealLatency, &s.ChunkSizes)
+		s.Workers = append(s.Workers, ws)
+		s.TotalBusyNs += ws.BusyNs
+		if len(wt.Events) > 0 {
+			lo := wt.Events[0].TS
+			hi := wt.Events[len(wt.Events)-1].TS
+			if first || lo < minTS {
+				minTS = lo
+			}
+			if first || hi > maxTS {
+				maxTS = hi
+			}
+			first = false
+		}
+	}
+	if !first {
+		s.WallNs = maxTS - minTS
+	}
+	var maxBusy int64
+	for _, ws := range s.Workers {
+		if ws.BusyNs > maxBusy {
+			maxBusy = ws.BusyNs
+		}
+	}
+	if n := len(s.Workers); n > 0 && s.TotalBusyNs > 0 {
+		mean := float64(s.TotalBusyNs) / float64(n)
+		s.Imbalance = float64(maxBusy) / mean
+	}
+	return s
+}
+
+// busyDelta classifies an event as opening (+1) or closing (-1) a
+// busy span, or neither (0).
+func busyDelta(k Kind) int {
+	switch k {
+	case KindTaskStart, KindChunkStart, KindThreadStart:
+		return 1
+	case KindTaskEnd, KindChunkEnd, KindThreadEnd:
+		return -1
+	}
+	return 0
+}
+
+func summarizeWorker(wt WorkerTrace, stealLat, chunkSizes *stats.LogHist) WorkerSummary {
+	ws := WorkerSummary{ID: wt.ID, Label: wt.Label, Dropped: wt.Dropped, Events: len(wt.Events)}
+	if len(wt.Events) == 0 {
+		return ws
+	}
+	windowStart := wt.Events[0].TS
+	lastTS := wt.Events[len(wt.Events)-1].TS
+
+	// Busy time is the union of (possibly nested) busy spans, tracked
+	// with a depth counter. idleStart marks when the worker last went
+	// hungry, for steal latency; it starts at the window edge because
+	// a worker is hungry until its first span.
+	depth := 0
+	var busyStart int64
+	idleStart := windowStart
+	var parkStart, barrierStart int64 = -1, -1
+
+	for _, e := range wt.Events {
+		switch d := busyDelta(e.Kind); {
+		case d > 0:
+			if depth == 0 {
+				busyStart = e.TS
+				idleStart = -1
+			}
+			depth++
+		case d < 0:
+			if depth == 0 {
+				// Start lost to wraparound: count from the window edge.
+				ws.BusyNs += e.TS - windowStart
+				idleStart = e.TS
+				break
+			}
+			depth--
+			if depth == 0 {
+				ws.BusyNs += e.TS - busyStart
+				idleStart = e.TS
+			}
+		}
+		switch e.Kind {
+		case KindTaskEnd:
+			ws.Tasks++
+		case KindChunkStart:
+			ws.Chunks++
+			if e.A2 > e.A1 {
+				chunkSizes.Add(e.A2 - e.A1)
+			}
+		case KindThreadStart:
+			if e.A2 > e.A1 {
+				ws.Chunks++
+				chunkSizes.Add(e.A2 - e.A1)
+			}
+		case KindSpawn:
+			ws.Spawns++
+		case KindSteal:
+			ws.Steals++
+			ws.StolenTasks += e.A2
+			if idleStart >= 0 {
+				lat := e.TS - idleStart
+				if lat < 1 {
+					lat = 1
+				}
+				stealLat.Add(lat)
+			}
+		case KindStealFail:
+			ws.FailedSteals++
+		case KindLazySplit:
+			ws.LazySplits++
+		case KindHelpClaim:
+			ws.HelpClaims++
+		case KindPark:
+			ws.Parks++
+			parkStart = e.TS
+		case KindUnpark:
+			if parkStart >= 0 {
+				ws.ParkedNs += e.TS - parkStart
+				parkStart = -1
+			}
+		case KindBarrierStart:
+			ws.BarrierWaits++
+			barrierStart = e.TS
+		case KindBarrierEnd:
+			if barrierStart >= 0 {
+				ws.BarrierNs += e.TS - barrierStart
+				barrierStart = -1
+			}
+		}
+	}
+	if depth > 0 {
+		ws.BusyNs += lastTS - busyStart
+	}
+	return ws
+}
+
+// Render writes the summary as text: per-worker utilization bars,
+// then the derived histograms and the imbalance ratio.
+func (s *Summary) Render(w io.Writer) {
+	var events int
+	var dropped int64
+	for _, ws := range s.Workers {
+		events += ws.Events
+		dropped += ws.Dropped
+	}
+	fmt.Fprintf(w, "trace: %d workers, wall %v, %d events retained (%d dropped by ring wraparound)\n\n",
+		len(s.Workers), time.Duration(s.WallNs).Round(time.Microsecond), events, dropped)
+
+	const barWidth = 30
+	fmt.Fprintf(w, "%-9s %-*s %6s %10s %8s %8s %8s %8s %7s %7s\n",
+		"worker", barWidth+2, "utilization", "util%", "busy", "tasks", "chunks", "steals", "fails", "parks", "barrier")
+	for _, ws := range s.Workers {
+		util := 0.0
+		if s.WallNs > 0 {
+			util = float64(ws.BusyNs) / float64(s.WallNs)
+		}
+		if util > 1 {
+			util = 1
+		}
+		fill := int(util*barWidth + 0.5)
+		bar := strings.Repeat("#", fill) + strings.Repeat(".", barWidth-fill)
+		fmt.Fprintf(w, "%-9s [%s] %5.1f%% %10v %8d %8d %8d %8d %7d %7v\n",
+			ws.Label, bar, 100*util,
+			time.Duration(ws.BusyNs).Round(time.Microsecond),
+			ws.Tasks, ws.Chunks, ws.Steals, ws.FailedSteals, ws.Parks,
+			time.Duration(ws.BarrierNs).Round(time.Microsecond))
+	}
+	fmt.Fprintf(w, "\nload imbalance (max/mean busy): %.2f\n", s.Imbalance)
+
+	fmt.Fprintf(w, "\nsteal latency (%d successful steals):\n", s.StealLatency.N())
+	s.StealLatency.Render(w, 40, func(v int64) string {
+		return time.Duration(v).Round(time.Nanosecond).String()
+	})
+	fmt.Fprintf(w, "\nloop chunk sizes (%d chunks):\n", s.ChunkSizes.N())
+	s.ChunkSizes.Render(w, 40, nil)
+}

@@ -1,0 +1,302 @@
+// Package tracez is the scheduler event tracer shared by the
+// threading runtimes in this repository. Where internal/sched.Stats
+// can only sum what happened, tracez records *when* it happened: each
+// worker owns a fixed-capacity ring buffer of timestamped events
+// (task spans, spawns, steals with their victim, parks, loop-chunk
+// spans with iteration ranges), overwriting the oldest event when
+// full, so tracing a long run costs bounded memory and never
+// allocates on the hot path.
+//
+// The reproduced paper explains its headline results through
+// scheduler *behavior over time* — eager cilk_for's chunk
+// distribution serialized through the stealing protocol, lock-based
+// vs lock-free task deques — and credits the original runtimes for
+// shipping the tooling (Cilkview, Cilkscreen) to see it. This package
+// is the equivalent substrate here: a captured Trace exports to
+// Chrome/Perfetto trace-event JSON (cmd/traceview) so those
+// mechanisms appear as timeline shapes rather than aggregate totals.
+//
+// Tracing is opt-in and nil-safe end to end: a nil *Tracer hands out
+// nil *Rings, and every Ring method no-ops on a nil receiver, so the
+// instrumented hot paths pay one nil check when tracing is off.
+package tracez
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Kind identifies one scheduler event type. Span kinds come in
+// Start/End pairs recorded on the same worker; the rest are instants.
+type Kind uint8
+
+const (
+	// KindNone is the zero Kind; it marks never-written ring slots.
+	KindNone Kind = iota
+
+	// KindTaskStart and KindTaskEnd bracket one task execution
+	// (worksteal task, forkjoin explicit task).
+	KindTaskStart
+	KindTaskEnd
+	// KindSpawn marks one task creation on the spawning worker.
+	KindSpawn
+	// KindSteal marks a successful steal: A1 is the victim's worker
+	// id, A2 the number of tasks migrated (>= 2 for a batch steal).
+	KindSteal
+	// KindStealFail marks one full steal sweep that found nothing.
+	KindStealFail
+	// KindLazySplit marks a demand-driven loop split: the executing
+	// worker spawned off [A1, A2) of its remaining range.
+	KindLazySplit
+	// KindPark and KindUnpark bracket one blocked-idle interval.
+	KindPark
+	KindUnpark
+	// KindHelpClaim marks a submitting goroutine claiming help-first
+	// worker slot A1.
+	KindHelpClaim
+	// KindBarrierStart and KindBarrierEnd bracket one barrier wait.
+	KindBarrierStart
+	KindBarrierEnd
+	// KindChunkStart and KindChunkEnd bracket the execution of one
+	// loop chunk over iterations [A1, A2).
+	KindChunkStart
+	KindChunkEnd
+	// KindThreadStart and KindThreadEnd bracket one futures thread or
+	// async task; for a loop chunk thread, [A1, A2) is its iteration
+	// range.
+	KindThreadStart
+	KindThreadEnd
+
+	kindCount
+)
+
+// String returns the event kind's timeline name.
+func (k Kind) String() string {
+	switch k {
+	case KindTaskStart, KindTaskEnd:
+		return "task"
+	case KindSpawn:
+		return "spawn"
+	case KindSteal:
+		return "steal"
+	case KindStealFail:
+		return "steal-fail"
+	case KindLazySplit:
+		return "lazy-split"
+	case KindPark, KindUnpark:
+		return "park"
+	case KindHelpClaim:
+		return "help-claim"
+	case KindBarrierStart, KindBarrierEnd:
+		return "barrier"
+	case KindChunkStart, KindChunkEnd:
+		return "chunk"
+	case KindThreadStart, KindThreadEnd:
+		return "thread"
+	default:
+		return "unknown"
+	}
+}
+
+// Event is one recorded scheduler event. TS is nanoseconds since the
+// owning Tracer's epoch (a shared monotonic origin, so events from
+// different workers order correctly). A1 and A2 carry kind-specific
+// arguments (victim id, batch size, iteration range).
+type Event struct {
+	TS   int64
+	Kind Kind
+	A1   int64
+	A2   int64
+}
+
+// Ring is one worker's private event buffer. Record appends,
+// overwriting the oldest event once the fixed capacity is reached.
+//
+// Every method is nil-safe: a nil *Ring records nothing, which is the
+// disabled-tracing fast path — instrumentation sites hold a *Ring and
+// pay one nil check when tracing is off. An enabled Ring serializes
+// Record under a per-ring mutex: uncontended in the intended
+// one-writer-per-worker use, and safe for the shared multi-writer
+// rings the futures layer uses, as well as against concurrent
+// snapshots.
+type Ring struct {
+	epoch time.Time
+
+	mu  sync.Mutex
+	buf []Event
+	pos int64 // total events ever recorded; next slot is pos % len(buf)
+}
+
+// Record appends one event with the current timestamp.
+func (r *Ring) Record(k Kind, a1, a2 int64) {
+	if r == nil {
+		return
+	}
+	ts := time.Since(r.epoch).Nanoseconds()
+	r.mu.Lock()
+	r.buf[r.pos%int64(len(r.buf))] = Event{TS: ts, Kind: k, A1: a1, A2: a2}
+	r.pos++
+	r.mu.Unlock()
+}
+
+// snapshot returns the retained events oldest-first and the number of
+// overwritten (dropped) events.
+func (r *Ring) snapshot() (events []Event, dropped int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := r.pos
+	capacity := int64(len(r.buf))
+	if n > capacity {
+		dropped = n - capacity
+		n = capacity
+	}
+	events = make([]Event, 0, n)
+	start := r.pos - n
+	for i := int64(0); i < n; i++ {
+		events = append(events, r.buf[(start+i)%capacity])
+	}
+	return events, dropped
+}
+
+// DefaultCapacity is the per-worker ring capacity used when New is
+// given a non-positive capacity: 16Ki events (512 KiB per worker).
+const DefaultCapacity = 1 << 14
+
+// Tracer owns the per-worker rings and the shared time epoch. Create
+// one with New, hand rings to workers with Ring, and materialize the
+// captured events with Snapshot. A nil *Tracer is the disabled
+// tracer: Ring returns nil and Snapshot returns nil.
+type Tracer struct {
+	epoch    time.Time
+	capacity int
+
+	mu     sync.Mutex
+	rings  map[int]*Ring
+	labels map[int]string
+}
+
+// New returns a tracer whose rings hold capacity events each
+// (DefaultCapacity when capacity <= 0, rounded up to a power of two).
+func New(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	p := 1
+	for p < capacity {
+		p <<= 1
+	}
+	return &Tracer{
+		epoch:    time.Now(),
+		capacity: p,
+		rings:    make(map[int]*Ring),
+		labels:   make(map[int]string),
+	}
+}
+
+// Ring returns worker i's ring, creating it on first use. Returns nil
+// on a nil tracer, so runtimes can attach rings unconditionally. This
+// is construction-time plumbing, not a hot path.
+func (t *Tracer) Ring(i int) *Ring {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	r, ok := t.rings[i]
+	if !ok {
+		r = &Ring{epoch: t.epoch, buf: make([]Event, t.capacity)}
+		t.rings[i] = r
+	}
+	return r
+}
+
+// Label names worker i's timeline track (e.g. "w3", "helper0"). Safe
+// on a nil tracer.
+func (t *Tracer) Label(i int, label string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.labels[i] = label
+	t.mu.Unlock()
+}
+
+// Trace is a materialized capture: every worker's retained events in
+// timestamp order, ready for serialization and export. It is the
+// on-disk format the -trace flags write and cmd/traceview reads.
+type Trace struct {
+	// Version identifies the serialization schema.
+	Version int `json:"version"`
+	// Meta carries free-form capture context (command, model, kernel).
+	Meta map[string]string `json:"meta,omitempty"`
+	// Workers holds one entry per worker that recorded any event,
+	// ordered by id.
+	Workers []WorkerTrace `json:"workers"`
+}
+
+// WorkerTrace is one worker's share of a Trace.
+type WorkerTrace struct {
+	// ID is the worker's ring index.
+	ID int `json:"id"`
+	// Label is the worker's track name, when set.
+	Label string `json:"label,omitempty"`
+	// Dropped counts events overwritten by ring wraparound.
+	Dropped int64 `json:"dropped,omitempty"`
+	// Events are the retained events, oldest first.
+	Events []Event `json:"events"`
+}
+
+// Version is the current Trace schema version.
+const Version = 1
+
+// Snapshot materializes the current capture. Workers with no events
+// are omitted. Safe on a nil tracer (returns nil) and safe to call
+// while workers are still recording — each ring is copied under its
+// own mutex — though a quiescent runtime gives a cleaner timeline.
+func (t *Tracer) Snapshot() *Trace {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	ids := make([]int, 0, len(t.rings))
+	for id := range t.rings {
+		ids = append(ids, id)
+	}
+	labels := make(map[int]string, len(t.labels))
+	for id, l := range t.labels {
+		labels[id] = l
+	}
+	rings := make(map[int]*Ring, len(t.rings))
+	for id, r := range t.rings {
+		rings[id] = r
+	}
+	t.mu.Unlock()
+
+	sortInts(ids)
+	tr := &Trace{Version: Version, Meta: map[string]string{}}
+	for _, id := range ids {
+		events, dropped := rings[id].snapshot()
+		if len(events) == 0 && dropped == 0 {
+			continue
+		}
+		label := labels[id]
+		if label == "" {
+			label = fmt.Sprintf("w%d", id)
+		}
+		tr.Workers = append(tr.Workers, WorkerTrace{
+			ID: id, Label: label, Dropped: dropped, Events: events,
+		})
+	}
+	return tr
+}
+
+// sortInts is a tiny insertion sort; the input is one entry per
+// worker, so n is small.
+func sortInts(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}

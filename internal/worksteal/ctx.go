@@ -2,6 +2,7 @@ package worksteal
 
 import (
 	"threading/internal/sched"
+	"threading/internal/tracez"
 )
 
 // Ctx is the handle a task uses to interact with the scheduler. A Ctx
@@ -38,6 +39,7 @@ func (c *Ctx) Canceled() bool { return c.reg.Canceled() }
 func (c *Ctx) Spawn(fn func(*Ctx)) {
 	c.frame.pending.Add(1)
 	c.worker.st.CountSpawn()
+	c.worker.ring.Record(tracez.KindSpawn, 0, 0)
 	c.pool.pending.Add(1)
 	c.worker.dq.PushBottom(&task{fn: fn, parent: c.frame, reg: c.reg})
 	c.pool.signalWork()

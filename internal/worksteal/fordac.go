@@ -1,6 +1,10 @@
 package worksteal
 
-import "fmt"
+import (
+	"fmt"
+
+	"threading/internal/tracez"
+)
 
 // Partitioner selects how ForDAC distributes loop iterations over the
 // workers.
@@ -113,6 +117,7 @@ func (c *Ctx) forLazy(lo, hi, grain int, body func(cc *Ctx, l, h int)) {
 			mid := lo + (hi-lo)/2
 			l, h := mid, hi
 			c.worker.st.CountLazySplit()
+			c.worker.ring.Record(tracez.KindLazySplit, int64(l), int64(h))
 			c.Spawn(func(cc *Ctx) { cc.forLazy(l, h, grain, body) })
 			hi = mid
 			continue
@@ -121,7 +126,9 @@ func (c *Ctx) forLazy(lo, hi, grain int, body func(cc *Ctx, l, h int)) {
 		if h > hi {
 			h = hi
 		}
+		c.worker.ring.Record(tracez.KindChunkStart, int64(lo), int64(h))
 		body(c, lo, h)
+		c.worker.ring.Record(tracez.KindChunkEnd, int64(lo), int64(h))
 		lo = h
 	}
 }
@@ -146,7 +153,9 @@ func (c *Ctx) forDAC(lo, hi, grain int, body func(cc *Ctx, l, h int)) {
 	if c.reg.Canceled() {
 		return
 	}
+	c.worker.ring.Record(tracez.KindChunkStart, int64(lo), int64(hi))
 	body(c, lo, hi)
+	c.worker.ring.Record(tracez.KindChunkEnd, int64(lo), int64(hi))
 }
 
 // ForEach is a convenience wrapper over ForDAC that invokes body once

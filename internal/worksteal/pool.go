@@ -30,11 +30,15 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
 	"threading/internal/deque"
 	"threading/internal/sched"
+	"threading/internal/tracez"
 )
 
 // task is one schedulable unit: a closure plus the frame whose Sync
@@ -79,7 +83,8 @@ type worker struct {
 	st     *sched.Shard
 	parker sched.Parker
 	parked atomic.Bool
-	help   bool // a help-first submitter slot, not a dedicated worker
+	help   bool        // a help-first submitter slot, not a dedicated worker
+	ring   *tracez.Ring // nil unless the pool was built WithTracer
 
 	stealBuf [stealBatch]*task
 }
@@ -108,6 +113,10 @@ type Options struct {
 	// Partitioner selects how ForDAC distributes loop iterations; the
 	// default, Eager, is the paper-faithful cilk_for decomposition.
 	Partitioner Partitioner
+	// Tracer, when non-nil, receives per-worker scheduler events
+	// (task/chunk spans, spawns, steals, parks). Nil disables tracing;
+	// the hot paths then pay only a nil check.
+	Tracer *tracez.Tracer
 }
 
 // Option configures a Pool at construction. The legacy Options struct
@@ -139,6 +148,13 @@ func WithSpinBeforePark(n int) Option {
 // splitting.
 func WithPartitioner(p Partitioner) Option {
 	return poolOption(func(o *Options) { o.Partitioner = p })
+}
+
+// WithTracer attaches a scheduler-event tracer: every worker and
+// help-first helper slot records its events into the tracer's ring for
+// its WorkerID. A nil tracer leaves tracing disabled.
+func WithTracer(tr *tracez.Tracer) Option {
+	return poolOption(func(o *Options) { o.Tracer = tr })
 }
 
 const defaultSpin = 32
@@ -188,7 +204,7 @@ func NewPool(n int, options ...Option) *Pool {
 		part:    opts.Partitioner,
 	}
 	newWorker := func(i int, help bool) *worker {
-		return &worker{
+		w := &worker{
 			id:   i,
 			pool: p,
 			dq:   deque.New[task](opts.DequeKind),
@@ -196,6 +212,15 @@ func NewPool(n int, options ...Option) *Pool {
 			st:   p.stats.Shard(i),
 			help: help,
 		}
+		if opts.Tracer != nil {
+			w.ring = opts.Tracer.Ring(i)
+			if help {
+				opts.Tracer.Label(i, "ws-h"+strconv.Itoa(i-n))
+			} else {
+				opts.Tracer.Label(i, "ws-w"+strconv.Itoa(i))
+			}
+		}
+		return w
 	}
 	for i := range p.workers {
 		p.workers[i] = newWorker(i, false)
@@ -206,7 +231,13 @@ func NewPool(n int, options ...Option) *Pool {
 	p.victims = append(append([]*worker{}, p.workers...), p.helpers...)
 	for _, w := range p.workers {
 		p.wg.Add(1)
-		go w.loop()
+		go func() {
+			// pprof label the worker goroutine so CPU profiles split by
+			// runtime and worker, not one anonymous goroutine blob.
+			pprof.Do(context.Background(), pprof.Labels(
+				"runtime", "worksteal", "worker", strconv.Itoa(w.id),
+			), func(context.Context) { w.loop() })
+		}()
 	}
 	return p
 }
@@ -276,6 +307,7 @@ func (p *Pool) RunCtx(ctx context.Context, root func(*Ctx)) error {
 	f.pending.Store(1)
 	t := &task{fn: root, parent: f, reg: reg}
 	if hw := p.claimHelper(); hw != nil {
+		hw.ring.Record(tracez.KindHelpClaim, int64(hw.id-len(p.workers)), 0)
 		hw.run(t)
 		hw.syncFrame(f)
 		p.releaseHelper(hw)
@@ -390,7 +422,9 @@ func (w *worker) loop() {
 			continue
 		}
 		w.st.CountPark()
+		w.ring.Record(tracez.KindPark, 0, 0)
 		w.parker.Park()
+		w.ring.Record(tracez.KindUnpark, 0, 0)
 		w.parked.Store(false)
 		w.pool.parkedCount.Add(-1)
 		idle = 0
@@ -427,6 +461,7 @@ func (w *worker) findWork() *task {
 			continue
 		}
 		w.st.CountSteal()
+		w.ring.Record(tracez.KindSteal, int64(v.id), int64(k))
 		if k > 1 {
 			w.st.CountBatchSteal(k)
 			for j := 1; j < k; j++ {
@@ -445,6 +480,7 @@ func (w *worker) findWork() *task {
 		return t
 	}
 	w.st.CountFailedSteal()
+	w.ring.Record(tracez.KindStealFail, 0, 0)
 	return nil
 }
 
@@ -474,7 +510,9 @@ func (w *worker) syncFrame(f *frame) {
 		f.waiter.Store(&pk)
 		if f.pending.Load() > 0 {
 			w.st.CountPark()
+			w.ring.Record(tracez.KindPark, 0, 0)
 			pk.Park()
+			w.ring.Record(tracez.KindUnpark, 0, 0)
 		}
 		f.waiter.Store(nil)
 		idle = 0
@@ -490,6 +528,10 @@ func (w *worker) run(t *task) {
 	if w.help {
 		w.st.CountHelpFirst()
 	}
+	w.ring.Record(tracez.KindTaskStart, 0, 0)
+	if w.ring != nil && trace.IsEnabled() {
+		defer trace.StartRegion(context.Background(), "worksteal.task").End()
+	}
 	t.ctx = Ctx{pool: w.pool, worker: w, frame: &t.own, reg: t.reg}
 	c := &t.ctx
 	if !t.reg.Canceled() {
@@ -503,5 +545,6 @@ func (w *worker) run(t *task) {
 		}()
 	}
 	c.Sync() // implicit sync: children must not outlive the task
+	w.ring.Record(tracez.KindTaskEnd, 0, 0)
 	t.parent.childDone()
 }

@@ -1,0 +1,87 @@
+package worksteal
+
+import (
+	"testing"
+
+	"threading/internal/tracez"
+)
+
+func traceKindCounts(tr *tracez.Tracer) map[tracez.Kind]int {
+	counts := map[tracez.Kind]int{}
+	for _, wt := range tr.Snapshot().Workers {
+		for _, e := range wt.Events {
+			counts[e.Kind]++
+		}
+	}
+	return counts
+}
+
+func TestPoolTracingRecordsEvents(t *testing.T) {
+	tr := tracez.New(1 << 12)
+	p := NewPool(2, WithTracer(tr))
+	defer p.Close()
+
+	grain := 16
+	p.Run(func(c *Ctx) {
+		c.ForDAC(0, 512, grain, func(*Ctx, int, int) {})
+	})
+	p.Run(func(c *Ctx) {
+		for i := 0; i < 8; i++ {
+			c.Spawn(func(*Ctx) {})
+		}
+		c.Sync()
+	})
+
+	counts := traceKindCounts(tr)
+	if counts[tracez.KindTaskStart] == 0 || counts[tracez.KindTaskStart] != counts[tracez.KindTaskEnd] {
+		t.Fatalf("task spans unbalanced: %d starts, %d ends",
+			counts[tracez.KindTaskStart], counts[tracez.KindTaskEnd])
+	}
+	if counts[tracez.KindSpawn] < 8 {
+		t.Fatalf("spawn events = %d, want >= 8", counts[tracez.KindSpawn])
+	}
+	if counts[tracez.KindChunkStart] == 0 || counts[tracez.KindChunkStart] != counts[tracez.KindChunkEnd] {
+		t.Fatalf("chunk spans unbalanced: %d starts, %d ends",
+			counts[tracez.KindChunkStart], counts[tracez.KindChunkEnd])
+	}
+	// Run joins help-first, so the submitter claimed a helper slot.
+	if counts[tracez.KindHelpClaim] == 0 {
+		t.Fatal("no help-claim events from the submitting goroutine")
+	}
+}
+
+func TestPoolChunkEventsCarryRanges(t *testing.T) {
+	tr := tracez.New(1 << 12)
+	p := NewPool(1, WithTracer(tr))
+	defer p.Close()
+
+	grain := 32
+	p.Run(func(c *Ctx) {
+		c.ForDAC(0, 128, grain, func(*Ctx, int, int) {})
+	})
+
+	var covered int64
+	for _, wt := range tr.Snapshot().Workers {
+		for _, e := range wt.Events {
+			if e.Kind == tracez.KindChunkStart {
+				if e.A2 <= e.A1 || e.A2-e.A1 > int64(grain) {
+					t.Fatalf("chunk [%d, %d) violates grain %d", e.A1, e.A2, grain)
+				}
+				covered += e.A2 - e.A1
+			}
+		}
+	}
+	if covered != 128 {
+		t.Fatalf("chunk events cover %d iterations, want 128", covered)
+	}
+}
+
+func TestPoolUntracedHasNoRings(t *testing.T) {
+	p := NewPool(2)
+	defer p.Close()
+	for _, w := range p.victims {
+		if w.ring != nil {
+			t.Fatalf("worker %d has a ring without WithTracer", w.id)
+		}
+	}
+}

@@ -63,6 +63,7 @@ import (
 	"threading/internal/offload"
 	"threading/internal/pipeline"
 	"threading/internal/sched"
+	"threading/internal/tracez"
 	"threading/internal/workspan"
 	"threading/internal/worksteal"
 )
@@ -108,6 +109,27 @@ type ModelOption = models.Option
 // paper-faithful divide-and-conquer decomposition, PartitionLazy
 // demand-driven splitting.
 func WithModelPartitioner(p Partitioner) ModelOption { return models.WithPartitioner(p) }
+
+// Tracer collects per-worker scheduler events (task/chunk spans,
+// steals, parks, barrier waits) into fixed-capacity ring buffers; see
+// internal/tracez. Attach one with WithModelTracer, then write its
+// Snapshot with WriteTrace and inspect the file with cmd/traceview.
+type Tracer = tracez.Tracer
+
+// Trace is an immutable snapshot of a Tracer's rings.
+type Trace = tracez.Trace
+
+// NewTracer returns a Tracer whose per-worker rings hold capacity
+// events each (rounded up to a power of two; <= 0 picks the default).
+func NewTracer(capacity int) *Tracer { return tracez.New(capacity) }
+
+// WithModelTracer records the model runtime's scheduler events into
+// tr. A nil tr leaves tracing disabled at zero cost.
+func WithModelTracer(tr *Tracer) ModelOption { return models.WithTracer(tr) }
+
+// WriteTrace serializes a trace snapshot to path in the raw JSON
+// format cmd/traceview consumes.
+func WriteTrace(path string, tr *Trace) error { return tracez.WriteFile(path, tr) }
 
 // NewModel constructs a threading model by name with the given degree
 // of parallelism.
