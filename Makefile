@@ -14,17 +14,19 @@ race:
 	$(GO) test -race ./...
 
 # Race-detect just the scheduler hot paths (work stealing, deques,
-# shared sched plumbing, and the futures join paths the help-first
-# work leans on) — the focused loop for partitioner work.
+# shared sched plumbing, the futures join paths the help-first work
+# leans on, and the shard resolver's routing/drain machinery) — the
+# focused loop for partitioner and balancer work.
 race-sched:
-	$(GO) test -race -count=2 ./internal/worksteal/... ./internal/deque/... ./internal/sched/... ./internal/futures/...
+	$(GO) test -race -count=2 ./internal/worksteal/... ./internal/deque/... ./internal/sched/... ./internal/futures/... ./internal/shard/...
 
 vet:
 	$(GO) vet ./...
 
 # threadvet: the repo's own go/analysis-style suite enforcing the
 # runtimes' concurrency contracts (joinleak, ctxdrop, lockspawn,
-# atomicmix, grainconst). Fails on any unsuppressed diagnostic.
+# atomicmix, grainconst, legacyopts). Fails on any unsuppressed
+# diagnostic.
 lint:
 	$(GO) run ./cmd/threadvet ./...
 
@@ -40,11 +42,13 @@ bench-smoke:
 bench-loopdist:
 	$(GO) run ./cmd/loopdist
 
-# Re-record the committed kernel baseline the regression gate compares
-# against. Run on the machine of record after an intentional perf
-# change, and commit the result.
+# Re-record the committed kernel baselines the regression gate
+# compares against: the single-pool suite plus the sharded series the
+# sharding-overhead invariant is defined over. Run on the machine of
+# record after an intentional perf change, and commit the results.
 bench-record:
 	$(GO) run ./cmd/benchgate record -out BENCH_kernels.json
+	$(GO) run ./cmd/benchgate record -kernels axpy,sum -shards -1 -balancer least-loaded -out BENCH_shard.json
 
 # Statistical benchmark-regression gate: fresh samples against the
 # committed baseline, plus the paper's directional invariants
@@ -53,6 +57,7 @@ bench-record:
 # exit 1 means a real ordering inversion or a significant regression.
 bench-gate:
 	$(GO) run ./cmd/benchgate check -reps 3 -alpha 0.05 -ratio 1.3
+	$(GO) run ./cmd/benchgate check -baseline BENCH_shard.json -reps 3 -alpha 0.05 -ratio 1.3
 
 # End-to-end exercise of the tracing pipeline: a small Sum+Fib sweep
 # with -trace, then traceview converts the raw events to Chrome

@@ -278,8 +278,11 @@ func BenchmarkAblationBarrier(b *testing.B) {
 	} {
 		cfg := cfg
 		b.Run(cfg.name, func(b *testing.B) {
-			m := models.NewOMPForWithOptions(benchThreads,
-				forkjoin.Options{CentralBarrier: cfg.central})
+			var opts []forkjoin.Option
+			if cfg.central {
+				opts = append(opts, forkjoin.WithCentralBarrier())
+			}
+			m := models.NewOMPForWithOptions(benchThreads, opts...)
 			defer m.Close()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
@@ -335,7 +338,7 @@ func BenchmarkAblationTaskPolicy(b *testing.B) {
 		cfg := cfg
 		b.Run(cfg.name, func(b *testing.B) {
 			m := models.NewOMPTaskWithOptions(benchThreads,
-				forkjoin.Options{Policy: cfg.policy})
+				forkjoin.WithTaskPolicy(cfg.policy))
 			defer m.Close()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {

@@ -10,6 +10,7 @@
 //
 //	benchgate record  [-out BENCH_kernels.json] [-kernels axpy,sum,matvec]
 //	                  [-threads N] [-reps 7] [-grain 64] [-scale 0.1]
+//	                  [-shards N] [-balancer least-loaded]
 //	benchgate compare [-alpha 0.05] [-ratio 1.1] [-json] old.json new.json
 //	benchgate check   [-baseline BENCH_kernels.json] [-reps N]
 //	                  [-alpha 0.05] [-ratio 1.3] [-json] [-out fresh.json]
@@ -95,12 +96,15 @@ func runRecord(args []string, stdout, stderr io.Writer) int {
 		reps    = fs.Int("reps", 0, "timed repetitions per series; 0 = 7")
 		grain   = fs.Int("grain", 0, "distribution-stressing grain; 0 = 64")
 		scale   = fs.Float64("scale", 0, "workload scale factor; 0 = 0.1")
+		shards  = fs.Int("shards", 0, "also measure sharded:cilk_for split across N shards (0 = off, -1 = GOMAXPROCS)")
+		balStr  = fs.String("balancer", "", "balancer for the sharded series; empty = least-loaded")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	cfg := benchgate.SuiteConfig{
 		Threads: *threads, Reps: *reps, Grain: *grain, Scale: *scale,
+		Shards: *shards, Balancer: *balStr,
 	}
 	if *kernels != "" {
 		cfg.Kernels = splitList(*kernels)
@@ -184,7 +188,7 @@ func runCheck(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	opt := benchgate.Options{Alpha: *alpha, MinRatio: *ratio}
-	invs := benchgate.DefaultInvariants(base.Config.Threads, base.Config.Grain)
+	invs := benchgate.InvariantsFor(base.Config)
 
 	// The baseline must itself satisfy the paper's orderings: a
 	// doctored (or stale) baseline that inverts them fails the gate
@@ -192,11 +196,13 @@ func runCheck(args []string, stdout, stderr io.Writer) int {
 	baseInv := benchgate.CheckInvariants(base, invs, opt)
 
 	cfg := benchgate.SuiteConfig{
-		Kernels: base.Config.Kernels,
-		Threads: base.Config.Threads,
-		Reps:    base.Config.Reps,
-		Grain:   base.Config.Grain,
-		Scale:   base.Config.Scale,
+		Kernels:  base.Config.Kernels,
+		Threads:  base.Config.Threads,
+		Reps:     base.Config.Reps,
+		Grain:    base.Config.Grain,
+		Scale:    base.Config.Scale,
+		Shards:   base.Config.Shards,
+		Balancer: base.Config.Balancer,
 	}
 	if *reps > 0 {
 		cfg.Reps = *reps

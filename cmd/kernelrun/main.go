@@ -7,11 +7,18 @@
 //
 //	kernelrun -app axpy|sum|matvec|matmul|fib|bfs|hotspot|lud|lavamd|srad
 //	          [-model cilk_for] [-threads N] [-scale 1.0] [-reps 3]
-//	          [-partitioner eager|lazy] [-trace trace.json]
+//	          [-partitioner eager|lazy] [-shards N] [-balancer name]
+//	          [-trace trace.json]
 //
 // -trace records per-worker scheduler events during the timed runs and
 // writes them to the given path; inspect with cmd/traceview, which
 // also converts to Chrome/Perfetto timeline JSON.
+//
+// -shards splits the model's runtime into N shards behind a
+// shard.Resolver (-1 selects GOMAXPROCS) routed by -balancer
+// (round-robin, random, least-loaded, affinity); the counter report
+// then shows the merged totals followed by one group per shard, and a
+// -trace capture carries shard-tagged worker lanes (s0/, s1/, ...).
 package main
 
 import (
@@ -26,6 +33,8 @@ import (
 
 	"threading/internal/harness"
 	"threading/internal/models"
+	"threading/internal/sched"
+	"threading/internal/shard"
 	"threading/internal/stats"
 	"threading/internal/tracez"
 	"threading/internal/worksteal"
@@ -53,6 +62,8 @@ func main() {
 		scale   = flag.Float64("scale", 1.0, "workload scale factor")
 		reps    = flag.Int("reps", 3, "timed repetitions")
 		partStr = flag.String("partitioner", "eager", "loop partitioner for work-stealing models: eager (paper-faithful) or lazy")
+		shards  = flag.Int("shards", 0, "split the model's runtime across N shards (0 = off, -1 = GOMAXPROCS)")
+		balStr  = flag.String("balancer", "", "shard balancer: round-robin (default), random, least-loaded, or affinity")
 		traceTo = flag.String("trace", "", "write per-worker scheduler events to this path (view with cmd/traceview)")
 	)
 	flag.Parse()
@@ -94,12 +105,16 @@ func main() {
 	}
 
 	m, err := models.New(*model, *threads,
-		models.WithPartitioner(part), models.WithTracer(tracer))
+		models.WithPartitioner(part), models.WithTracer(tracer),
+		models.WithShardCount(*shards), models.WithShardBalancer(*balStr))
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "kernelrun: %v\n", err)
 		os.Exit(1)
 	}
 	defer m.Close()
+	if ss, ok := m.(models.ShardedStats); ok {
+		fmt.Printf("sharding: %d shards, %s balancer\n", ss.NumShards(), ss.ShardBalancer())
+	}
 
 	if w.Check != nil {
 		if err := w.Check(m); err != nil {
@@ -113,6 +128,10 @@ func main() {
 	// Snapshot after the warm-up so the reported counters are the delta
 	// covering exactly the timed runs.
 	base, _ := m.SchedulerStats()
+	var shardBase []shard.Stat
+	if ss, ok := m.(models.ShardedStats); ok {
+		shardBase = ss.ShardSchedulerStats()
+	}
 
 	var ts []time.Duration
 	// Label the timed runs so a CPU profile taken against this process
@@ -134,6 +153,18 @@ func main() {
 		fmt.Printf("scheduler counters over %d timed runs:\n", *reps)
 		for _, f := range s.Delta(base).Fields() {
 			fmt.Printf("  %-14s %d\n", f.Name+":", f.Value)
+		}
+		if ss, ok := m.(models.ShardedStats); ok {
+			baseByID := make(map[int]sched.Snapshot, len(shardBase))
+			for _, st := range shardBase {
+				baseByID[st.ID] = st.Snapshot
+			}
+			for _, st := range ss.ShardSchedulerStats() {
+				fmt.Printf("  shard s%d:\n", st.ID)
+				for _, f := range st.Snapshot.Delta(baseByID[st.ID]).Fields() {
+					fmt.Printf("    %-14s %d\n", f.Name+":", f.Value)
+				}
+			}
 		}
 	} else {
 		fmt.Println("scheduler counters: none (model has no persistent runtime)")

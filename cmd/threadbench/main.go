@@ -9,6 +9,7 @@
 //
 //	threadbench [-fig fig1,fig5] [-threads 1,2,4] [-reps 3]
 //	            [-scale 1.0] [-partitioner eager|lazy] [-stats]
+//	            [-shards 4] [-balancer least-loaded]
 //	            [-verify] [-csv] [-out samples.json] [-list]
 //	            [-trace trace.json] [-cpuprofile cpu.pb.gz]
 //	            [-memprofile mem.pb.gz]
@@ -20,7 +21,11 @@
 // "eager" (default) is the paper-faithful cilk_for decomposition and
 // must be used when reproducing the figures; "lazy" enables
 // demand-driven splitting. -stats appends per-cell scheduler counters
-// to the tables. -out additionally writes every raw repetition in the
+// to the tables. -shards splits each pooled model's runtime into N
+// shards behind a shard.Resolver (-1 selects GOMAXPROCS; models
+// without a persistent runtime ignore it) and -balancer picks how
+// chunks are routed across shards; with -stats the tables then break
+// the counters out per shard. -out additionally writes every raw repetition in the
 // benchmark-gate sample schema (internal/benchgate), so even a smoke
 // run leaves an artifact `benchgate compare` can consume.
 //
@@ -49,6 +54,7 @@ import (
 	"threading/internal/benchgate"
 	"threading/internal/core"
 	"threading/internal/harness"
+	"threading/internal/shard"
 	"threading/internal/tracez"
 	"threading/internal/worksteal"
 )
@@ -71,6 +77,8 @@ func run() int {
 		csv     = flag.Bool("csv", false, "emit CSV instead of tables")
 		out     = flag.String("out", "", "also write raw samples to this path in the benchmark-gate schema (compare with cmd/benchgate)")
 		list    = flag.Bool("list", false, "list experiments and exit")
+		shards  = flag.Int("shards", 0, "split each pooled model across N runtime shards (0 = off, -1 = GOMAXPROCS)")
+		balStr  = flag.String("balancer", "", "shard balancer: round-robin (default), random, least-loaded, or affinity")
 		traceTo = flag.String("trace", "", "write per-worker scheduler events to this path (view with cmd/traceview)")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this path")
 		memProf = flag.String("memprofile", "", "write a heap profile to this path on exit")
@@ -79,6 +87,10 @@ func run() int {
 
 	part, err := worksteal.ParsePartitioner(*partStr)
 	if err != nil {
+		fmt.Fprintf(os.Stderr, "threadbench: %v\n", err)
+		return 2
+	}
+	if _, err := shard.ParseBalancer(*balStr); err != nil {
 		fmt.Fprintf(os.Stderr, "threadbench: %v\n", err)
 		return 2
 	}
@@ -149,6 +161,8 @@ func run() int {
 		CSV:         *csv,
 		KeepSamples: *out != "",
 		Tracer:      tracer,
+		Shards:      *shards,
+		Balancer:    *balStr,
 	}
 	if *figs != "" {
 		cfg.Experiments = strings.Split(*figs, ",")

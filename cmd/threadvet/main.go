@@ -14,6 +14,7 @@
 //	lockspawn  - task submission while a sync.(RW)Mutex is held
 //	atomicmix  - struct fields accessed both atomically and plainly
 //	grainconst - constant grain/cutoff that decays to task-per-element
+//	legacyopts - composite literal of a deprecated runtime Options struct
 //
 // A finding is suppressed by a directive on, or immediately above,
 // the flagged line:

@@ -20,10 +20,9 @@ func main() {
 	units := flag.Int("units", 4, "device compute units")
 	flag.Parse()
 
-	dev := offload.NewDevice("sim-accelerator", offload.Options{
-		Units:           *units,
-		TransferLatency: 50 * time.Microsecond, // model interconnect latency
-	})
+	dev := offload.NewDevice("sim-accelerator",
+		offload.WithUnits(*units),
+		offload.WithLatency(50*time.Microsecond)) // model interconnect latency
 
 	x := make([]float64, *n)
 	y := make([]float64, *n)

@@ -43,7 +43,7 @@ func main() {
 	}
 
 	// --- Layer 2: OpenMP-style fork-join team --------------------
-	team := threading.NewTeam(p, threading.TeamOptions{})
+	team := threading.NewTeam(p)
 	hist := make([]int, 10)
 	team.Parallel(func(tc *threading.TeamCtx) {
 		// Work-sharing loop with a dynamic schedule; Critical
@@ -60,7 +60,7 @@ func main() {
 	fmt.Printf("  team: critical section entered by all %d members: %d\n", p, hist[0])
 
 	// --- Layer 3: Cilk-style work stealing -----------------------
-	pool := threading.NewPool(p, threading.PoolOptions{})
+	pool := threading.NewPool(p)
 	var fib func(c *threading.PoolCtx, n int, out *uint64)
 	fib = func(c *threading.PoolCtx, n int, out *uint64) {
 		if n < 2 {

@@ -19,6 +19,7 @@ import (
 	"threading/internal/analysis/ctxdrop"
 	"threading/internal/analysis/grainconst"
 	"threading/internal/analysis/joinleak"
+	"threading/internal/analysis/legacyopts"
 	"threading/internal/analysis/load"
 	"threading/internal/analysis/lockspawn"
 )
@@ -29,6 +30,7 @@ var All = []*analysis.Analyzer{
 	ctxdrop.Analyzer,
 	grainconst.Analyzer,
 	joinleak.Analyzer,
+	legacyopts.Analyzer,
 	lockspawn.Analyzer,
 }
 

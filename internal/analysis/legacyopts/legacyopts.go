@@ -1,0 +1,74 @@
+// Package legacyopts reports composite literals of the legacy
+// runtime-configuration structs — forkjoin.Options, worksteal.Options,
+// offload.Options (and their root-package aliases TeamOptions,
+// PoolOptions, DeviceOptions) — outside the packages that define them.
+//
+// Contract encoded: the Options structs predate the functional
+// options and survive only as deprecated compatibility shims (each
+// implements its package's Option interface, so NewTeam(n,
+// Options{...}) keeps compiling). New code must configure runtimes
+// through the functional options (WithSchedule, WithDequeKind,
+// WithUnits, ...): a struct literal pins the full option set at its
+// current shape and silently zero-fills every knob the author did not
+// spell out, which is exactly the evolution hazard the functional
+// form removes. The defining packages themselves may keep using their
+// struct internally — the shim has to be implemented somewhere.
+package legacyopts
+
+import (
+	"go/ast"
+
+	"threading/internal/analysis"
+)
+
+// legacyPkgs maps each defining package to the replacement hint shown
+// in the diagnostic.
+var legacyPkgs = map[string]string{
+	"threading/internal/forkjoin":  "WithSchedule, WithCentralBarrier, WithLockFreeTasks, WithTaskPolicy, WithSpinBeforeYield, WithTracer",
+	"threading/internal/worksteal": "WithDequeKind, WithPartitioner, WithSpinBeforePark, WithTracer",
+	"threading/internal/offload":   "WithUnits, WithLatency",
+}
+
+// Analyzer is the legacyopts pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "legacyopts",
+	Doc: "report composite literals of the deprecated runtime Options structs " +
+		"outside their defining packages; use the functional options",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			lit, ok := n.(*ast.CompositeLit)
+			if !ok {
+				return true
+			}
+			check(pass, lit)
+			return true
+		})
+	}
+	return nil
+}
+
+func check(pass *analysis.Pass, lit *ast.CompositeLit) {
+	tv, ok := pass.TypesInfo.Types[lit]
+	if !ok {
+		return
+	}
+	named, ok := analysis.Named(tv.Type)
+	if !ok {
+		return
+	}
+	obj := named.Obj()
+	if obj.Name() != "Options" || obj.Pkg() == nil {
+		return
+	}
+	hint, legacy := legacyPkgs[obj.Pkg().Path()]
+	if !legacy || pass.Pkg.Path() == obj.Pkg().Path() {
+		return
+	}
+	pass.Reportf(lit.Pos(),
+		"composite literal of deprecated %s.Options; use the functional options (%s)",
+		obj.Pkg().Name(), hint)
+}

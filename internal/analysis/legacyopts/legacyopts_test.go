@@ -1,0 +1,12 @@
+package legacyopts_test
+
+import (
+	"testing"
+
+	"threading/internal/analysis/analysistest"
+	"threading/internal/analysis/legacyopts"
+)
+
+func TestLegacyOpts(t *testing.T) {
+	analysistest.Run(t, legacyopts.Analyzer, "testdata/src/a")
+}

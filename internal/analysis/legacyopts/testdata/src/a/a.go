@@ -1,0 +1,37 @@
+// Fixtures for the legacyopts analyzer: composite literals of the
+// deprecated runtime Options structs are flagged — including through
+// the root package's aliases — while functional options and unrelated
+// Options types are not.
+package a
+
+import (
+	"threading"
+	"threading/internal/forkjoin"
+	"threading/internal/offload"
+	"threading/internal/worksteal"
+)
+
+func legacyLiterals() {
+	t := forkjoin.NewTeam(2, forkjoin.Options{CentralBarrier: true}) // want `deprecated forkjoin\.Options`
+	t.Close()
+	p := worksteal.NewPool(2, worksteal.Options{}) // want `deprecated worksteal\.Options`
+	p.Close()
+	d := offload.NewDevice("dev", offload.Options{Units: 2}) // want `deprecated offload\.Options`
+	d.Close()
+}
+
+func aliasLiterals() {
+	t := threading.NewTeam(2, threading.TeamOptions{}) // want `deprecated forkjoin\.Options`
+	t.Close()
+	p := threading.NewPool(2, threading.PoolOptions{}) // want `deprecated worksteal\.Options`
+	p.Close()
+	d := threading.NewDevice("dev", threading.DeviceOptions{Units: 2}) // want `deprecated offload\.Options`
+	d.Close()
+}
+
+func pointerAndVar() {
+	opts := &forkjoin.Options{LockFreeTasks: true} // want `deprecated forkjoin\.Options`
+	_ = opts
+	var o worksteal.Options // zero-value declaration, no literal: not flagged
+	_ = o
+}

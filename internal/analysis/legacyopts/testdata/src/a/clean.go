@@ -1,0 +1,26 @@
+package a
+
+import (
+	"threading/internal/forkjoin"
+	"threading/internal/offload"
+	"threading/internal/worksteal"
+	"threading/internal/workspan"
+)
+
+// Functional options are the blessed form.
+func functional() {
+	t := forkjoin.NewTeam(2, forkjoin.WithCentralBarrier(), forkjoin.WithSpinBeforeYield(8))
+	t.Close()
+	p := worksteal.NewPool(2, worksteal.WithSpinBeforePark(16))
+	p.Close()
+	d := offload.NewDevice("dev", offload.WithUnits(2))
+	d.Close()
+}
+
+// Options types outside the three runtime packages are none of this
+// analyzer's business.
+func unrelatedOptions() {
+	_ = workspan.Profile(workspan.Options{}, func(s workspan.Scope) {
+		s.Charge(1)
+	})
+}

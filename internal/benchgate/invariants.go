@@ -23,6 +23,11 @@ type Invariant struct {
 	// Fast must not be slower than Slow beyond the Options tolerance.
 	Fast Key `json:"fast"`
 	Slow Key `json:"slow"`
+	// Ratio, when positive, overrides Options.MinRatio for this
+	// invariant: the bound is fast <= Ratio * slow. Bounded-overhead
+	// claims ("sharding costs at most 10%") carry their tolerance here
+	// so the CLI's noise threshold cannot loosen them.
+	Ratio float64 `json:"ratio,omitempty"`
 }
 
 // DefaultInvariants returns the gated ordering claims at the given
@@ -52,6 +57,46 @@ func DefaultInvariants(threads, grain int) []Invariant {
 					Grain: grain, Partitioner: worksteal.Lazy.String()},
 				Slow: eager,
 			})
+	}
+	return out
+}
+
+// shardOverheadRatio bounds the cost of splitting one pool into
+// shards: the sharded runtime may be at most 10% slower than its
+// single-pool twin on the flat loops. The bound rides on the
+// invariant itself (Invariant.Ratio), so a loose CLI -ratio cannot
+// relax it.
+const shardOverheadRatio = 1.1
+
+// ShardInvariants returns the sharding-overhead claims: the sharded
+// work-stealing runtime (least-loaded routing) stays within
+// shardOverheadRatio of the single-pool eager cilk_for on the flat
+// Axpy and Sum loops at stress grain. Bounding steal domains must not
+// cost more than the routing saves.
+func ShardInvariants(threads, grain, shards int, balancer string) []Invariant {
+	var out []Invariant
+	for _, kernel := range []string{"axpy", "sum"} {
+		out = append(out, Invariant{
+			Name: kernel + "-sharding-overhead",
+			Claim: fmt.Sprintf("sharded cilk_for (%d shards, %s) <= %.1fx single-pool eager cilk_for on flat %s at grain %d",
+				shards, balancer, shardOverheadRatio, kernel, grain),
+			Fast: Key{Kernel: kernel, Model: models.ShardedPrefix + models.CilkFor, Threads: threads,
+				Grain: grain, Partitioner: worksteal.Eager.String(), Shards: shards, Balancer: balancer},
+			Slow: Key{Kernel: kernel, Model: models.CilkFor, Threads: threads,
+				Grain: grain, Partitioner: worksteal.Eager.String()},
+			Ratio: shardOverheadRatio,
+		})
+	}
+	return out
+}
+
+// InvariantsFor returns every invariant a report with the given run
+// configuration must satisfy: the paper's ordering claims, plus the
+// sharding-overhead bound when the run measured a sharded series.
+func InvariantsFor(cfg RunConfig) []Invariant {
+	out := DefaultInvariants(cfg.Threads, cfg.Grain)
+	if cfg.Shards != 0 {
+		out = append(out, ShardInvariants(cfg.Threads, cfg.Grain, cfg.Shards, cfg.Balancer)...)
 	}
 	return out
 }
@@ -94,7 +139,11 @@ func CheckInvariants(rep *Report, invs []Invariant, opt Options) []InvariantResu
 		res.P = u.P
 		res.MinRatio = ratio(fastSum.MinNs, slowSum.MinNs)
 		res.MedianRatio = ratio(fastSum.MedianNs, slowSum.MedianNs)
-		if u.P < opt.Alpha && res.MinRatio >= opt.MinRatio && res.MedianRatio >= opt.MinRatio {
+		bound := opt.MinRatio
+		if inv.Ratio > 0 {
+			bound = inv.Ratio
+		}
+		if u.P < opt.Alpha && res.MinRatio >= bound && res.MedianRatio >= bound {
 			res.Holds = false
 		}
 		out = append(out, res)

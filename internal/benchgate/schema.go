@@ -37,11 +37,22 @@ type Key struct {
 	// Partitioner is "eager" or "lazy" for the work-stealing models
 	// and "-" for models the option does not apply to.
 	Partitioner string `json:"partitioner"`
+	// Shards and Balancer identify a sharded series: the shard count
+	// the model's runtime was split into and the routing balancer.
+	// Zero values mean unsharded, so keys from pre-sharding reports
+	// compare unchanged (the fields are additive; the schema version
+	// is unchanged).
+	Shards   int    `json:"shards,omitempty"`
+	Balancer string `json:"balancer,omitempty"`
 }
 
 func (k Key) String() string {
-	return fmt.Sprintf("%s/%s t=%d g=%d %s",
+	s := fmt.Sprintf("%s/%s t=%d g=%d %s",
 		k.Kernel, k.Model, k.Threads, k.Grain, k.Partitioner)
+	if k.Shards != 0 {
+		s += fmt.Sprintf(" s=%d/%s", k.Shards, k.Balancer)
+	}
+	return s
 }
 
 // Series is one key plus its raw repetition timings. All statistics
@@ -98,6 +109,11 @@ type RunConfig struct {
 	Reps int `json:"reps"`
 	// Kernels lists the measured kernels in order.
 	Kernels []string `json:"kernels,omitempty"`
+	// Shards and Balancer record the sharded series configuration
+	// (resolved shard count; zero when the run measured no sharded
+	// series).
+	Shards   int    `json:"shards,omitempty"`
+	Balancer string `json:"balancer,omitempty"`
 }
 
 // Report is the sample-file schema shared by all bench tools.

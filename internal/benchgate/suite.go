@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"strings"
 
 	"threading/internal/harness"
 	"threading/internal/models"
@@ -41,6 +42,14 @@ type SuiteConfig struct {
 	// Scale is the workload scale factor; 0 selects 0.1 (the gate
 	// favors many cheap repetitions over one large run).
 	Scale float64
+	// Shards, when non-zero, adds a sharded work-stealing series per
+	// kernel (sharded:cilk_for at the stress grain) split across this
+	// many shards; negative selects GOMAXPROCS. The sharding-overhead
+	// invariant is defined over this series.
+	Shards int
+	// Balancer routes the sharded series; empty selects least-loaded,
+	// the balancer the overhead bound is claimed for.
+	Balancer string
 }
 
 func (c SuiteConfig) withDefaults() SuiteConfig {
@@ -59,6 +68,12 @@ func (c SuiteConfig) withDefaults() SuiteConfig {
 	if c.Scale <= 0 {
 		c.Scale = 0.1
 	}
+	if c.Shards < 0 {
+		c.Shards = runtime.GOMAXPROCS(0)
+	}
+	if c.Shards != 0 && c.Balancer == "" {
+		c.Balancer = "least-loaded"
+	}
 	return c
 }
 
@@ -66,11 +81,13 @@ func (c SuiteConfig) withDefaults() SuiteConfig {
 func (c SuiteConfig) RunConfig() RunConfig {
 	c = c.withDefaults()
 	return RunConfig{
-		Threads: c.Threads,
-		Grain:   c.Grain,
-		Scale:   c.Scale,
-		Reps:    c.Reps,
-		Kernels: c.Kernels,
+		Threads:  c.Threads,
+		Grain:    c.Grain,
+		Scale:    c.Scale,
+		Reps:     c.Reps,
+		Kernels:  c.Kernels,
+		Shards:   c.Shards,
+		Balancer: c.Balancer,
 	}
 }
 
@@ -79,20 +96,31 @@ type seriesSpec struct {
 	model       string
 	grain       int
 	partitioner worksteal.Partitioner
+	shards      int
+	balancer    string
 }
 
 // specs returns the per-kernel series: the work-sharing reference
 // plus the work-stealing model under {stress, default} grain x
 // {eager, lazy} — the grid the invariants and the loop-distribution
-// trajectory are defined over.
-func specs(stressGrain int) []seriesSpec {
-	return []seriesSpec{
-		{models.OMPFor, 0, worksteal.Eager},
-		{models.CilkFor, stressGrain, worksteal.Eager},
-		{models.CilkFor, stressGrain, worksteal.Lazy},
-		{models.CilkFor, 0, worksteal.Eager},
-		{models.CilkFor, 0, worksteal.Lazy},
+// trajectory are defined over — plus, when sharding is configured,
+// the sharded work-stealing runtime at stress grain (the series the
+// sharding-overhead invariant compares against its single-pool twin).
+func specs(stressGrain, shards int, balancer string) []seriesSpec {
+	out := []seriesSpec{
+		{model: models.OMPFor, grain: 0, partitioner: worksteal.Eager},
+		{model: models.CilkFor, grain: stressGrain, partitioner: worksteal.Eager},
+		{model: models.CilkFor, grain: stressGrain, partitioner: worksteal.Lazy},
+		{model: models.CilkFor, grain: 0, partitioner: worksteal.Eager},
+		{model: models.CilkFor, grain: 0, partitioner: worksteal.Lazy},
 	}
+	if shards != 0 {
+		out = append(out, seriesSpec{
+			model: models.ShardedPrefix + models.CilkFor, grain: stressGrain,
+			partitioner: worksteal.Eager, shards: shards, balancer: balancer,
+		})
+	}
+	return out
 }
 
 // RunSuite measures the configured kernels and returns a report in
@@ -112,7 +140,7 @@ func RunSuite(ctx context.Context, cfg SuiteConfig) (*Report, error) {
 		if !ok {
 			return nil, fmt.Errorf("benchgate: experiment %s not registered", figID)
 		}
-		for _, sp := range specs(cfg.Grain) {
+		for _, sp := range specs(cfg.Grain, cfg.Shards, cfg.Balancer) {
 			exp := &harness.Experiment{
 				ID:      kernel,
 				Title:   base.Title,
@@ -126,6 +154,8 @@ func RunSuite(ctx context.Context, cfg SuiteConfig) (*Report, error) {
 				Scale:       cfg.Scale,
 				Grain:       sp.grain,
 				Partitioner: sp.partitioner,
+				Shards:      sp.shards,
+				Balancer:    sp.balancer,
 				KeepSamples: true,
 			})
 			if err != nil {
@@ -143,6 +173,8 @@ func RunSuite(ctx context.Context, cfg SuiteConfig) (*Report, error) {
 					Threads:     cfg.Threads,
 					Grain:       sp.grain,
 					Partitioner: partitionerName(sp.model, sp.partitioner),
+					Shards:      sp.shards,
+					Balancer:    sp.balancer,
 				},
 				SampleNs: ns,
 			})
@@ -186,9 +218,11 @@ func FromResults(results []*harness.Result, tool string, reps int, scale float64
 }
 
 // partitionerName is the schema spelling of the partitioner for a
-// model: the partitioner's name for the work-stealing models, "-"
-// for models the option does not apply to.
+// model: the partitioner's name for the work-stealing models (sharded
+// or not — pool shards inherit the partitioner), "-" for models the
+// option does not apply to.
 func partitionerName(model string, p worksteal.Partitioner) string {
+	model = strings.TrimPrefix(model, models.ShardedPrefix)
 	if model == models.CilkFor || model == models.CilkSpawn {
 		return p.String()
 	}

@@ -48,6 +48,13 @@ type SuiteConfig struct {
 	// Tracer, when non-nil, records scheduler events from every model
 	// the suite constructs (see harness.Config.Tracer).
 	Tracer *tracez.Tracer
+	// Shards splits each pooled model's runtime into this many shards
+	// behind a shard.Resolver (see harness.Config.Shards): 0 disables
+	// sharding, a negative value selects GOMAXPROCS shards.
+	Shards int
+	// Balancer names the resolver's balancer when Shards is non-zero
+	// (see harness.Config.Balancer).
+	Balancer string
 }
 
 // RunSuite executes the selected experiments and writes their tables
@@ -82,6 +89,8 @@ func RunSuiteCtx(ctx context.Context, cfg SuiteConfig, out io.Writer) ([]*harnes
 			Stats:       cfg.Stats,
 			KeepSamples: cfg.KeepSamples,
 			Tracer:      cfg.Tracer,
+			Shards:      cfg.Shards,
+			Balancer:    cfg.Balancer,
 		})
 		if err != nil {
 			return results, err

@@ -1,0 +1,106 @@
+package forkjoin
+
+import (
+	"context"
+	"errors"
+)
+
+// ErrClosed is returned by SubmitCtx on a closed team.
+var ErrClosed = errors.New("forkjoin: team is closed")
+
+// The methods in this file make *Team satisfy the shard.Executor
+// submission surface, the runtime-neutral interface the shard.Resolver
+// routes over. A Team rejects nested and concurrent parallel regions,
+// so the executor surface serializes its callers through execMu: two
+// concurrent ParallelForCtx calls on the same Team queue behind one
+// another instead of panicking. Direct Parallel/ParallelCtx callers
+// keep the original single-caller contract and bypass the lock.
+
+// executorSchedule maps the Executor grain argument onto a
+// work-sharing schedule: a positive grain selects dynamic chunking at
+// that chunk size (the closest analogue of a task grain), anything
+// else selects the team's default schedule.
+func (t *Team) executorSchedule(grain int) Schedule {
+	if grain > 0 {
+		return Dynamic(grain)
+	}
+	return t.opts.DefaultSchedule
+}
+
+// ParallelForCtx runs one parallel region distributing [lo, hi) over
+// the team and blocks until the region joins. A grain > 0 selects the
+// dynamic schedule at that chunk size; otherwise the team's default
+// schedule applies.
+func (t *Team) ParallelForCtx(ctx context.Context, lo, hi, grain int, body func(l, h int)) error {
+	if lo >= hi {
+		return ctx.Err()
+	}
+	s := t.executorSchedule(grain)
+	t.execMu.Lock()
+	defer t.execMu.Unlock()
+	return t.ParallelCtx(ctx, func(tc *Ctx) {
+		tc.ForRangeNoWait(s, lo, hi, body)
+	})
+}
+
+// ParallelReduceCtx runs one parallel region reducing over [lo, hi):
+// body folds each assigned chunk into the member's accumulator (seeded
+// with identity) and combine folds the members' partials. combine must
+// be associative and commutative. On error the identity is returned.
+func (t *Team) ParallelReduceCtx(ctx context.Context, lo, hi, grain int, identity float64,
+	body func(l, h int, acc float64) float64,
+	combine func(a, b float64) float64) (float64, error) {
+
+	if lo >= hi {
+		return identity, ctx.Err()
+	}
+	s := t.executorSchedule(grain)
+	t.execMu.Lock()
+	defer t.execMu.Unlock()
+	var result float64
+	err := t.ParallelCtx(ctx, func(tc *Ctx) {
+		r := tc.ReduceFloat64(s, lo, hi, identity, body, combine)
+		tc.Master(func() { result = r })
+	})
+	if err != nil {
+		return identity, err
+	}
+	return result, nil
+}
+
+// SubmitCtx schedules fn to run asynchronously as the master's work in
+// a dedicated parallel region and returns without waiting for it.
+// Completion and the first failure are observed through Quiesce. The
+// caller must Quiesce before Close.
+func (t *Team) SubmitCtx(ctx context.Context, fn func()) error {
+	if t.closed.Load() {
+		return ErrClosed
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	t.async.Add()
+	go func() {
+		defer t.async.Done()
+		t.execMu.Lock()
+		defer t.execMu.Unlock()
+		if t.closed.Load() {
+			t.async.Record(ErrClosed)
+			return
+		}
+		t.async.Record(t.ParallelCtx(ctx, func(tc *Ctx) {
+			tc.Master(fn)
+		}))
+	}()
+	return nil
+}
+
+// Quiesce blocks until every task submitted with SubmitCtx has
+// completed and returns the first failure recorded since the previous
+// Quiesce. Synchronous Parallel calls are unaffected — they already
+// join before returning.
+func (t *Team) Quiesce() error { return t.async.Wait() }
+
+// PendingWork reports the number of live explicit tasks in the team —
+// the signal a least-loaded balancer reads when choosing a shard.
+func (t *Team) PendingWork() int64 { return t.outstanding.Load() }

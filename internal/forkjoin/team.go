@@ -136,8 +136,10 @@ type Team struct {
 	stats   *sched.Stats
 
 	criticalMu  sync.Mutex
-	outstanding atomic.Int64 // live explicit tasks
-	inRegion    atomic.Bool  // guards against nested/concurrent Parallel
+	execMu      sync.Mutex       // serializes Executor-surface regions
+	async       sched.AsyncGroup // in-flight SubmitCtx tasks, joined by Quiesce
+	outstanding atomic.Int64     // live explicit tasks
+	inRegion    atomic.Bool      // guards against nested/concurrent Parallel
 	closed      atomic.Bool
 
 	wg sync.WaitGroup

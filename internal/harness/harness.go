@@ -11,10 +11,12 @@ import (
 	"io"
 	"runtime"
 	"sort"
+	"strconv"
 	"time"
 
 	"threading/internal/models"
 	"threading/internal/sched"
+	"threading/internal/shard"
 	"threading/internal/stats"
 	"threading/internal/tracez"
 	"threading/internal/worksteal"
@@ -85,6 +87,14 @@ type Config struct {
 	// sweep — trace a single figure/model/threads selection for a
 	// readable timeline.
 	Tracer *tracez.Tracer
+	// Shards splits each pooled model's runtime into this many shards
+	// behind a shard.Resolver (see models.WithShardCount): 0 disables
+	// sharding, a negative value selects GOMAXPROCS shards. Models
+	// without a persistent runtime ignore it.
+	Shards int
+	// Balancer names the resolver's balancer when Shards is non-zero:
+	// round-robin (default), random, least-loaded, or affinity.
+	Balancer string
 }
 
 // DefaultThreads returns the default sweep {1, 2, 4, ...} up to twice
@@ -127,11 +137,19 @@ type Result struct {
 	Threads     []int
 	Models      []string
 	Partitioner worksteal.Partitioner
-	Cells       map[string]map[int]stats.Sample
+	// Shards and Balancer echo the sharding configuration of the run
+	// (Config.Shards resolved against GOMAXPROCS; zero when unsharded).
+	Shards   int
+	Balancer string
+	Cells    map[string]map[int]stats.Sample
 	// Sched holds per-cell scheduler counters, present only when the
 	// run was configured with Stats and the model's runtime collects
 	// them.
 	Sched map[string]map[int]sched.Snapshot
+	// ShardSched holds per-cell, per-shard counters for cells whose
+	// model ran sharded (models.ShardedStats), present only when the
+	// run was configured with Stats. The merged totals remain in Sched.
+	ShardSched map[string]map[int][]shard.Stat
 	// RawSamples holds every timed repetition per cell, in
 	// measurement order, present only when the run was configured
 	// with KeepSamples.
@@ -164,6 +182,10 @@ func RunCtx(ctx context.Context, e *Experiment, cfg Config) (*Result, error) {
 	}
 	seq := stats.Summarize(seqTimes).Min
 
+	shards := cfg.Shards
+	if shards < 0 {
+		shards = runtime.GOMAXPROCS(0)
+	}
 	res := &Result{
 		Experiment:  e,
 		Desc:        w.Desc,
@@ -171,10 +193,13 @@ func RunCtx(ctx context.Context, e *Experiment, cfg Config) (*Result, error) {
 		Threads:     cfg.Threads,
 		Models:      e.Models,
 		Partitioner: cfg.Partitioner,
+		Shards:      shards,
+		Balancer:    cfg.Balancer,
 		Cells:       make(map[string]map[int]stats.Sample),
 	}
 	if cfg.Stats {
 		res.Sched = make(map[string]map[int]sched.Snapshot)
+		res.ShardSched = make(map[string]map[int][]shard.Stat)
 	}
 	if cfg.KeepSamples {
 		res.RawSamples = make(map[string]map[int][]time.Duration)
@@ -187,7 +212,8 @@ func RunCtx(ctx context.Context, e *Experiment, cfg Config) (*Result, error) {
 			}
 			m, err := models.New(name, threads,
 				models.WithPartitioner(cfg.Partitioner), models.WithGrain(cfg.Grain),
-				models.WithTracer(cfg.Tracer))
+				models.WithTracer(cfg.Tracer),
+				models.WithShardCount(cfg.Shards), models.WithShardBalancer(cfg.Balancer))
 			if err != nil {
 				return nil, err
 			}
@@ -202,6 +228,10 @@ func RunCtx(ctx context.Context, e *Experiment, cfg Config) (*Result, error) {
 			// so the reported counters are a true delta even if the
 			// runtime saw other activity.
 			base, _ := m.SchedulerStats()
+			var shardBase []shard.Stat
+			if ss, ok := m.(models.ShardedStats); ok && cfg.Stats {
+				shardBase = ss.ShardSchedulerStats()
+			}
 			var ts []time.Duration
 			for r := 0; r < cfg.Reps; r++ {
 				if err := ctx.Err(); err != nil {
@@ -219,6 +249,12 @@ func RunCtx(ctx context.Context, e *Experiment, cfg Config) (*Result, error) {
 					}
 					res.Sched[name][threads] = snap.Delta(base)
 				}
+				if ss, ok := m.(models.ShardedStats); ok {
+					if res.ShardSched[name] == nil {
+						res.ShardSched[name] = make(map[int][]shard.Stat)
+					}
+					res.ShardSched[name][threads] = deltaShardStats(shardBase, ss.ShardSchedulerStats())
+				}
 			}
 			if cfg.KeepSamples {
 				if res.RawSamples[name] == nil {
@@ -233,6 +269,22 @@ func RunCtx(ctx context.Context, e *Experiment, cfg Config) (*Result, error) {
 	return res, nil
 }
 
+// deltaShardStats subtracts the base bracket from the end-of-reps
+// shard snapshots, matching shards by id (positions shift when shards
+// are added or drained mid-run). A shard absent from the base — added
+// after the bracket opened — deltas against zero.
+func deltaShardStats(base, end []shard.Stat) []shard.Stat {
+	byID := make(map[int]sched.Snapshot, len(base))
+	for _, st := range base {
+		byID[st.ID] = st.Snapshot
+	}
+	out := make([]shard.Stat, len(end))
+	for i, st := range end {
+		out[i] = shard.Stat{ID: st.ID, Snapshot: st.Snapshot.Delta(byID[st.ID])}
+	}
+	return out
+}
+
 // Render writes the result as two aligned text tables (time and
 // speedup over the sequential reference), matching the series the
 // paper plots.
@@ -242,6 +294,13 @@ func (r *Result) Render(w io.Writer) {
 	fmt.Fprintf(w, "paper:    %s\n", r.Experiment.Finding)
 	if r.Partitioner != worksteal.Eager {
 		fmt.Fprintf(w, "partitioner: %s (NOT paper-faithful; use eager to reproduce figures)\n", r.Partitioner)
+	}
+	if r.Shards != 0 {
+		bal := r.Balancer
+		if bal == "" {
+			bal = "round-robin"
+		}
+		fmt.Fprintf(w, "sharding: %d shards, %s balancer (pooled models only)\n", r.Shards, bal)
 	}
 	fmt.Fprintf(w, "sequential reference: %v\n\n", r.SeqTime)
 
@@ -279,16 +338,42 @@ func (r *Result) Render(w io.Writer) {
 // the run was configured with Config.Stats. Cells whose model runtime
 // does not record counters are omitted; with no counters at all it
 // writes nothing.
+//
+// When any cell ran sharded, a "shard" column is added and each
+// sharded cell expands into a merged row (tagged "-") followed by one
+// row per shard id, so imbalance across shards is visible next to the
+// totals. Unsharded runs keep the original layout; the counter columns
+// are derived from Fields() in both cases.
 func (r *Result) RenderStats(w io.Writer) {
 	if len(r.Sched) == 0 {
 		return
 	}
+	sharded := false
+	for _, cells := range r.ShardSched {
+		if len(cells) > 0 {
+			sharded = true
+			break
+		}
+	}
 	fmt.Fprintf(w, "scheduler counters (timed reps only):\n")
 	fmt.Fprintf(w, "%-12s %-8s", "model", "threads")
+	if sharded {
+		fmt.Fprintf(w, " %-6s", "shard")
+	}
 	for _, f := range (sched.Snapshot{}).Fields() {
 		fmt.Fprintf(w, " %13s", f.Name)
 	}
 	fmt.Fprintln(w)
+	row := func(model string, threads int, tag string, s sched.Snapshot) {
+		fmt.Fprintf(w, "%-12s %-8d", model, threads)
+		if sharded {
+			fmt.Fprintf(w, " %-6s", tag)
+		}
+		for _, f := range s.Fields() {
+			fmt.Fprintf(w, " %13d", f.Value)
+		}
+		fmt.Fprintln(w)
+	}
 	for _, m := range r.Models {
 		cells, ok := r.Sched[m]
 		if !ok {
@@ -299,11 +384,10 @@ func (r *Result) RenderStats(w io.Writer) {
 			if !ok {
 				continue
 			}
-			fmt.Fprintf(w, "%-12s %-8d", m, t)
-			for _, f := range s.Fields() {
-				fmt.Fprintf(w, " %13d", f.Value)
+			row(m, t, "-", s)
+			for _, st := range r.ShardSched[m][t] {
+				row(m, t, "s"+strconv.Itoa(st.ID), st.Snapshot)
 			}
-			fmt.Fprintln(w)
 		}
 	}
 	fmt.Fprintln(w)

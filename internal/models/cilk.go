@@ -146,7 +146,7 @@ func NewCilkSpawnPartitioner(threads int, part worksteal.Partitioner) Model {
 // the paper's explanation for Fig. 5.
 func NewCilkSpawnWithDeque(threads int, kind deque.Kind) Model {
 	return &cilkSpawn{
-		pool: worksteal.NewPool(threads, worksteal.Options{DequeKind: kind}),
+		pool: worksteal.NewPool(threads, worksteal.WithDequeKind(kind)),
 		n:    threads,
 	}
 }

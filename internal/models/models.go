@@ -20,6 +20,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strings"
 
 	"threading/internal/forkjoin"
 	"threading/internal/sched"
@@ -123,14 +124,23 @@ const (
 
 // Option configures optional, model-independent construction knobs.
 // Models that a knob does not apply to simply ignore it, so a harness
-// can pass the same options to every model name uniformly.
-type Option func(*config)
+// can pass the same options to every model name uniformly. Option is
+// an interface (rather than a bare func type) so the root threading
+// package can define combined option values that satisfy several
+// layers' option types at once.
+type Option interface{ applyModel(*config) }
+
+type optionFunc func(*config)
+
+func (f optionFunc) applyModel(c *config) { f(c) }
 
 // config collects the resolved Option values.
 type config struct {
 	partitioner worksteal.Partitioner
 	grain       int
 	tracer      *tracez.Tracer
+	shards      int
+	balancer    string
 }
 
 // WithPartitioner selects the loop partitioner used by the
@@ -139,7 +149,7 @@ type config struct {
 // decomposition; worksteal.Lazy enables demand-driven splitting. The
 // other four models ignore this option.
 func WithPartitioner(p worksteal.Partitioner) Option {
-	return func(c *config) { c.partitioner = p }
+	return optionFunc(func(c *config) { c.partitioner = p })
 }
 
 // WithGrain fixes the cilk_for loop grain (the smallest chunk the
@@ -149,7 +159,7 @@ func WithPartitioner(p worksteal.Partitioner) Option {
 // gate's work-stealing series measure. Models without a grain knob
 // ignore this option.
 func WithGrain(g int) Option {
-	return func(c *config) { c.grain = g }
+	return optionFunc(func(c *config) { c.grain = g })
 }
 
 // WithTracer attaches a scheduler-event tracer to the model's runtime:
@@ -158,16 +168,35 @@ func WithGrain(g int) Option {
 // recursive tasks. A nil tracer (the zero value) disables tracing, and
 // the runtimes' hot paths then pay only a nil check.
 func WithTracer(tr *tracez.Tracer) Option {
-	return func(c *config) { c.tracer = tr }
+	return optionFunc(func(c *config) { c.tracer = tr })
+}
+
+// WithShardCount splits a pooled model's runtime into n shards routed
+// by a shard.Resolver: n independent pools (cilk_for, cilk_spawn) or
+// teams (omp_for, omp_task) splitting the model's thread budget, so
+// each steal domain is bounded to one shard's workers. n = 0 (the
+// zero value) disables sharding; n < 0 selects one shard per
+// GOMAXPROCS processor; n > the thread count is clamped. The
+// thread-per-chunk models (cpp_*) ignore this option, so a harness
+// can pass it uniformly.
+func WithShardCount(n int) Option {
+	return optionFunc(func(c *config) { c.shards = n })
+}
+
+// WithShardBalancer selects the balancer of a sharded model's
+// resolver by name: "round-robin" (the default), "random",
+// "least-loaded", or "affinity". Ignored unless sharding is enabled.
+func WithShardBalancer(name string) Option {
+	return optionFunc(func(c *config) { c.balancer = name })
 }
 
 // factories maps model names to constructors.
 var factories = map[string]func(threads int, cfg config) Model{
 	OMPFor: func(t int, cfg config) Model {
-		return NewOMPForWithOptions(t, forkjoin.Options{Tracer: cfg.tracer})
+		return NewOMPForWithOptions(t, forkjoin.WithTracer(cfg.tracer))
 	},
 	OMPTask: func(t int, cfg config) Model {
-		return NewOMPTaskWithOptions(t, forkjoin.Options{Tracer: cfg.tracer})
+		return NewOMPTaskWithOptions(t, forkjoin.WithTracer(cfg.tracer))
 	},
 	CilkFor: func(t int, cfg config) Model {
 		return &cilkFor{pool: newWorkstealPool(t, cfg), n: t, grain: cfg.grain}
@@ -201,18 +230,26 @@ func TaskNames() []string {
 }
 
 // New constructs the named model with the given thread count and
-// options.
+// options. A "sharded:" name prefix (e.g. "sharded:cilk_for") wraps
+// the base model's runtime in a shard.Resolver, as does WithShardCount
+// on a shardable base name; see NewSharded for the semantics.
 func New(name string, threads int, opts ...Option) (Model, error) {
-	f, ok := factories[name]
-	if !ok {
-		return nil, fmt.Errorf("models: unknown model %q (have %v)", name, Names())
-	}
 	if threads < 1 {
 		return nil, fmt.Errorf("models: thread count %d < 1", threads)
 	}
 	var cfg config
 	for _, o := range opts {
-		o(&cfg)
+		o.applyModel(&cfg)
+	}
+	if base, ok := strings.CutPrefix(name, ShardedPrefix); ok {
+		return newSharded(base, threads, cfg)
+	}
+	f, ok := factories[name]
+	if !ok {
+		return nil, fmt.Errorf("models: unknown model %q (have %v)", name, Names())
+	}
+	if cfg.shards != 0 && shardable(name) {
+		return newSharded(name, threads, cfg)
 	}
 	return f(threads, cfg), nil
 }

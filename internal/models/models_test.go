@@ -332,9 +332,9 @@ func TestOMPForScheduleAblation(t *testing.T) {
 func TestAblationConstructors(t *testing.T) {
 	// The ablation variants must behave like their parents.
 	variants := []Model{
-		NewOMPForWithOptions(2, forkjoin.Options{CentralBarrier: true}),
-		NewOMPTaskWithOptions(2, forkjoin.Options{LockFreeTasks: true}),
-		NewOMPTaskWithOptions(2, forkjoin.Options{Policy: forkjoin.TaskImmediate}),
+		NewOMPForWithOptions(2, forkjoin.WithCentralBarrier()),
+		NewOMPTaskWithOptions(2, forkjoin.WithLockFreeTasks()),
+		NewOMPTaskWithOptions(2, forkjoin.WithTaskPolicy(forkjoin.TaskImmediate)),
 		NewCilkSpawnWithDeque(2, deque.KindLocked),
 		NewCilkForGrain(2, 64),
 	}

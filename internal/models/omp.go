@@ -20,13 +20,13 @@ type ompFor struct {
 // NewOMPFor returns the omp_for model: fork-join work-sharing data
 // parallelism on a persistent team.
 func NewOMPFor(threads int) Model {
-	return &ompFor{team: forkjoin.NewTeam(threads, forkjoin.Options{}), n: threads}
+	return &ompFor{team: forkjoin.NewTeam(threads), n: threads}
 }
 
 // NewOMPForWithOptions is NewOMPFor with explicit runtime options,
 // for ablation benchmarks (e.g. central vs sense-reversing barrier).
-func NewOMPForWithOptions(threads int, opts forkjoin.Options) Model {
-	return &ompFor{team: forkjoin.NewTeam(threads, opts), n: threads}
+func NewOMPForWithOptions(threads int, opts ...forkjoin.Option) Model {
+	return &ompFor{team: forkjoin.NewTeam(threads, opts...), n: threads}
 }
 
 func (m *ompFor) Name() string { return OMPFor }
@@ -109,13 +109,13 @@ type ompTask struct {
 
 // NewOMPTask returns the omp_task model.
 func NewOMPTask(threads int) Model {
-	return &ompTask{team: forkjoin.NewTeam(threads, forkjoin.Options{}), n: threads}
+	return &ompTask{team: forkjoin.NewTeam(threads), n: threads}
 }
 
 // NewOMPTaskWithOptions is NewOMPTask with explicit runtime options,
 // for ablations (e.g. lock-free task deques, immediate task policy).
-func NewOMPTaskWithOptions(threads int, opts forkjoin.Options) Model {
-	return &ompTask{team: forkjoin.NewTeam(threads, opts), n: threads}
+func NewOMPTaskWithOptions(threads int, opts ...forkjoin.Option) Model {
+	return &ompTask{team: forkjoin.NewTeam(threads, opts...), n: threads}
 }
 
 func (m *ompTask) Name() string { return OMPTask }

@@ -91,7 +91,7 @@ func NewDevice(name string, options ...Option) *Device {
 	return &Device{
 		name: name,
 		opts: opts,
-		pool: worksteal.NewPool(opts.Units, worksteal.Options{}),
+		pool: worksteal.NewPool(opts.Units),
 	}
 }
 

@@ -133,6 +133,24 @@ func (s Snapshot) Delta(prev Snapshot) Snapshot {
 	}
 }
 
+// Add returns the element-wise sum of s and o. Shard resolvers use it
+// to merge per-shard snapshots into one aggregate view.
+func (s Snapshot) Add(o Snapshot) Snapshot {
+	return Snapshot{
+		TasksExecuted:  s.TasksExecuted + o.TasksExecuted,
+		Spawns:         s.Spawns + o.Spawns,
+		Steals:         s.Steals + o.Steals,
+		FailedSteals:   s.FailedSteals + o.FailedSteals,
+		Parks:          s.Parks + o.Parks,
+		BarrierWaits:   s.BarrierWaits + o.BarrierWaits,
+		LoopChunks:     s.LoopChunks + o.LoopChunks,
+		LazySplits:     s.LazySplits + o.LazySplits,
+		BatchSteals:    s.BatchSteals + o.BatchSteals,
+		BatchStolen:    s.BatchStolen + o.BatchStolen,
+		HelpFirstTasks: s.HelpFirstTasks + o.HelpFirstTasks,
+	}
+}
+
 // Field is one named Snapshot counter, as produced by Fields.
 type Field struct {
 	Name  string

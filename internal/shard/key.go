@@ -1,0 +1,39 @@
+package shard
+
+import (
+	"runtime"
+	"sync"
+)
+
+// submitterKey returns a lazily computed, memoized key identifying the
+// submitting goroutine. Only balancers that ask for the key (affinity)
+// pay its cost: one runtime.Stack header parse per routed operation.
+func submitterKey() func() uint64 {
+	var once sync.Once
+	var key uint64
+	return func() uint64 {
+		once.Do(func() { key = goroutineID() })
+		return key
+	}
+}
+
+// goroutineID parses the current goroutine's id from the
+// runtime.Stack header ("goroutine 123 [running]:"). Go deliberately
+// exposes no cheaper identity; this is the standard workaround, paid
+// only on the submission path and only under the affinity balancer.
+func goroutineID() uint64 {
+	var buf [64]byte
+	n := runtime.Stack(buf[:], false)
+	const prefix = "goroutine "
+	if n <= len(prefix) {
+		return 0
+	}
+	var id uint64
+	for _, c := range buf[len(prefix):n] {
+		if c < '0' || c > '9' {
+			break
+		}
+		id = id*10 + uint64(c-'0')
+	}
+	return id
+}

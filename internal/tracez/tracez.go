@@ -167,7 +167,19 @@ const DefaultCapacity = 1 << 14
 // one with New, hand rings to workers with Ring, and materialize the
 // captured events with Snapshot. A nil *Tracer is the disabled
 // tracer: Ring returns nil and Snapshot returns nil.
+//
+// A Tracer is a window onto shared ring storage: View derives a tracer
+// that maps worker ids through a base offset and prefixes labels, so a
+// resolver can hand each shard's runtime its own id range while a
+// single Snapshot still sees every shard's events on one timeline.
 type Tracer struct {
+	state  *traceState
+	base   int
+	prefix string
+}
+
+// traceState is the storage every view of a Tracer shares.
+type traceState struct {
 	epoch    time.Time
 	capacity int
 
@@ -186,12 +198,23 @@ func New(capacity int) *Tracer {
 	for p < capacity {
 		p <<= 1
 	}
-	return &Tracer{
+	return &Tracer{state: &traceState{
 		epoch:    time.Now(),
 		capacity: p,
 		rings:    make(map[int]*Ring),
 		labels:   make(map[int]string),
+	}}
+}
+
+// View returns a tracer sharing this tracer's storage whose worker id
+// i resolves to base+i and whose labels gain the given prefix. Views
+// compose (a view of a view offsets further) and are nil-safe: a view
+// of the disabled tracer is still disabled.
+func (t *Tracer) View(base int, prefix string) *Tracer {
+	if t == nil {
+		return nil
 	}
+	return &Tracer{state: t.state, base: t.base + base, prefix: t.prefix + prefix}
 }
 
 // Ring returns worker i's ring, creating it on first use. Returns nil
@@ -201,25 +224,27 @@ func (t *Tracer) Ring(i int) *Ring {
 	if t == nil {
 		return nil
 	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	r, ok := t.rings[i]
+	s := t.state
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.rings[t.base+i]
 	if !ok {
-		r = &Ring{epoch: t.epoch, buf: make([]Event, t.capacity)}
-		t.rings[i] = r
+		r = &Ring{epoch: s.epoch, buf: make([]Event, s.capacity)}
+		s.rings[t.base+i] = r
 	}
 	return r
 }
 
-// Label names worker i's timeline track (e.g. "w3", "helper0"). Safe
-// on a nil tracer.
+// Label names worker i's timeline track (e.g. "w3", "helper0"),
+// prefixed by the view's label prefix. Safe on a nil tracer.
 func (t *Tracer) Label(i int, label string) {
 	if t == nil {
 		return
 	}
-	t.mu.Lock()
-	t.labels[i] = label
-	t.mu.Unlock()
+	s := t.state
+	s.mu.Lock()
+	s.labels[t.base+i] = t.prefix + label
+	s.mu.Unlock()
 }
 
 // Trace is a materialized capture: every worker's retained events in
@@ -258,20 +283,21 @@ func (t *Tracer) Snapshot() *Trace {
 	if t == nil {
 		return nil
 	}
-	t.mu.Lock()
-	ids := make([]int, 0, len(t.rings))
-	for id := range t.rings {
+	s := t.state
+	s.mu.Lock()
+	ids := make([]int, 0, len(s.rings))
+	for id := range s.rings {
 		ids = append(ids, id)
 	}
-	labels := make(map[int]string, len(t.labels))
-	for id, l := range t.labels {
+	labels := make(map[int]string, len(s.labels))
+	for id, l := range s.labels {
 		labels[id] = l
 	}
-	rings := make(map[int]*Ring, len(t.rings))
-	for id, r := range t.rings {
+	rings := make(map[int]*Ring, len(s.rings))
+	for id, r := range s.rings {
 		rings[id] = r
 	}
-	t.mu.Unlock()
+	s.mu.Unlock()
 
 	sortInts(ids)
 	tr := &Trace{Version: Version, Meta: map[string]string{}}

@@ -176,6 +176,7 @@ type Pool struct {
 	searching   atomic.Int64 // workers in the idle find-work phase
 	parkedCount atomic.Int64 // workers currently parked (or about to)
 	closed      atomic.Bool
+	async       sched.AsyncGroup // in-flight SubmitCtx tasks, joined by Quiesce
 
 	wg sync.WaitGroup
 }

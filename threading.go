@@ -63,6 +63,7 @@ import (
 	"threading/internal/offload"
 	"threading/internal/pipeline"
 	"threading/internal/sched"
+	"threading/internal/shard"
 	"threading/internal/tracez"
 	"threading/internal/workspan"
 	"threading/internal/worksteal"
@@ -104,15 +105,24 @@ const (
 // knobs for NewModel; models a knob does not apply to ignore it.
 type ModelOption = models.Option
 
+// PartitionerOption is the type of WithPartitioner: a single option
+// accepted by both NewModel (as a ModelOption) and NewPool (as a
+// PoolOption), so one spelling configures the partitioner everywhere.
+type PartitionerOption interface {
+	ModelOption
+	PoolOption
+}
+
 // WithModelPartitioner selects the loop partitioner used by the
-// work-stealing models (cilk_for, cilk_spawn): PartitionEager is the
-// paper-faithful divide-and-conquer decomposition, PartitionLazy
-// demand-driven splitting.
+// work-stealing models (cilk_for, cilk_spawn).
+//
+// Deprecated: use WithPartitioner, which is accepted by NewModel and
+// NewPool alike.
 func WithModelPartitioner(p Partitioner) ModelOption { return models.WithPartitioner(p) }
 
 // Tracer collects per-worker scheduler events (task/chunk spans,
 // steals, parks, barrier waits) into fixed-capacity ring buffers; see
-// internal/tracez. Attach one with WithModelTracer, then write its
+// internal/tracez. Attach one with WithTracer, then write its
 // Snapshot with WriteTrace and inspect the file with cmd/traceview.
 type Tracer = tracez.Tracer
 
@@ -123,8 +133,31 @@ type Trace = tracez.Trace
 // events each (rounded up to a power of two; <= 0 picks the default).
 func NewTracer(capacity int) *Tracer { return tracez.New(capacity) }
 
+// TracerOption is the type of WithTracer: a single option accepted by
+// NewModel, NewPool, and NewTeam, so one spelling attaches a tracer
+// to any runtime.
+type TracerOption interface {
+	ModelOption
+	PoolOption
+	TeamOption
+}
+
+// WithTracer records the runtime's scheduler events into tr — the
+// canonical tracer option for NewModel, NewPool, and NewTeam. A nil
+// tr leaves tracing disabled at zero cost.
+func WithTracer(tr *Tracer) TracerOption {
+	return struct {
+		ModelOption
+		PoolOption
+		TeamOption
+	}{models.WithTracer(tr), worksteal.WithTracer(tr), forkjoin.WithTracer(tr)}
+}
+
 // WithModelTracer records the model runtime's scheduler events into
-// tr. A nil tr leaves tracing disabled at zero cost.
+// tr.
+//
+// Deprecated: use WithTracer, which is accepted by NewModel, NewPool,
+// and NewTeam alike.
 func WithModelTracer(tr *Tracer) ModelOption { return models.WithTracer(tr) }
 
 // WriteTrace serializes a trace snapshot to path in the raw JSON
@@ -256,8 +289,80 @@ const (
 	PartitionLazy = worksteal.Lazy
 )
 
-// WithPartitioner selects a Pool's ForDAC loop partitioner.
-func WithPartitioner(p Partitioner) PoolOption { return worksteal.WithPartitioner(p) }
+// WithPartitioner selects how loops are decomposed — the canonical
+// partitioner option, accepted by NewModel (work-stealing models) and
+// NewPool alike: PartitionEager is the paper-faithful
+// divide-and-conquer decomposition, PartitionLazy demand-driven
+// splitting.
+func WithPartitioner(p Partitioner) PartitionerOption {
+	return struct {
+		ModelOption
+		PoolOption
+	}{models.WithPartitioner(p), worksteal.WithPartitioner(p)}
+}
+
+// Executor is the uniform submission surface implemented by *Team,
+// *Pool, and *Resolver: context-aware parallel loops, chunked
+// reductions, detached submissions, and quiesce/close. It is the
+// stable abstraction to write against when code must run on any of
+// the three runtimes; see internal/shard for the full contract.
+type Executor = shard.Executor
+
+// Resolver routes parallel loops, reductions, and submissions across
+// a mutable set of shards (each itself an Executor) through a
+// pluggable balancer. It implements Executor, so a Resolver can stand
+// in anywhere a single runtime does — including as a shard of another
+// Resolver. Construct with NewResolver.
+type Resolver = shard.Resolver
+
+// ResolverOption configures NewResolver.
+type ResolverOption = shard.Option
+
+// NewResolver returns a Resolver routing across the shards given via
+// WithShards (at least one is required; the Resolver takes ownership
+// and closes them). The default balancer is round-robin.
+func NewResolver(opts ...ResolverOption) (*Resolver, error) { return shard.New(opts...) }
+
+// WithShards sets a Resolver's initial shard set.
+func WithShards(execs ...Executor) ResolverOption { return shard.WithShards(execs...) }
+
+// Balancer picks which shard receives the next unit of work; see
+// internal/shard for the concurrency and positional-index contract.
+type Balancer = shard.Balancer
+
+// WithBalancer selects a Resolver's routing balancer.
+func WithBalancer(b Balancer) ResolverOption { return shard.WithBalancer(b) }
+
+// Balancer constructors for WithBalancer.
+func RoundRobin() Balancer  { return shard.RoundRobin() }  // cycle in order
+func Random() Balancer      { return shard.Random() }      // uniform lock-free
+func LeastLoaded() Balancer { return shard.LeastLoaded() } // min queued work
+func Affinity() Balancer    { return shard.Affinity() }    // submitter-sticky
+
+// ParseBalancer converts a flag-style name (round-robin, random,
+// least-loaded, affinity; empty selects round-robin) to a Balancer.
+func ParseBalancer(s string) (Balancer, error) { return shard.ParseBalancer(s) }
+
+// ShardStat is one shard's scheduler counters, tagged with its id.
+type ShardStat = shard.Stat
+
+// ShardedPrefix is the model-name prefix selecting sharded execution
+// from NewModel, e.g. "sharded:cilk_for".
+const ShardedPrefix = models.ShardedPrefix
+
+// WithShardCount splits a pooled model's runtime into n shards behind
+// a Resolver: 0 disables sharding, a negative value selects
+// GOMAXPROCS shards. Models without a persistent runtime ignore it.
+func WithShardCount(n int) ModelOption { return models.WithShardCount(n) }
+
+// WithShardBalancer names the balancer routing a sharded model's work
+// (see ParseBalancer for the accepted names).
+func WithShardBalancer(name string) ModelOption { return models.WithShardBalancer(name) }
+
+// ShardedStats is the extra reporting surface of sharded models,
+// obtained by type assertion: per-shard counter snapshots plus the
+// sharding configuration.
+type ShardedStats = models.ShardedStats
 
 // Thread is a C++11-style thread of execution; see internal/futures.
 type Thread = futures.Thread

@@ -1,6 +1,7 @@
 package threading_test
 
 import (
+	"context"
 	"strings"
 	"sync/atomic"
 	"testing"
@@ -107,5 +108,76 @@ func TestProfileSpanFacade(t *testing.T) {
 	}
 	if b := r.SpeedupBound(4); b > 4 {
 		t.Fatalf("bound(4) = %g > 4", b)
+	}
+}
+
+// TestShardingSurface exercises the sharded-execution re-exports: a
+// hand-built Resolver over a Pool and a Team, and a sharded model from
+// NewModel with the canonical combined options.
+func TestShardingSurface(t *testing.T) {
+	var _ threading.Executor = (*threading.Pool)(nil)
+	var _ threading.Executor = (*threading.Team)(nil)
+	var _ threading.Executor = (*threading.Resolver)(nil)
+
+	for _, mk := range []func() threading.Balancer{
+		threading.RoundRobin, threading.Random, threading.LeastLoaded, threading.Affinity,
+	} {
+		b := mk()
+		if _, err := threading.ParseBalancer(b.Name()); err != nil {
+			t.Fatalf("ParseBalancer(%q): %v", b.Name(), err)
+		}
+	}
+
+	res, err := threading.NewResolver(
+		threading.WithShards(threading.NewPool(2), threading.NewTeam(2)),
+		threading.WithBalancer(threading.LeastLoaded()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total atomic.Int64
+	if err := res.ParallelForCtx(context.Background(), 0, 1000, 0, func(lo, hi int) {
+		total.Add(int64(hi - lo))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if total.Load() != 1000 {
+		t.Fatalf("resolver covered %d of 1000", total.Load())
+	}
+	if err := res.Quiesce(); err != nil {
+		t.Fatal(err)
+	}
+	res.Close()
+
+	tr := threading.NewTracer(1 << 10)
+	m, err := threading.NewModel(threading.CilkFor, 4,
+		threading.WithShardCount(2), threading.WithShardBalancer("round-robin"),
+		threading.WithPartitioner(threading.PartitionEager), threading.WithTracer(tr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	ss, ok := m.(threading.ShardedStats)
+	if !ok {
+		t.Fatal("sharded model does not expose ShardedStats")
+	}
+	if ss.NumShards() != 2 {
+		t.Fatalf("NumShards = %d", ss.NumShards())
+	}
+	m.ParallelFor(4096, func(lo, hi int) {})
+	if stats := ss.ShardSchedulerStats(); len(stats) != 2 {
+		t.Fatalf("ShardSchedulerStats = %d entries", len(stats))
+	}
+
+	// The canonical options are accepted by the runtime constructors
+	// directly, alongside the deprecated model-only spellings.
+	pool := threading.NewPool(1,
+		threading.WithPartitioner(threading.PartitionLazy), threading.WithTracer(tr))
+	pool.Close()
+	team := threading.NewTeam(1, threading.WithTracer(tr))
+	team.Close()
+	if _, err := threading.NewModel(threading.CilkFor, 1,
+		threading.WithModelPartitioner(threading.PartitionEager),
+		threading.WithModelTracer(nil)); err != nil {
+		t.Fatal(err)
 	}
 }
