@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race race-sched vet lint bench-smoke bench-loopdist bench-record bench-gate trace-smoke clean
+.PHONY: all build test race race-sched vet lint bench-smoke bench-loopdist bench-scaling bench-record bench-gate trace-smoke clean
 
 all: build vet lint test bench-gate
 
@@ -42,12 +42,22 @@ bench-smoke:
 bench-loopdist:
 	$(GO) run ./cmd/loopdist
 
+# pSTL-Bench-style scaling suite: the flat loops under omp_for and
+# eager cilk_for across a 1..GOMAXPROCS thread sweep, once at fixed
+# total size (strong) and once at fixed per-thread size (weak). Each
+# series carries its parallel efficiency in the benchgate schema.
+bench-scaling:
+	$(GO) run ./cmd/loopdist -sweep strong -out BENCH_scaling_strong.json
+	$(GO) run ./cmd/loopdist -sweep weak -out BENCH_scaling_weak.json
+
 # Re-record the committed kernel baselines the regression gate
-# compares against: the single-pool suite plus the sharded series the
-# sharding-overhead invariant is defined over. Run on the machine of
-# record after an intentional perf change, and commit the results.
+# compares against: the single-pool suite (plus the spawn-heavy fib
+# pair and the pinned-worker twins the fib-ordering and
+# pinning-overhead invariants are defined over) and the sharded series
+# the sharding-overhead invariant is defined over. Run on the machine
+# of record after an intentional perf change, and commit the results.
 bench-record:
-	$(GO) run ./cmd/benchgate record -out BENCH_kernels.json
+	$(GO) run ./cmd/benchgate record -kernels axpy,sum,matvec,fib -pinned -out BENCH_kernels.json
 	$(GO) run ./cmd/benchgate record -kernels axpy,sum -shards -1 -balancer least-loaded -out BENCH_shard.json
 
 # Statistical benchmark-regression gate: fresh samples against the

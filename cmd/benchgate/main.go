@@ -10,7 +10,7 @@
 //
 //	benchgate record  [-out BENCH_kernels.json] [-kernels axpy,sum,matvec]
 //	                  [-threads N] [-reps 7] [-grain 64] [-scale 0.1]
-//	                  [-shards N] [-balancer least-loaded]
+//	                  [-shards N] [-balancer least-loaded] [-pinned]
 //	benchgate compare [-alpha 0.05] [-ratio 1.1] [-json] old.json new.json
 //	benchgate check   [-baseline BENCH_kernels.json] [-reps N]
 //	                  [-alpha 0.05] [-ratio 1.3] [-json] [-out fresh.json]
@@ -91,20 +91,21 @@ func runRecord(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	var (
 		out     = fs.String("out", "BENCH_kernels.json", "output sample file")
-		kernels = fs.String("kernels", "", "comma-separated kernels (axpy,sum,matvec,matmul); empty = default suite")
+		kernels = fs.String("kernels", "", "comma-separated kernels (axpy,sum,matvec,matmul,fib); empty = default suite")
 		threads = fs.Int("threads", 0, "pool size; 0 = GOMAXPROCS")
 		reps    = fs.Int("reps", 0, "timed repetitions per series; 0 = 7")
 		grain   = fs.Int("grain", 0, "distribution-stressing grain; 0 = 64")
 		scale   = fs.Float64("scale", 0, "workload scale factor; 0 = 0.1")
 		shards  = fs.Int("shards", 0, "also measure sharded:cilk_for split across N shards (0 = off, -1 = GOMAXPROCS)")
 		balStr  = fs.String("balancer", "", "balancer for the sharded series; empty = least-loaded")
+		pinned  = fs.Bool("pinned", false, "also measure a pinned-worker twin of the stress-grain eager cilk_for series")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	cfg := benchgate.SuiteConfig{
 		Threads: *threads, Reps: *reps, Grain: *grain, Scale: *scale,
-		Shards: *shards, Balancer: *balStr,
+		Shards: *shards, Balancer: *balStr, Pinned: *pinned,
 	}
 	if *kernels != "" {
 		cfg.Kernels = splitList(*kernels)
@@ -203,6 +204,7 @@ func runCheck(args []string, stdout, stderr io.Writer) int {
 		Scale:    base.Config.Scale,
 		Shards:   base.Config.Shards,
 		Balancer: base.Config.Balancer,
+		Pinned:   base.Config.Pinned,
 	}
 	if *reps > 0 {
 		cfg.Reps = *reps

@@ -64,6 +64,7 @@ func main() {
 		partStr = flag.String("partitioner", "eager", "loop partitioner for work-stealing models: eager (paper-faithful) or lazy")
 		shards  = flag.Int("shards", 0, "split the model's runtime across N shards (0 = off, -1 = GOMAXPROCS)")
 		balStr  = flag.String("balancer", "", "shard balancer: round-robin (default), random, least-loaded, or affinity")
+		pinned  = flag.Bool("pinned", false, "lock the model's workers to OS threads (WithPinnedWorkers)")
 		traceTo = flag.String("trace", "", "write per-worker scheduler events to this path (view with cmd/traceview)")
 	)
 	flag.Parse()
@@ -106,7 +107,8 @@ func main() {
 
 	m, err := models.New(*model, *threads,
 		models.WithPartitioner(part), models.WithTracer(tracer),
-		models.WithShardCount(*shards), models.WithShardBalancer(*balStr))
+		models.WithShardCount(*shards), models.WithShardBalancer(*balStr),
+		models.WithPinnedWorkers(*pinned))
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "kernelrun: %v\n", err)
 		os.Exit(1)

@@ -79,6 +79,7 @@ func run() int {
 		list    = flag.Bool("list", false, "list experiments and exit")
 		shards  = flag.Int("shards", 0, "split each pooled model across N runtime shards (0 = off, -1 = GOMAXPROCS)")
 		balStr  = flag.String("balancer", "", "shard balancer: round-robin (default), random, least-loaded, or affinity")
+		pinned  = flag.Bool("pinned", false, "lock pooled runtimes' workers to OS threads (WithPinnedWorkers)")
 		traceTo = flag.String("trace", "", "write per-worker scheduler events to this path (view with cmd/traceview)")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this path")
 		memProf = flag.String("memprofile", "", "write a heap profile to this path on exit")
@@ -163,6 +164,7 @@ func run() int {
 		Tracer:      tracer,
 		Shards:      *shards,
 		Balancer:    *balStr,
+		Pinned:      *pinned,
 	}
 	if *figs != "" {
 		cfg.Experiments = strings.Split(*figs, ",")

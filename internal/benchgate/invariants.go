@@ -90,13 +90,69 @@ func ShardInvariants(threads, grain, shards int, balancer string) []Invariant {
 	return out
 }
 
+// pinOverheadRatio bounds the cost of locking workers to OS threads:
+// the pinned runtime may be at most 5% slower than its unpinned twin.
+// With GOMAXPROCS matched to the worker count, LockOSThread should be
+// nearly free; the bound catches a runtime change that makes pinning
+// fight the Go scheduler.
+const pinOverheadRatio = 1.05
+
+// PinInvariants returns the pinning-overhead claims: the pinned-worker
+// eager cilk_for stays within pinOverheadRatio of its unpinned twin on
+// the flat Axpy and Sum loops at stress grain.
+func PinInvariants(threads, grain int) []Invariant {
+	var out []Invariant
+	for _, kernel := range []string{"axpy", "sum"} {
+		unpinned := Key{Kernel: kernel, Model: models.CilkFor, Threads: threads,
+			Grain: grain, Partitioner: worksteal.Eager.String()}
+		pinned := unpinned
+		pinned.Pinned = true
+		out = append(out, Invariant{
+			Name: kernel + "-pinning-overhead",
+			Claim: fmt.Sprintf("pinned eager cilk_for <= %.2fx unpinned on flat %s at grain %d",
+				pinOverheadRatio, kernel, grain),
+			Fast:  pinned,
+			Slow:  unpinned,
+			Ratio: pinOverheadRatio,
+		})
+	}
+	return out
+}
+
+// FibInvariant returns the spawn-heavy ordering claim of the paper's
+// Fig. 5: cilk_spawn (lock-free Chase-Lev deques, arena-recycled task
+// records) is not slower than omp task (locked team deques) on uncut
+// recursive Fibonacci. This is the series the task-arena fast path is
+// accountable to.
+func FibInvariant(threads int) Invariant {
+	return Invariant{
+		Name:  "fib-spawn-beats-omp-task",
+		Claim: "cilk_spawn <= omp_task on uncut recursive fib (paper Fig. 5: lock-based deques contend)",
+		Fast: Key{Kernel: "fib", Model: models.CilkSpawn, Threads: threads,
+			Grain: 0, Partitioner: worksteal.Eager.String()},
+		Slow: Key{Kernel: "fib", Model: models.OMPTask, Threads: threads,
+			Grain: 0, Partitioner: "-"},
+	}
+}
+
 // InvariantsFor returns every invariant a report with the given run
-// configuration must satisfy: the paper's ordering claims, plus the
-// sharding-overhead bound when the run measured a sharded series.
+// configuration must satisfy: the paper's ordering claims, the
+// sharding-overhead bound when the run measured a sharded series, the
+// pinning-overhead bound when it measured pinned twins, and the
+// Fig. 5 spawn ordering when it measured the fib kernel.
 func InvariantsFor(cfg RunConfig) []Invariant {
 	out := DefaultInvariants(cfg.Threads, cfg.Grain)
 	if cfg.Shards != 0 {
 		out = append(out, ShardInvariants(cfg.Threads, cfg.Grain, cfg.Shards, cfg.Balancer)...)
+	}
+	if cfg.Pinned {
+		out = append(out, PinInvariants(cfg.Threads, cfg.Grain)...)
+	}
+	for _, k := range cfg.Kernels {
+		if k == "fib" {
+			out = append(out, FibInvariant(cfg.Threads))
+			break
+		}
 	}
 	return out
 }

@@ -44,6 +44,15 @@ type Key struct {
 	// is unchanged).
 	Shards   int    `json:"shards,omitempty"`
 	Balancer string `json:"balancer,omitempty"`
+	// Pinned marks a series measured with the runtime's workers locked
+	// to OS threads (WithPinnedWorkers). Additive like Shards: the zero
+	// value means unpinned and keys from older reports compare
+	// unchanged.
+	Pinned bool `json:"pinned,omitempty"`
+	// Sweep tags a scaling-suite series: "strong" (fixed total problem
+	// size across the thread sweep) or "weak" (fixed per-thread size).
+	// Empty for plain fixed-thread series.
+	Sweep string `json:"sweep,omitempty"`
 }
 
 func (k Key) String() string {
@@ -51,6 +60,12 @@ func (k Key) String() string {
 		k.Kernel, k.Model, k.Threads, k.Grain, k.Partitioner)
 	if k.Shards != 0 {
 		s += fmt.Sprintf(" s=%d/%s", k.Shards, k.Balancer)
+	}
+	if k.Pinned {
+		s += " pinned"
+	}
+	if k.Sweep != "" {
+		s += " " + k.Sweep
 	}
 	return s
 }
@@ -66,6 +81,10 @@ type Series struct {
 	// Counters optionally carries scheduler counters explaining the
 	// timings (e.g. spawns or lazy splits per run).
 	Counters map[string]int64 `json:"counters,omitempty"`
+	// Efficiency is the parallel efficiency of a scaling-suite series:
+	// T(1)/(p*T(p)) for strong sweeps, T(1)/T(p) for weak sweeps, from
+	// the minimum timings. Zero (and omitted) outside scaling sweeps.
+	Efficiency float64 `json:"efficiency,omitempty"`
 }
 
 // Env records where a report was measured. Cross-environment
@@ -114,6 +133,12 @@ type RunConfig struct {
 	// series).
 	Shards   int    `json:"shards,omitempty"`
 	Balancer string `json:"balancer,omitempty"`
+	// Pinned records whether the run also measured pinned-worker twin
+	// series (the pinning-overhead invariant's subjects).
+	Pinned bool `json:"pinned,omitempty"`
+	// Sweep records the scaling-suite mode the report was produced by:
+	// "strong", "weak", or empty for fixed-thread runs.
+	Sweep string `json:"sweep,omitempty"`
 }
 
 // Report is the sample-file schema shared by all bench tools.

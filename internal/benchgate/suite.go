@@ -19,6 +19,7 @@ var kernelFigs = map[string]string{
 	"sum":    "fig2",
 	"matvec": "fig3",
 	"matmul": "fig4",
+	"fib":    "fig5",
 }
 
 // DefaultKernels is the default suite: the flat data-parallel loops
@@ -50,6 +51,11 @@ type SuiteConfig struct {
 	// Balancer routes the sharded series; empty selects least-loaded,
 	// the balancer the overhead bound is claimed for.
 	Balancer string
+	// Pinned, when true, adds a pinned-worker twin of the stress-grain
+	// eager work-stealing series per loop kernel (workers locked to OS
+	// threads). The pinning-overhead invariant is defined over these
+	// twins.
+	Pinned bool
 }
 
 func (c SuiteConfig) withDefaults() SuiteConfig {
@@ -88,6 +94,7 @@ func (c SuiteConfig) RunConfig() RunConfig {
 		Kernels:  c.Kernels,
 		Shards:   c.Shards,
 		Balancer: c.Balancer,
+		Pinned:   c.Pinned,
 	}
 }
 
@@ -98,15 +105,19 @@ type seriesSpec struct {
 	partitioner worksteal.Partitioner
 	shards      int
 	balancer    string
+	pinned      bool
 }
 
-// specs returns the per-kernel series: the work-sharing reference
-// plus the work-stealing model under {stress, default} grain x
-// {eager, lazy} — the grid the invariants and the loop-distribution
-// trajectory are defined over — plus, when sharding is configured,
-// the sharded work-stealing runtime at stress grain (the series the
-// sharding-overhead invariant compares against its single-pool twin).
-func specs(stressGrain, shards int, balancer string) []seriesSpec {
+// specs returns the per-kernel series for the loop kernels: the
+// work-sharing reference plus the work-stealing model under
+// {stress, default} grain x {eager, lazy} — the grid the invariants
+// and the loop-distribution trajectory are defined over — plus, when
+// sharding is configured, the sharded work-stealing runtime at stress
+// grain (the series the sharding-overhead invariant compares against
+// its single-pool twin), and, when pinning is configured, a
+// pinned-worker twin of the stress-grain eager series (the
+// pinning-overhead invariant's subject).
+func specs(stressGrain, shards int, balancer string, pinned bool) []seriesSpec {
 	out := []seriesSpec{
 		{model: models.OMPFor, grain: 0, partitioner: worksteal.Eager},
 		{model: models.CilkFor, grain: stressGrain, partitioner: worksteal.Eager},
@@ -120,8 +131,30 @@ func specs(stressGrain, shards int, balancer string) []seriesSpec {
 			partitioner: worksteal.Eager, shards: shards, balancer: balancer,
 		})
 	}
+	if pinned {
+		out = append(out, seriesSpec{
+			model: models.CilkFor, grain: stressGrain,
+			partitioner: worksteal.Eager, pinned: true,
+		})
+	}
 	return out
 }
+
+// taskSpecs returns the per-kernel series for the task kernels (fib):
+// the spawn-heavy pair the paper's Fig. 5 invariant is defined over —
+// cilk_spawn over lock-free Chase-Lev deques versus omp task over the
+// team's locked deques. Grain and partitioner do not shape these
+// series (recursion spawns directly), so they record zero values.
+func taskSpecs() []seriesSpec {
+	return []seriesSpec{
+		{model: models.OMPTask, grain: 0, partitioner: worksteal.Eager},
+		{model: models.CilkSpawn, grain: 0, partitioner: worksteal.Eager},
+	}
+}
+
+// taskKernel reports whether the named kernel is measured through the
+// task models rather than the loop grid.
+func taskKernel(kernel string) bool { return kernel == "fib" }
 
 // RunSuite measures the configured kernels and returns a report in
 // the shared schema. Each series runs through harness.RunCtx against
@@ -134,13 +167,17 @@ func RunSuite(ctx context.Context, cfg SuiteConfig) (*Report, error) {
 	for _, kernel := range cfg.Kernels {
 		figID, ok := kernelFigs[kernel]
 		if !ok {
-			return nil, fmt.Errorf("benchgate: unknown kernel %q (have axpy, sum, matvec, matmul)", kernel)
+			return nil, fmt.Errorf("benchgate: unknown kernel %q (have axpy, sum, matvec, matmul, fib)", kernel)
 		}
 		base, ok := harness.ByID(figID)
 		if !ok {
 			return nil, fmt.Errorf("benchgate: experiment %s not registered", figID)
 		}
-		for _, sp := range specs(cfg.Grain, cfg.Shards, cfg.Balancer) {
+		kernelSpecs := specs(cfg.Grain, cfg.Shards, cfg.Balancer, cfg.Pinned)
+		if taskKernel(kernel) {
+			kernelSpecs = taskSpecs()
+		}
+		for _, sp := range kernelSpecs {
 			exp := &harness.Experiment{
 				ID:      kernel,
 				Title:   base.Title,
@@ -156,6 +193,7 @@ func RunSuite(ctx context.Context, cfg SuiteConfig) (*Report, error) {
 				Partitioner: sp.partitioner,
 				Shards:      sp.shards,
 				Balancer:    sp.balancer,
+				Pinned:      sp.pinned,
 				KeepSamples: true,
 			})
 			if err != nil {
@@ -175,6 +213,7 @@ func RunSuite(ctx context.Context, cfg SuiteConfig) (*Report, error) {
 					Partitioner: partitionerName(sp.model, sp.partitioner),
 					Shards:      sp.shards,
 					Balancer:    sp.balancer,
+					Pinned:      sp.pinned,
 				},
 				SampleNs: ns,
 			})

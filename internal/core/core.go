@@ -55,6 +55,9 @@ type SuiteConfig struct {
 	// Balancer names the resolver's balancer when Shards is non-zero
 	// (see harness.Config.Balancer).
 	Balancer string
+	// Pinned locks the pooled runtimes' workers to OS threads (see
+	// harness.Config.Pinned).
+	Pinned bool
 }
 
 // RunSuite executes the selected experiments and writes their tables
@@ -91,6 +94,7 @@ func RunSuiteCtx(ctx context.Context, cfg SuiteConfig, out io.Writer) ([]*harnes
 			Tracer:      cfg.Tracer,
 			Shards:      cfg.Shards,
 			Balancer:    cfg.Balancer,
+			Pinned:      cfg.Pinned,
 		})
 		if err != nil {
 			return results, err

@@ -43,8 +43,15 @@ func (r *ring[T]) grow(top, bottom int64) *ring[T] {
 // compare-and-swap. Go's sync/atomic operations are sequentially
 // consistent, which satisfies the fence requirements of the original
 // algorithm.
+// top is padded away from bottom and buf: thieves hammer top with
+// loads and CASes while the owner updates bottom on every push/pop,
+// and with all three words on one line every steal attempt would
+// invalidate the owner's line (and vice versa). Splitting them keeps
+// the owner's hot push/pop traffic on a line thieves only read when
+// sizing a batch.
 type ChaseLev[T any] struct {
 	top    atomic.Int64
+	_      [56]byte // rest of top's cache line (64 - 8)
 	bottom atomic.Int64
 	buf    atomic.Pointer[ring[T]]
 }

@@ -1,0 +1,46 @@
+package forkjoin
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// allocsPerTaskRun measures the average heap allocations of one
+// Parallel region in which member 0 submits tasks deferred tasks,
+// after the team's freelists are warm.
+func allocsPerTaskRun(tm *Team, tasks int, body func(*Ctx)) float64 {
+	run := func() {
+		tm.Parallel(func(tc *Ctx) {
+			if tc.ID() != 0 {
+				return
+			}
+			for i := 0; i < tasks; i++ {
+				tc.Task(body)
+			}
+			tc.Taskwait()
+		})
+	}
+	for i := 0; i < 5; i++ {
+		run()
+	}
+	return testing.AllocsPerRun(10, run)
+}
+
+// TestTaskZeroAlloc proves deferred-task records recycle through the
+// member arenas: quadrupling the task count must not move the per-run
+// allocation count (the fixed region overhead cancels in the
+// differential).
+func TestTaskZeroAlloc(t *testing.T) {
+	tm := NewTeam(2)
+	defer tm.Close()
+	var sink atomic.Int64
+	body := func(*Ctx) { sink.Add(1) }
+
+	small := allocsPerTaskRun(tm, 64, body)
+	big := allocsPerTaskRun(tm, 256, body)
+	perTask := (big - small) / 192
+	if perTask > 0.05 {
+		t.Errorf("Task allocates: %.3f allocs/task (runs: %.1f @64 vs %.1f @256)",
+			perTask, small, big)
+	}
+}

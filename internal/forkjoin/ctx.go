@@ -201,9 +201,17 @@ type taskNode struct {
 }
 
 // task is one explicit task: a body plus its node in the task tree.
+// The node is embedded (node normally points at own), and finished
+// records are recycled through the executing member's freelist
+// (member.alloc / member.recycle), so in steady state an OpenMP-style
+// task creation allocates nothing. Dependency tasks keep standalone
+// nodes (their depTask graph outlives any one record), so for them
+// node points elsewhere and own stays unused.
 type task struct {
 	fn   func(*Ctx)
 	node *taskNode
+	next *task // freelist link while recycled
+	own  taskNode
 }
 
 // Task creates an explicit task — the OpenMP "task" construct. Under
@@ -215,15 +223,17 @@ func (tc *Ctx) Task(fn func(*Ctx)) {
 	t := tc.m.team
 	tc.m.st.CountSpawn()
 	tc.m.ring.Record(tracez.KindSpawn, 0, 0)
-	node := &taskNode{parent: tc.m.cur}
+	tk := tc.m.alloc()
+	tk.fn = fn
+	tk.node = &tk.own
+	tk.own.parent = tc.m.cur
 	tc.m.cur.children.Add(1)
+	t.outstanding.Add(1)
 	if t.opts.Policy == TaskImmediate {
-		t.outstanding.Add(1)
-		tc.m.execute(tc, &task{fn: fn, node: node})
+		tc.m.execute(tc, tk)
 		return
 	}
-	t.outstanding.Add(1)
-	tc.m.dq.PushBottom(&task{fn: fn, node: node})
+	tc.m.dq.PushBottom(tk)
 }
 
 // Taskwait blocks until every child task created by the current task

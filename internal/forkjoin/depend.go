@@ -119,27 +119,30 @@ func (tc *Ctx) TaskDepend(deps Deps, fn func(*Ctx)) {
 // (the creator at first enqueue, or whichever member completed the
 // last predecessor), since only a deque's owner may push to it.
 func (dt *depTask) enqueue(m *member) {
-	m.dq.PushBottom(&task{
-		node: dt.node,
-		fn: func(tc *Ctx) {
-			dt.fn(tc)
-			// Completion: release successors under the domain lock.
-			dt.dom.mu.Lock()
-			dt.done = true
-			var ready []*depTask
-			for _, s := range dt.succs {
-				s.waitCount--
-				if s.waitCount == 0 {
-					ready = append(ready, s)
-				}
+	// The wrapper record comes from m's arena, but its node is the
+	// depTask's standalone node (own stays unused): the dependency
+	// graph references nodes beyond any single record's lifetime.
+	tk := m.alloc()
+	tk.node = dt.node
+	tk.fn = func(tc *Ctx) {
+		dt.fn(tc)
+		// Completion: release successors under the domain lock.
+		dt.dom.mu.Lock()
+		dt.done = true
+		var ready []*depTask
+		for _, s := range dt.succs {
+			s.waitCount--
+			if s.waitCount == 0 {
+				ready = append(ready, s)
 			}
-			dt.succs = nil
-			dt.dom.mu.Unlock()
-			for _, s := range ready {
-				s.enqueue(tc.m)
-			}
-		},
-	})
+		}
+		dt.succs = nil
+		dt.dom.mu.Unlock()
+		for _, s := range ready {
+			s.enqueue(tc.m)
+		}
+	}
+	m.dq.PushBottom(tk)
 }
 
 // depDomain lazily creates the dependency table attached to a task

@@ -71,6 +71,10 @@ type Options struct {
 	// (task/chunk spans, spawns, steals, barrier waits). Nil disables
 	// tracing; the hot paths then pay only a nil check.
 	Tracer *tracez.Tracer
+	// PinWorkers locks members 1..n-1 to OS threads
+	// (runtime.LockOSThread) for the life of the team. Member 0 is the
+	// caller's goroutine and is never pinned by the team.
+	PinWorkers bool
 }
 
 // Option configures a Team at construction. The legacy Options struct
@@ -119,6 +123,15 @@ func WithTracer(tr *tracez.Tracer) Option {
 	return teamOption(func(o *Options) { o.Tracer = tr })
 }
 
+// WithPinnedWorkers locks each persistent member goroutine (members
+// 1..n-1) to an OS thread for the life of the team, so members keep
+// their caches instead of migrating between threads at the Go
+// scheduler's whim. Member 0 is the calling goroutine and is never
+// pinned by the team (pin it yourself if the master must not move).
+func WithPinnedWorkers(on bool) Option {
+	return teamOption(func(o *Options) { o.PinWorkers = on })
+}
+
 // Team is a fixed-size group of workers executing parallel regions.
 // The calling goroutine acts as member 0 (the master); members
 // 1..n-1 are persistent goroutines that block between regions, so a
@@ -135,12 +148,27 @@ type Team struct {
 	members []*member
 	stats   *sched.Stats
 
-	criticalMu  sync.Mutex
-	execMu      sync.Mutex       // serializes Executor-surface regions
-	async       sched.AsyncGroup // in-flight SubmitCtx tasks, joined by Quiesce
-	outstanding atomic.Int64     // live explicit tasks
-	inRegion    atomic.Bool      // guards against nested/concurrent Parallel
-	closed      atomic.Bool
+	criticalMu sync.Mutex
+	execMu     sync.Mutex       // serializes Executor-surface regions
+	async      sched.AsyncGroup // in-flight SubmitCtx tasks, joined by Quiesce
+	inRegion   atomic.Bool      // guards against nested/concurrent Parallel
+	closed     atomic.Bool
+
+	// freeMu guards the team-wide overflow freelist that member arenas
+	// spill to and refill from, so task records stolen cross-member
+	// circulate back to whoever allocates next. Touched only when a
+	// local list runs dry or overflows.
+	freeMu    sync.Mutex
+	freeList  *task
+	freeCount int
+
+	// outstanding is bumped twice per explicit task, by whichever
+	// members create and finish it; padded onto its own cache line so
+	// that per-task traffic doesn't false-share with the locks and
+	// flags above (closed and inRegion are read on every region entry).
+	_           [sched.CacheLine]byte
+	outstanding atomic.Int64 // live explicit tasks
+	_           [sched.CacheLine - 8]byte
 
 	wg sync.WaitGroup
 }
@@ -157,6 +185,12 @@ type member struct {
 	cur  *taskNode     // node whose children a taskwait would join
 	reg  *sched.Region // cancellation state of the region being run
 	ring *tracez.Ring  // nil unless the team was built WithTracer
+
+	// free is the member-local task arena: records recycled by execute
+	// and reused by alloc. Capped at maxFreeTasks with overflow spilled
+	// to the team-wide list. Owner-only, like dq's bottom end.
+	free  *task
+	nfree int
 }
 
 // region is the shared state of one parallel region: the body, the
@@ -218,6 +252,11 @@ func NewTeam(n int, options ...Option) *Team {
 		t.wg.Add(1)
 		m := t.members[i]
 		go func() {
+			if opts.PinWorkers {
+				// Pin for the goroutine's whole life; the lock dies with
+				// the goroutine when loop returns at Close.
+				runtime.LockOSThread()
+			}
 			// pprof label the member goroutine so CPU profiles split by
 			// runtime and member, not one anonymous goroutine blob.
 			// Member 0 is the caller's goroutine and keeps its labels.
@@ -227,6 +266,106 @@ func NewTeam(n int, options ...Option) *Team {
 		}()
 	}
 	return t
+}
+
+// maxFreeTasks caps each member-local freelist; freeTransfer is the
+// batch moved between a local list and the team-wide overflow list;
+// maxTeamFree caps the team-wide list, beyond which records are
+// dropped for the GC.
+const (
+	maxFreeTasks = 256
+	freeTransfer = 64
+	maxTeamFree  = 4096
+)
+
+// alloc returns a task record from the member's arena, refilling from
+// the team-wide overflow list when the local list is dry; a fresh heap
+// allocation is the last resort. Only the member's own goroutine may
+// call it.
+func (m *member) alloc() *task {
+	if m.free == nil {
+		m.refill()
+	}
+	if tk := m.free; tk != nil {
+		m.free = tk.next
+		m.nfree--
+		tk.next = nil
+		return tk
+	}
+	return new(task)
+}
+
+// recycle returns tk to the executing member's arena — the
+// return-to-executor rule, matching worksteal's. It must run after
+// execute's final bookkeeping: at that point no deque can yield tk
+// again, and if the embedded node was exposed to children (node ==
+// &own) it is reset only when their count has drained to zero — the
+// atomic load ordering the last child's decrement before the reset.
+// A record whose embedded node still has live children (a task that
+// returned without joining deferred children) is left for the GC.
+func (m *member) recycle(tk *task) {
+	if tk.node == &tk.own {
+		if tk.own.children.Load() != 0 {
+			return
+		}
+		tk.own = taskNode{}
+	}
+	tk.fn, tk.node = nil, nil
+	if m.nfree >= maxFreeTasks {
+		m.spill()
+	}
+	tk.next = m.free
+	m.free = tk
+	m.nfree++
+}
+
+// refill moves up to freeTransfer records from the team-wide list to
+// m's; batching keeps the shared lock off the per-task path.
+func (m *member) refill() {
+	t := m.team
+	t.freeMu.Lock()
+	n := 0
+	for n < freeTransfer && t.freeList != nil {
+		tk := t.freeList
+		t.freeList = tk.next
+		tk.next = m.free
+		m.free = tk
+		n++
+	}
+	t.freeCount -= n
+	t.freeMu.Unlock()
+	m.nfree += n
+}
+
+// spill moves a freeTransfer batch from m's overfull local list to
+// the team-wide list (or drops it for the GC when that list is full),
+// so a member that executes far more than it creates hands records
+// back to the creators.
+func (m *member) spill() {
+	var head, tail *task
+	n := 0
+	for n < freeTransfer && m.free != nil {
+		tk := m.free
+		m.free = tk.next
+		tk.next = head
+		if head == nil {
+			tail = tk
+		}
+		head = tk
+		n++
+	}
+	m.nfree -= n
+	if head == nil {
+		return
+	}
+	t := m.team
+	t.freeMu.Lock()
+	if t.freeCount+n <= maxTeamFree {
+		tail.next = t.freeList
+		t.freeList = head
+		t.freeCount += n
+	}
+	t.freeMu.Unlock()
 }
 
 // Size reports the number of team members.
@@ -325,8 +464,14 @@ func (m *member) runRegion(r *region) {
 		r.fn(tc)
 	}()
 	// Region end: help until every explicit task in the region has
-	// finished, then join the implicit barrier.
+	// finished, then join the implicit barrier. Hand the hoard beyond a
+	// one-refill stash back to the team list on the way out, so records
+	// drained here flow back to whichever member spawns in the next
+	// region instead of waiting for the maxFreeTasks cap.
 	m.drainAllTasks(tc)
+	for m.nfree > freeTransfer {
+		m.spill()
+	}
 	m.st.CountBarrierWait()
 	m.ring.Record(tracez.KindBarrierStart, 0, 0)
 	m.team.barrier.Wait()
@@ -406,4 +551,5 @@ func (m *member) execute(tc *Ctx, tk *task) {
 	m.ring.Record(tracez.KindTaskEnd, 0, 0)
 	tk.node.parent.children.Add(-1)
 	m.team.outstanding.Add(-1)
+	m.recycle(tk) // nothing can reach tk now; see recycle's safety note
 }

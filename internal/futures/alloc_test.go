@@ -1,0 +1,45 @@
+package futures
+
+import (
+	"testing"
+	"time"
+)
+
+// TestReadyFastPathZeroAlloc proves the resolved-future fast path is
+// allocation-free: Ready, Get, and WaitFor on a delivered future touch
+// only the fused state.
+func TestReadyFastPathZeroAlloc(t *testing.T) {
+	p := NewPromise[int]()
+	p.Set(42)
+	f := p.Future()
+	allocs := testing.AllocsPerRun(1000, func() {
+		if !f.Ready() {
+			t.Fatal("future not ready")
+		}
+		if v, err := f.Get(); err != nil || v != 42 {
+			t.Fatalf("Get = %d, %v", v, err)
+		}
+		if !f.WaitFor(time.Millisecond) {
+			t.Fatal("WaitFor = false on ready future")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("resolved-future fast path allocates: %.1f allocs/op", allocs)
+	}
+}
+
+// TestNewPromiseFusedAlloc pins the promise/future/state fusion: one
+// box plus the completion channel, so a full NewPromise → Set →
+// Future → Get round trip stays at two allocations.
+func TestNewPromiseFusedAlloc(t *testing.T) {
+	allocs := testing.AllocsPerRun(1000, func() {
+		p := NewPromise[int]()
+		p.Set(7)
+		if v, err := p.Future().Get(); err != nil || v != 7 {
+			t.Fatalf("Get = %d, %v", v, err)
+		}
+	})
+	if allocs > 2 {
+		t.Errorf("NewPromise round trip allocates %.1f (want <= 2: box + channel)", allocs)
+	}
+}

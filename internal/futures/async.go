@@ -43,18 +43,37 @@ func Async[T any](policy Policy, fn func() (T, error)) *Future[T] {
 		return fn()
 	}
 	if policy == LaunchDeferred {
-		return &Future[T]{st: newFutureState[T](), deferredOnce: &sync.Once{}, deferredFn: safe}
+		b := &deferredBox[T]{}
+		b.st.done = make(chan struct{})
+		b.fut = Future[T]{st: &b.st, deferredOnce: &b.once, deferredFn: safe}
+		return &b.fut
 	}
-	p := NewPromise[T]()
+	// The async path delivers straight into a fused state+future
+	// record — no intermediate Promise, and one heap object (plus the
+	// done channel) instead of four.
+	b := &asyncBox[T]{}
+	b.st.done = make(chan struct{})
+	b.fut.st = &b.st
 	go func() {
 		v, err := safe()
-		if err != nil {
-			p.SetError(err)
-			return
-		}
-		p.Set(v)
+		b.st.deliver(v, err, true)
 	}()
-	return p.Future()
+	return &b.fut
+}
+
+// asyncBox fuses an Async future's handle and shared state into one
+// allocation.
+type asyncBox[T any] struct {
+	fut Future[T]
+	st  futureState[T]
+}
+
+// deferredBox additionally embeds the once guarding the deferred
+// function's single execution.
+type deferredBox[T any] struct {
+	fut  Future[T]
+	st   futureState[T]
+	once sync.Once
 }
 
 // PackagedTask wraps a function so that invoking it fulfills an

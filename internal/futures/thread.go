@@ -154,15 +154,37 @@ type Future[T any] struct {
 // be called. A Promise produces a single Future via Future.
 type Promise[T any] struct {
 	st *futureState[T]
+	// fut is the fused future handle (see promiseBox); Future hands it
+	// out instead of allocating per call.
+	fut *Future[T]
+}
+
+// promiseBox fuses a promise, its future handle, and their shared
+// state into one allocation, so the promise/future pair costs one
+// heap object plus the done channel instead of four.
+type promiseBox[T any] struct {
+	p   Promise[T]
+	fut Future[T]
+	st  futureState[T]
 }
 
 // NewPromise returns an unfulfilled promise.
 func NewPromise[T any]() *Promise[T] {
-	return &Promise[T]{st: newFutureState[T]()}
+	b := &promiseBox[T]{}
+	b.st.done = make(chan struct{})
+	b.fut.st = &b.st
+	b.p.st = &b.st
+	b.p.fut = &b.fut
+	return &b.p
 }
 
 // Future returns the future associated with this promise.
 func (p *Promise[T]) Future() *Future[T] {
+	if p.fut != nil {
+		return p.fut
+	}
+	// A Promise built outside NewPromise (zero value plus manual state)
+	// has no fused handle; fall back to a fresh one.
 	return &Future[T]{st: p.st}
 }
 

@@ -95,6 +95,10 @@ type Config struct {
 	// Balancer names the resolver's balancer when Shards is non-zero:
 	// round-robin (default), random, least-loaded, or affinity.
 	Balancer string
+	// Pinned locks the pooled runtimes' worker goroutines to OS
+	// threads (see models.WithPinnedWorkers). Models without durable
+	// workers ignore it.
+	Pinned bool
 }
 
 // DefaultThreads returns the default sweep {1, 2, 4, ...} up to twice
@@ -213,7 +217,8 @@ func RunCtx(ctx context.Context, e *Experiment, cfg Config) (*Result, error) {
 			m, err := models.New(name, threads,
 				models.WithPartitioner(cfg.Partitioner), models.WithGrain(cfg.Grain),
 				models.WithTracer(cfg.Tracer),
-				models.WithShardCount(cfg.Shards), models.WithShardBalancer(cfg.Balancer))
+				models.WithShardCount(cfg.Shards), models.WithShardBalancer(cfg.Balancer),
+				models.WithPinnedWorkers(cfg.Pinned))
 			if err != nil {
 				return nil, err
 			}

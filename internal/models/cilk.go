@@ -34,7 +34,8 @@ func newWorkstealPool(threads int, cfg config) *worksteal.Pool {
 	return worksteal.NewPool(threads,
 		worksteal.WithDequeKind(deque.KindChaseLev),
 		worksteal.WithPartitioner(cfg.partitioner),
-		worksteal.WithTracer(cfg.tracer))
+		worksteal.WithTracer(cfg.tracer),
+		worksteal.WithPinnedWorkers(cfg.pinned))
 }
 
 // NewCilkForPartitioner returns a cilk_for model whose loops are

@@ -141,6 +141,7 @@ type config struct {
 	tracer      *tracez.Tracer
 	shards      int
 	balancer    string
+	pinned      bool
 }
 
 // WithPartitioner selects the loop partitioner used by the
@@ -190,13 +191,26 @@ func WithShardBalancer(name string) Option {
 	return optionFunc(func(c *config) { c.balancer = name })
 }
 
+// WithPinnedWorkers locks the pooled runtimes' worker goroutines to
+// OS threads (runtime.LockOSThread) for the life of the model: pool
+// workers for cilk_for/cilk_spawn, members 1..n-1 for
+// omp_for/omp_task (member 0 is the caller's goroutine), and every
+// shard's workers for the sharded forms. The thread-per-chunk models
+// (cpp_*) ignore this option — their threads are born and die with
+// each chunk, so there is nothing durable to pin.
+func WithPinnedWorkers(on bool) Option {
+	return optionFunc(func(c *config) { c.pinned = on })
+}
+
 // factories maps model names to constructors.
 var factories = map[string]func(threads int, cfg config) Model{
 	OMPFor: func(t int, cfg config) Model {
-		return NewOMPForWithOptions(t, forkjoin.WithTracer(cfg.tracer))
+		return NewOMPForWithOptions(t, forkjoin.WithTracer(cfg.tracer),
+			forkjoin.WithPinnedWorkers(cfg.pinned))
 	},
 	OMPTask: func(t int, cfg config) Model {
-		return NewOMPTaskWithOptions(t, forkjoin.WithTracer(cfg.tracer))
+		return NewOMPTaskWithOptions(t, forkjoin.WithTracer(cfg.tracer),
+			forkjoin.WithPinnedWorkers(cfg.pinned))
 	},
 	CilkFor: func(t int, cfg config) Model {
 		return &cilkFor{pool: newWorkstealPool(t, cfg), n: t, grain: cfg.grain}

@@ -111,7 +111,8 @@ func newSharded(base string, threads int, cfg config) (Model, error) {
 			offset += w + worksteal.MaxHelpers
 		case OMPFor, OMPTask:
 			execs = append(execs, forkjoin.NewTeam(w,
-				forkjoin.WithTracer(cfg.tracer.View(offset, prefix))))
+				forkjoin.WithTracer(cfg.tracer.View(offset, prefix)),
+				forkjoin.WithPinnedWorkers(cfg.pinned)))
 			offset += w
 		}
 	}

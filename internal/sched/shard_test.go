@@ -1,0 +1,38 @@
+package sched
+
+import (
+	"testing"
+	"unsafe"
+)
+
+// TestShardPadding pins the layout contract of the per-worker counter
+// shards: every Shard occupies a whole number of cache-line pairs, so
+// shards laid out contiguously by NewStats never share a line (nor an
+// adjacent-prefetch pair). The pad inside Shard is computed from
+// unsafe.Sizeof(shardCounters{}) at compile time, so adding a counter
+// can never overflow it — but a change to the pad formula or to
+// CacheLine could, and this test catches that.
+func TestShardPadding(t *testing.T) {
+	size := unsafe.Sizeof(Shard{})
+	if size%(2*CacheLine) != 0 {
+		t.Errorf("Shard size = %d, want a multiple of %d (two cache lines)", size, 2*CacheLine)
+	}
+	inner := unsafe.Sizeof(shardCounters{})
+	if size < inner {
+		t.Errorf("Shard size = %d smaller than its counters (%d)", size, inner)
+	}
+	if size-inner >= 2*CacheLine {
+		t.Errorf("Shard pad = %d, want < %d (pad formula should round up to the next pair, not add a full spare pair)", size-inner, 2*CacheLine)
+	}
+	if a := unsafe.Alignof(Shard{}); a < unsafe.Alignof(int64(0)) {
+		t.Errorf("Shard alignment = %d, want >= %d", a, unsafe.Alignof(int64(0)))
+	}
+
+	// Adjacent shards in a Stats slice must start 2*CacheLine apart or
+	// more — the property the padding exists to provide.
+	s := NewStats(2)
+	a, b := uintptr(unsafe.Pointer(s.Shard(0))), uintptr(unsafe.Pointer(s.Shard(1)))
+	if d := b - a; d < 2*CacheLine {
+		t.Errorf("adjacent shards %d bytes apart, want >= %d", d, 2*CacheLine)
+	}
+}

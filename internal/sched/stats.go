@@ -1,6 +1,15 @@
 package sched
 
-import "sync/atomic"
+import (
+	"sync/atomic"
+	"unsafe"
+)
+
+// CacheLine is the assumed cache-line size in bytes. Hot structs that
+// are written by different workers are padded in units of this so
+// their stores do not false-share; 64 covers every platform this
+// module targets (x86-64 and arm64 both use 64-byte lines).
+const CacheLine = 64
 
 // Stats aggregates scheduler event counters, sharded per worker so
 // that hot paths (a counter bump per spawned task) never contend on a
@@ -13,9 +22,12 @@ type Stats struct {
 	shards []Shard
 }
 
-// Shard is one worker's private counter block, padded to its own
-// cache lines.
-type Shard struct {
+// shardCounters holds one worker's counters. It is separated from
+// Shard so the pad below can be computed from its size at compile
+// time: adding a counter grows the struct and shrinks the pad
+// automatically instead of silently overflowing a fixed-size pad and
+// reintroducing false sharing between adjacent shards.
+type shardCounters struct {
 	tasksExecuted atomic.Int64
 	spawns        atomic.Int64
 	steals        atomic.Int64
@@ -27,7 +39,16 @@ type Shard struct {
 	batchSteals   atomic.Int64
 	batchStolen   atomic.Int64
 	helpFirst     atomic.Int64
-	_             [64]byte
+}
+
+// Shard is one worker's private counter block. The trailing pad rounds
+// the struct up to a multiple of two cache lines, so shards laid out
+// contiguously in Stats never share a line — two lines rather than
+// one, because adjacent-line prefetchers pull neighbouring lines into
+// the same coherence traffic. shard_test.go asserts the invariant.
+type Shard struct {
+	shardCounters
+	_ [(2*CacheLine - unsafe.Sizeof(shardCounters{})%(2*CacheLine)) % (2 * CacheLine)]byte
 }
 
 // NewStats returns counters with one shard per worker.

@@ -21,10 +21,17 @@ var ErrClosed = errors.New("shard: resolver is closed")
 // reach zero. The inc-then-check-retired order in acquire pairs with
 // the set-retired-then-read-inflight order in Drain so a dispatch
 // never lands on a shard whose drain already observed it idle.
+// inflight is padded onto its own cache line: every dispatch and
+// completion on a shard bumps it, and handles are allocated together
+// by the balancer-facing slices, so unpadded counters of neighbouring
+// shards (and the id/exec words every acquire reads) would false-share.
 type handle struct {
-	id       int
-	exec     Executor
+	id   int
+	exec Executor
+
+	_        [sched.CacheLine]byte
 	inflight atomic.Int64
+	_        [sched.CacheLine - 8]byte
 	retired  atomic.Bool
 }
 

@@ -37,11 +37,30 @@ func (c *Ctx) Canceled() bool { return c.reg.Canceled() }
 // region, so spawning into a canceled run queues tasks that drain
 // without executing.
 func (c *Ctx) Spawn(fn func(*Ctx)) {
+	t := c.worker.alloc()
+	t.fn, t.parent, t.reg = fn, c.frame, c.reg
+	c.push(t)
+}
+
+// spawnRange schedules body over [lo, hi) as a child task without
+// materializing a closure: the arena'd task record itself is the
+// chunk descriptor (run re-enters the partitioner loop from it), so
+// ForDAC decomposition allocates nothing in steady state.
+func (c *Ctx) spawnRange(lo, hi, grain int, lazy bool, body func(cc *Ctx, l, h int)) {
+	t := c.worker.alloc()
+	t.body, t.lo, t.hi, t.grain, t.lazy = body, lo, hi, grain, lazy
+	t.parent, t.reg = c.frame, c.reg
+	c.push(t)
+}
+
+// push enqueues a prepared child task on the executing worker's deque
+// with the shared spawn bookkeeping.
+func (c *Ctx) push(t *task) {
 	c.frame.pending.Add(1)
 	c.worker.st.CountSpawn()
 	c.worker.ring.Record(tracez.KindSpawn, 0, 0)
 	c.pool.pending.Add(1)
-	c.worker.dq.PushBottom(&task{fn: fn, parent: c.frame, reg: c.reg})
+	c.worker.dq.PushBottom(t)
 	c.pool.signalWork()
 }
 

@@ -115,10 +115,9 @@ func (c *Ctx) forLazy(lo, hi, grain int, body func(cc *Ctx, l, h int)) {
 		}
 		if hi-lo > grain && c.worker.dq.Len() == 0 && c.pool.demand() {
 			mid := lo + (hi-lo)/2
-			l, h := mid, hi
 			c.worker.st.CountLazySplit()
-			c.worker.ring.Record(tracez.KindLazySplit, int64(l), int64(h))
-			c.Spawn(func(cc *Ctx) { cc.forLazy(l, h, grain, body) })
+			c.worker.ring.Record(tracez.KindLazySplit, int64(mid), int64(hi))
+			c.spawnRange(mid, hi, grain, true, body)
 			hi = mid
 			continue
 		}
@@ -143,11 +142,10 @@ func (c *Ctx) forDAC(lo, hi, grain int, body func(cc *Ctx, l, h int)) {
 			return
 		}
 		mid := lo + (hi-lo)/2
-		l, h := mid, hi
-		c.Spawn(func(cc *Ctx) {
-			cc.forDAC(l, h, grain, body)
-			// Implicit sync at task return joins nested spawns.
-		})
+		// The upper half becomes a range task that re-enters forDAC on
+		// whichever worker runs it; its implicit sync at task return
+		// joins the nested spawns, as the closure form used to.
+		c.spawnRange(mid, hi, grain, false, body)
 		hi = mid
 	}
 	if c.reg.Canceled() {

@@ -41,14 +41,24 @@ import (
 	"threading/internal/tracez"
 )
 
-// task is one schedulable unit: a closure plus the frame whose Sync
-// is waiting on it and the cancellation region of the Run it belongs
-// to. The task's own frame and context are embedded so that a spawn
-// costs one allocation for the whole record.
+// task is one schedulable unit, in one of two shapes: a plain closure
+// (fn), the cilk_spawn form; or a loop-range descriptor (body over
+// [lo, hi) at grain), the ForDAC form — so chunk spawns carry their
+// range in the record instead of in a per-chunk closure. The task's
+// own frame and context are embedded, and finished records are
+// recycled through the executing worker's freelist (worker.alloc /
+// worker.recycle), so in steady state a spawn allocates nothing: the
+// record cycles between the arena and the deques for the life of the
+// pool.
 type task struct {
-	fn     func(*Ctx)
+	fn     func(*Ctx)           // closure body; nil for range tasks
+	body   func(*Ctx, int, int) // range body; nil for closure tasks
+	lo, hi int                  // range bounds (body != nil)
+	grain  int                  // range grain (body != nil)
+	lazy   bool                 // range runs under the lazy partitioner
 	parent *frame
 	reg    *sched.Region
+	next   *task // freelist link while recycled
 	own    frame
 	ctx    Ctx
 }
@@ -75,18 +85,38 @@ const stealBatch = 16
 
 // worker is one scheduler participant: a dedicated pool worker, or a
 // help-first helper animated by a goroutine that called RunCtx.
+//
+// Layout: the fields above the pad are owner-only — touched solely by
+// the goroutine animating the worker (for helper slots, ownership is
+// transferred by the helperBusy CAS). parked and parker below the pad
+// are written by other workers (unparkOne's CAS, Parker.Unpark) and
+// would otherwise false-share with the owner's per-task deque and
+// freelist accesses.
 type worker struct {
-	id     int
-	pool   *Pool
-	dq     deque.Deque[task]
-	rng    *sched.Rand
-	st     *sched.Shard
+	id   int
+	pool *Pool
+	dq   deque.Deque[task]
+	rng  *sched.Rand
+	st   *sched.Shard
+	help bool         // a help-first submitter slot, not a dedicated worker
+	ring *tracez.Ring // nil unless the pool was built WithTracer
+
+	// free is the worker-local task arena: records recycled by run and
+	// handed back out by alloc. Capped at maxFreeTasks; overflow spills
+	// to the pool-wide list so records stolen cross-worker circulate
+	// back to the spawners.
+	free  *task
+	nfree int
+
+	// stealBuf is the scratch buffer for StealHalf visits. findWork
+	// re-nils every slot it filled before returning, so a dead run's
+	// tasks are not pinned — and recycled records are not kept
+	// reachable — by a stale buffer entry.
+	stealBuf [stealBatch]*task
+
+	_      [sched.CacheLine]byte
 	parker sched.Parker
 	parked atomic.Bool
-	help   bool        // a help-first submitter slot, not a dedicated worker
-	ring   *tracez.Ring // nil unless the pool was built WithTracer
-
-	stealBuf [stealBatch]*task
 }
 
 // MaxHelpers is the number of help-first submitter slots per pool:
@@ -117,6 +147,12 @@ type Options struct {
 	// (task/chunk spans, spawns, steals, parks). Nil disables tracing;
 	// the hot paths then pay only a nil check.
 	Tracer *tracez.Tracer
+	// PinWorkers locks each dedicated worker goroutine to an OS thread
+	// (runtime.LockOSThread) for the life of the pool, preventing the
+	// Go scheduler from migrating workers between threads mid-run.
+	// Help-first helper slots are animated by submitter goroutines and
+	// are never pinned.
+	PinWorkers bool
 }
 
 // Option configures a Pool at construction. The legacy Options struct
@@ -157,6 +193,15 @@ func WithTracer(tr *tracez.Tracer) Option {
 	return poolOption(func(o *Options) { o.Tracer = tr })
 }
 
+// WithPinnedWorkers locks each dedicated worker goroutine to an OS
+// thread for the life of the pool, so workers keep their caches and
+// (on NUMA machines) their memory locality instead of migrating
+// between threads at the Go scheduler's whim. Help-first helper slots
+// are animated by submitter goroutines and are never pinned.
+func WithPinnedWorkers(on bool) Option {
+	return poolOption(func(o *Options) { o.PinWorkers = on })
+}
+
 const defaultSpin = 32
 
 // Pool is a work-stealing scheduler with a fixed set of workers.
@@ -171,12 +216,30 @@ type Pool struct {
 	spin    int
 	part    Partitioner
 
-	helperBusy  [MaxHelpers]atomic.Bool
+	helperBusy [MaxHelpers]atomic.Bool
+	closed     atomic.Bool
+	async      sched.AsyncGroup // in-flight SubmitCtx tasks, joined by Quiesce
+
+	// freeMu guards the pool-wide overflow freelist that worker arenas
+	// spill to and refill from, so task records stolen cross-worker
+	// (and hence recycled by the thief, not the spawner) circulate back
+	// to whoever allocates next. Touched only when a local list runs
+	// dry or overflows.
+	freeMu    sync.Mutex
+	freeList  *task
+	freeCount int
+
+	// Shared hot counters, each padded onto its own cache line: every
+	// spawn and every take bumps pending, every idle transition bumps
+	// searching or parkedCount — packed together (as they used to be)
+	// the three lines' traffic collapses onto one contended line.
+	_           [sched.CacheLine]byte
 	pending     atomic.Int64 // queued-but-not-taken tasks (conservative)
+	_           [sched.CacheLine - 8]byte
 	searching   atomic.Int64 // workers in the idle find-work phase
+	_           [sched.CacheLine - 8]byte
 	parkedCount atomic.Int64 // workers currently parked (or about to)
-	closed      atomic.Bool
-	async       sched.AsyncGroup // in-flight SubmitCtx tasks, joined by Quiesce
+	_           [sched.CacheLine - 8]byte
 
 	wg sync.WaitGroup
 }
@@ -233,6 +296,12 @@ func NewPool(n int, options ...Option) *Pool {
 	for _, w := range p.workers {
 		p.wg.Add(1)
 		go func() {
+			if opts.PinWorkers {
+				// Pin for the goroutine's whole life; the lock dies with
+				// the goroutine when loop returns at Close, so no
+				// UnlockOSThread pairing is needed.
+				runtime.LockOSThread()
+			}
 			// pprof label the worker goroutine so CPU profiles split by
 			// runtime and worker, not one anonymous goroutine blob.
 			pprof.Do(context.Background(), pprof.Labels(
@@ -241,6 +310,124 @@ func NewPool(n int, options ...Option) *Pool {
 		}()
 	}
 	return p
+}
+
+// maxFreeTasks caps each worker-local freelist; freeTransfer is the
+// batch moved between a local list and the pool-wide overflow list;
+// maxPoolFree caps the pool-wide list, beyond which records are
+// dropped for the GC — the bound that keeps a spawn storm from
+// hoarding memory forever.
+const (
+	maxFreeTasks = 256
+	freeTransfer = 64
+	maxPoolFree  = 4096
+)
+
+// alloc returns a task record from the worker's arena, refilling from
+// the pool-wide overflow list when the local list is dry; a fresh heap
+// allocation is the last resort (cold start, or churn beyond every
+// cap). Only the goroutine animating w may call it.
+func (w *worker) alloc() *task {
+	if w.free == nil {
+		w.refill()
+	}
+	if t := w.free; t != nil {
+		w.free = t.next
+		w.nfree--
+		t.next = nil
+		return t
+	}
+	return new(task)
+}
+
+// recycle resets t and returns it to the executing worker's arena.
+//
+// Ownership rule: a record is recycled by whichever worker *ran* it
+// (return-to-executor), after run has signalled the parent. At that
+// point no deque can yield t again — the take that delivered it
+// already advanced past its slot, and a stale Chase-Lev ring slot is
+// never dereferenced without winning the top CAS, which can no longer
+// name t's index. The only possible straggler is a child's childDone
+// still loading t.own.waiter; the frame's fields are accessed
+// atomically for the record's entire life (recycle resets the waiter
+// with an atomic store and never rewrites the frame wholesale), so
+// that straggler at worst spuriously unparks the record's next owner,
+// whose park loops all recheck their condition.
+func (w *worker) recycle(t *task) {
+	t.fn, t.body = nil, nil // don't pin dead closures through the arena
+	t.parent, t.reg = nil, nil
+	t.ctx = Ctx{}
+	t.own.waiter.Store(nil) // pending already drained by the implicit sync
+	if w.nfree >= maxFreeTasks {
+		w.spill()
+	}
+	t.next = w.free
+	w.free = t
+	w.nfree++
+}
+
+// refill moves up to freeTransfer records from the pool-wide list to
+// w's. Batching keeps the shared lock off the per-spawn path: it is
+// taken once per freeTransfer allocations at worst.
+func (w *worker) refill() {
+	p := w.pool
+	p.freeMu.Lock()
+	n := 0
+	for n < freeTransfer && p.freeList != nil {
+		t := p.freeList
+		p.freeList = t.next
+		t.next = w.free
+		w.free = t
+		n++
+	}
+	p.freeCount -= n
+	p.freeMu.Unlock()
+	w.nfree += n
+}
+
+// spill moves a freeTransfer batch from w's overfull local list to the
+// pool-wide list, so a worker that executes far more than it spawns
+// (the thief side of a steal-heavy run) hands records back to the
+// spawners instead of hoarding them. When the pool-wide list is at
+// capacity too, the batch is dropped for the GC.
+func (w *worker) spill() {
+	var head, tail *task
+	n := 0
+	for n < freeTransfer && w.free != nil {
+		t := w.free
+		w.free = t.next
+		t.next = head
+		if head == nil {
+			tail = t
+		}
+		head = t
+		n++
+	}
+	w.nfree -= n
+	if head == nil {
+		return
+	}
+	p := w.pool
+	p.freeMu.Lock()
+	if p.freeCount+n <= maxPoolFree {
+		tail.next = p.freeList
+		p.freeList = head
+		p.freeCount += n
+	}
+	p.freeMu.Unlock()
+}
+
+// flushFree returns the hoard beyond a one-refill stash to the
+// pool-wide list. Called on the park path (cold by definition): a
+// thief that executed stolen tasks hands their records back to the
+// spawning side as soon as it goes idle, instead of hoarding them
+// until the maxFreeTasks cap forces a spill — without this, a
+// steady spawner next to mostly-idle thieves re-allocates every
+// record the thieves absorb until their hoards fill.
+func (w *worker) flushFree() {
+	for w.nfree > freeTransfer {
+		w.spill()
+	}
 }
 
 // Workers reports the number of dedicated workers in the pool (not
@@ -306,13 +493,18 @@ func (p *Pool) RunCtx(ctx context.Context, root func(*Ctx)) error {
 	reg := sched.NewRegion(ctx)
 	f := &frame{}
 	f.pending.Store(1)
-	t := &task{fn: root, parent: f, reg: reg}
 	if hw := p.claimHelper(); hw != nil {
+		// The root task comes from the claimed helper's arena — the
+		// helper goroutine owns that freelist for the duration — so a
+		// steady-state Run allocates only its region and root frame.
+		t := hw.alloc()
+		t.fn, t.parent, t.reg = root, f, reg
 		hw.ring.Record(tracez.KindHelpClaim, int64(hw.id-len(p.workers)), 0)
 		hw.run(t)
 		hw.syncFrame(f)
 		p.releaseHelper(hw)
 	} else {
+		t := &task{fn: root, parent: f, reg: reg}
 		p.pending.Add(1)
 		p.inbox.PushBottom(t)
 		p.signalWork()
@@ -385,6 +577,13 @@ func (w *worker) loop() {
 			searching = on
 			if on {
 				w.pool.searching.Add(1)
+				// Out of local work: hand the free-record hoard beyond a
+				// one-refill stash back to the pool list, so a thief's
+				// recycled records reach the spawning side promptly.
+				// flushFree is a no-op below the stash watermark, so this
+				// costs one locked batch per ~freeTransfer recycles at
+				// worst, not one per search episode.
+				w.flushFree()
 			} else {
 				w.pool.searching.Add(-1)
 			}
@@ -422,6 +621,7 @@ func (w *worker) loop() {
 			idle = 0
 			continue
 		}
+		w.flushFree()
 		w.st.CountPark()
 		w.ring.Record(tracez.KindPark, 0, 0)
 		w.parker.Park()
@@ -521,9 +721,10 @@ func (w *worker) syncFrame(f *frame) {
 }
 
 // run executes t with its embedded frame, waits for its children (the
-// implicit sync at task return, as in Cilk), and signals the parent.
-// A task whose run has been canceled skips its body but still syncs
-// and signals, so queued work drains and frames resolve.
+// implicit sync at task return, as in Cilk), signals the parent, and
+// recycles the record into w's arena. A task whose run has been
+// canceled skips its body but still syncs and signals, so queued work
+// drains and frames resolve (and their records are still reclaimed).
 func (w *worker) run(t *task) {
 	w.st.CountTask()
 	if w.help {
@@ -542,10 +743,22 @@ func (w *worker) run(t *task) {
 					t.reg.RecordPanic(r)
 				}
 			}()
-			t.fn(c)
+			if t.body != nil {
+				// Range task: re-enter the partitioner loop. The arena'd
+				// record is the chunk descriptor; no per-chunk closure
+				// ever existed.
+				if t.lazy {
+					c.forLazy(t.lo, t.hi, t.grain, t.body)
+				} else {
+					c.forDAC(t.lo, t.hi, t.grain, t.body)
+				}
+			} else {
+				t.fn(c)
+			}
 		}()
 	}
 	c.Sync() // implicit sync: children must not outlive the task
 	w.ring.Record(tracez.KindTaskEnd, 0, 0)
 	t.parent.childDone()
+	w.recycle(t) // nothing can reach t now; see recycle's safety note
 }

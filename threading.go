@@ -160,6 +160,29 @@ func WithTracer(tr *Tracer) TracerOption {
 // and NewTeam alike.
 func WithModelTracer(tr *Tracer) ModelOption { return models.WithTracer(tr) }
 
+// PinnedOption is the type of WithPinnedWorkers: a single option
+// accepted by NewModel, NewPool, and NewTeam, so one spelling pins any
+// runtime's workers.
+type PinnedOption interface {
+	ModelOption
+	PoolOption
+	TeamOption
+}
+
+// WithPinnedWorkers locks the runtime's durable worker goroutines to
+// OS threads (runtime.LockOSThread) for the runtime's life: pool
+// workers for the work-stealing runtimes, members 1..n-1 for fork-join
+// teams (member 0 is the caller's goroutine and is never pinned by the
+// team), and every shard's workers for the sharded model forms. Models
+// without durable workers (cpp_thread, cpp_async) ignore it.
+func WithPinnedWorkers(on bool) PinnedOption {
+	return struct {
+		ModelOption
+		PoolOption
+		TeamOption
+	}{models.WithPinnedWorkers(on), worksteal.WithPinnedWorkers(on), forkjoin.WithPinnedWorkers(on)}
+}
+
 // WriteTrace serializes a trace snapshot to path in the raw JSON
 // format cmd/traceview consumes.
 func WriteTrace(path string, tr *Trace) error { return tracez.WriteFile(path, tr) }
