@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race race-sched vet lint bench-smoke bench-loopdist bench-scaling bench-record bench-gate trace-smoke clean
+.PHONY: all build test race race-sched vet lint lint-fix bench-smoke bench-loopdist bench-scaling bench-record bench-gate trace-smoke clean
 
 all: build vet lint test bench-gate
 
@@ -25,10 +25,16 @@ vet:
 
 # threadvet: the repo's own go/analysis-style suite enforcing the
 # runtimes' concurrency contracts (joinleak, ctxdrop, lockspawn,
-# atomicmix, grainconst, legacyopts). Fails on any unsuppressed
-# diagnostic.
+# atomicmix, grainconst, legacyopts, lockorder, blockingtask,
+# racecapture, handlereuse). Fails on any unsuppressed diagnostic.
 lint:
 	$(GO) run ./cmd/threadvet ./...
+
+# Apply threadvet's suggested fixes in place (ctxdrop call rewrites,
+# redundant-Close deletion, ...) and report the findings that need a
+# human. Applying twice is a no-op.
+lint-fix:
+	$(GO) run ./cmd/threadvet -fix ./...
 
 # A fast, single-repetition pass over two figures — enough to catch a
 # harness regression without a full sweep. The raw samples land in

@@ -38,6 +38,12 @@ type Pass struct {
 	Files     []*ast.File
 	Pkg       *types.Package
 	TypesInfo *types.Info
+	// Facts carries analyzer facts across the packages of one run.
+	// The driver analyzes packages in dependency order with a shared
+	// store, so facts exported for a package's functions are visible
+	// when its dependents are analyzed. May be nil (single-package
+	// runs); Export/ImportObjectFact tolerate that.
+	Facts *FactStore
 	// Report delivers one diagnostic. The driver fills in suppression
 	// (ignore directives) and ordering.
 	Report func(Diagnostic)
@@ -57,6 +63,30 @@ type Diagnostic struct {
 	Pos      token.Pos
 	Analyzer string
 	Message  string
+	// SuggestedFixes are machine-applicable repairs for the finding,
+	// applied by `threadvet -fix`. A fix must leave the code free of
+	// the diagnostic that produced it (the driver enforces
+	// idempotence), and the first fix of each diagnostic is the one
+	// applied.
+	SuggestedFixes []SuggestedFix
+}
+
+// SuggestedFix is one self-contained repair: a set of non-overlapping
+// text edits within the diagnosed file.
+type SuggestedFix struct {
+	// Message says what applying the fix does ("pass ctx and call
+	// RunCtx").
+	Message string
+	// TextEdits are applied together. Edits must not overlap.
+	TextEdits []TextEdit
+}
+
+// TextEdit replaces the source in [Pos, End) with NewText. A
+// zero-width range (Pos == End) is an insertion.
+type TextEdit struct {
+	Pos     token.Pos
+	End     token.Pos
+	NewText string
 }
 
 // Callee returns the static callee of call — a declared function or

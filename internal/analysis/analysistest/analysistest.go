@@ -66,6 +66,7 @@ func runDir(t *testing.T, l *load.Loader, a *analysis.Analyzer, dir string) {
 		Files:     pkg.Files,
 		Pkg:       pkg.Types,
 		TypesInfo: pkg.Info,
+		Facts:     analysis.NewFactStore(),
 		Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
 	}
 	if err := a.Run(pass); err != nil {

@@ -1,0 +1,15 @@
+package blockingtask_test
+
+import (
+	"testing"
+
+	"threading/internal/analysis/analysistest"
+	"threading/internal/analysis/blockingtask"
+)
+
+func TestBlockingTask(t *testing.T) {
+	analysistest.Run(t, blockingtask.Analyzer,
+		"testdata/src/a",
+		"testdata/src/clean",
+	)
+}

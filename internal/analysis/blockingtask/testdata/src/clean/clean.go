@@ -1,0 +1,55 @@
+// Negative fixture: compute-only tasks, buffered channels, blocking
+// on thread-per-task APIs, goroutines launched from tasks, and
+// blocking outside any task are all fine.
+package clean
+
+import (
+	"context"
+	"time"
+
+	"threading/internal/futures"
+	"threading/internal/worksteal"
+)
+
+// Pure compute: nothing to report.
+func compute(p *worksteal.Pool) {
+	_ = p.ParallelForCtx(context.Background(), 0, 1024, 0, func(l, h int) {
+		s := 0.0
+		for i := l; i < h; i++ {
+			s += float64(i)
+		}
+		_ = s
+	})
+}
+
+// Buffered channels do not park the worker at this occupancy.
+func buffered(p *worksteal.Pool) {
+	results := make(chan int, 64)
+	_ = p.SubmitCtx(context.Background(), func() {
+		results <- 1
+	})
+}
+
+// futures.Async is thread-per-task: blocking costs a goroutine, not
+// a pool lane.
+func threadPerTask() {
+	f := futures.Async(futures.LaunchAsync, func() (int, error) {
+		time.Sleep(time.Millisecond)
+		return 1, nil
+	})
+	_, _ = f.Get()
+}
+
+// A goroutine launched from the task blocks its own goroutine, not
+// the worker that runs the task.
+func fireAndForget(p *worksteal.Pool) {
+	_ = p.SubmitCtx(context.Background(), func() {
+		go time.Sleep(time.Millisecond)
+	})
+}
+
+// Blocking outside any task submission is not this analyzer's
+// business.
+func plainSleep() {
+	time.Sleep(time.Millisecond)
+}

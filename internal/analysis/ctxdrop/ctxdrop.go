@@ -17,6 +17,7 @@
 package ctxdrop
 
 import (
+	"fmt"
 	"go/ast"
 	"go/types"
 	"strings"
@@ -42,7 +43,7 @@ func run(pass *analysis.Pass) error {
 			if !ctxInScope(pass, stack) {
 				return true
 			}
-			check(pass, call)
+			check(pass, call, stack)
 			return true
 		})
 	}
@@ -88,7 +89,7 @@ func hasNamedCtxParam(pass *analysis.Pass, ft *ast.FuncType) bool {
 	return false
 }
 
-func check(pass *analysis.Pass, call *ast.CallExpr) {
+func check(pass *analysis.Pass, call *ast.CallExpr, stack []ast.Node) {
 	callee := analysis.Callee(pass.TypesInfo, call)
 	if callee == nil || callee.Pkg() == nil {
 		return
@@ -110,9 +111,85 @@ func check(pass *analysis.Pass, call *ast.CallExpr) {
 	if !sib.Exported() && sib.Pkg() != pass.Pkg {
 		return
 	}
-	pass.Reportf(call.Pos(),
-		"a context.Context is in scope but %s is called; use %s so cancellation propagates",
-		analysis.FuncName(callee), sib.Name())
+	d := analysis.Diagnostic{
+		Pos:      call.Pos(),
+		Analyzer: pass.Analyzer.Name,
+		Message: fmt.Sprintf(
+			"a context.Context is in scope but %s is called; use %s so cancellation propagates",
+			analysis.FuncName(callee), sib.Name()),
+	}
+	if fix := suggestFix(pass, call, sib.Name(), stack); fix != nil {
+		d.SuggestedFixes = []analysis.SuggestedFix{*fix}
+	}
+	pass.Report(d)
+}
+
+// suggestFix builds the mechanical rewrite `f(args)` →
+// `fCtx(ctx, args)`. Only statement calls are rewritten: the Ctx
+// sibling usually adds an error result, which a statement discards
+// legally while an expression context would stop compiling. The
+// rewrite is idempotent for the driver's -fix loop because the
+// rewritten call ends in "Ctx" and is never flagged again.
+func suggestFix(pass *analysis.Pass, call *ast.CallExpr, sibName string, stack []ast.Node) *analysis.SuggestedFix {
+	if len(stack) == 0 {
+		return nil
+	}
+	if _, ok := stack[len(stack)-1].(*ast.ExprStmt); !ok {
+		return nil
+	}
+	ctxName := ctxParamName(pass, stack)
+	if ctxName == "" {
+		return nil
+	}
+	var nameIdent *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		nameIdent = fun.Sel
+	case *ast.Ident:
+		nameIdent = fun
+	default:
+		return nil
+	}
+	return &analysis.SuggestedFix{
+		Message: fmt.Sprintf("call %s with %s", sibName, ctxName),
+		TextEdits: []analysis.TextEdit{
+			{Pos: nameIdent.Pos(), End: nameIdent.End(), NewText: sibName},
+			{Pos: call.Lparen + 1, End: call.Lparen + 1, NewText: ctxName + ", "},
+		},
+	}
+}
+
+// ctxParamName returns the name of the innermost named
+// context.Context parameter visible from the bottom of stack.
+func ctxParamName(pass *analysis.Pass, stack []ast.Node) string {
+	name := ""
+	for _, n := range stack {
+		var ft *ast.FuncType
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			ft = fn.Type
+			name = "" // fresh scope
+		case *ast.FuncLit:
+			ft = fn.Type
+		default:
+			continue
+		}
+		if ft.Params == nil {
+			continue
+		}
+		for _, field := range ft.Params.List {
+			tv, ok := pass.TypesInfo.Types[field.Type]
+			if !ok || !analysis.IsContext(tv.Type) {
+				continue
+			}
+			for _, id := range field.Names {
+				if id.Name != "_" {
+					name = id.Name
+				}
+			}
+		}
+	}
+	return name
 }
 
 // sibling finds the method or package-level function named want

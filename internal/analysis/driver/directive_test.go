@@ -1,0 +1,45 @@
+package driver
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseDirective pins the directive grammar: whatever the input,
+// a well-formed parse yields a whitespace-free analyzer name equal
+// to the first field and a non-empty reason covering the rest; a
+// malformed parse yields zero values. The parser must never panic on
+// arbitrary comment text.
+func FuzzParseDirective(f *testing.F) {
+	f.Add(" grainconst deliberate blowup demo")
+	f.Add("")
+	f.Add(" onlyanalyzer")
+	f.Add("\tctxdrop   reason with   interior   spaces ")
+	f.Add(" a b")
+	f.Add(" weird unicode spacing")
+	f.Fuzz(func(t *testing.T, rest string) {
+		name, reason, ok := parseDirective(rest)
+		if !ok {
+			if name != "" || reason != "" {
+				t.Fatalf("malformed parse returned values: %q %q", name, reason)
+			}
+			return
+		}
+		fields := strings.Fields(rest)
+		if len(fields) < 2 {
+			t.Fatalf("ok=true for %q, which has %d fields", rest, len(fields))
+		}
+		if name != fields[0] {
+			t.Fatalf("analyzer = %q, want first field %q", name, fields[0])
+		}
+		if strings.ContainsAny(name, " \t\n\r") {
+			t.Fatalf("analyzer %q contains whitespace", name)
+		}
+		if reason == "" {
+			t.Fatal("ok=true with empty reason")
+		}
+		if reason != strings.Join(fields[1:], " ") {
+			t.Fatalf("reason = %q, want %q", reason, strings.Join(fields[1:], " "))
+		}
+	})
+}

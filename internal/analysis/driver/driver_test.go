@@ -78,10 +78,12 @@ func TestIgnoreDirective(t *testing.T) {
 		// The trailing and line-above grainconst directives suppress
 		// their findings; the wrong-analyzer directive does not save
 		// ctxdrop; the bare violation and the malformed directive are
-		// reported.
-		{"ctxdrop", "wrongAnalyzer"}:   true,
-		{"grainconst", "unsuppressed"}: true,
-		{"directive", "malformed"}:     true,
+		// reported; and a trailing directive does not reach the line
+		// below it (the scope fix).
+		{"ctxdrop", "wrongAnalyzer"}:    true,
+		{"grainconst", "unsuppressed"}:  true,
+		{"grainconst", "trailingScope"}: true,
+		{"directive", "malformed"}:      true,
 	}
 	if !reflect.DeepEqual(got, want) {
 		t.Errorf("findings = %v, want %v\nall findings:\n%v", got, want, findings)

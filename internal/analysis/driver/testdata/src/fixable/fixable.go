@@ -1,0 +1,22 @@
+// Fixture for `threadvet -fix`: both findings below carry suggested
+// fixes, and applying them leaves a package the suite no longer
+// flags (the idempotence test re-analyzes the fixed copy).
+package fixable
+
+import (
+	"context"
+
+	"threading/internal/worksteal"
+)
+
+// ctxdrop: statement call of the plain variant with ctx in scope is
+// rewritten to RunCtx(ctx, ...).
+func run(ctx context.Context, p *worksteal.Pool) {
+	p.Run(func(c *worksteal.Ctx) {})
+}
+
+// handlereuse: the second Close is deleted.
+func shutdown(p *worksteal.Pool) {
+	p.Close()
+	p.Close()
+}

@@ -25,6 +25,24 @@ func wrongAnalyzer(ctx context.Context, p *worksteal.Pool) {
 	p.Run(func(c *worksteal.Ctx) {}) //threadvet:ignore grainconst not the analyzer that fires here
 }
 
+// The scope split: a trailing directive suppresses only its own
+// line, so the violation on the line below it must still be
+// reported. (An earlier driver registered both lines for every
+// directive, silently eating findings like this one.)
+func trailingScope(c *worksteal.Ctx, n int) {
+	_ = n //threadvet:ignore grainconst trailing directives stop at their own line
+	c.ForDAC(0, n, 1, func(cc *worksteal.Ctx, l, h int) {})
+}
+
+// And the dual: a standalone directive suppresses only the line
+// below, not its own line — the finding here is on the ForDAC line,
+// which IS the line below, so this stays suppressed. The pair of
+// functions pins both directions of the split.
+func standaloneScope(c *worksteal.Ctx, n int) {
+	//threadvet:ignore grainconst standalone directives reach exactly one line down
+	c.ForDAC(0, n, 1, func(cc *worksteal.Ctx, l, h int) {})
+}
+
 // Unsuppressed: must be reported.
 func unsuppressed(c *worksteal.Ctx, n int) {
 	c.ForDAC(0, n, 1, func(cc *worksteal.Ctx, l, h int) {})

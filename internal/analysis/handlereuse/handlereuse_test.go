@@ -1,0 +1,15 @@
+package handlereuse_test
+
+import (
+	"testing"
+
+	"threading/internal/analysis/analysistest"
+	"threading/internal/analysis/handlereuse"
+)
+
+func TestHandleReuse(t *testing.T) {
+	analysistest.Run(t, handlereuse.Analyzer,
+		"testdata/src/a",
+		"testdata/src/clean",
+	)
+}

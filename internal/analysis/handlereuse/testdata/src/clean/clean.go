@@ -1,0 +1,67 @@
+// Negative fixture: handle lifecycles this analyzer must accept.
+package clean
+
+import (
+	"context"
+
+	"threading/internal/futures"
+	"threading/internal/worksteal"
+)
+
+// The canonical lifecycle: use, then deferred Close.
+func deferred(ctx context.Context) {
+	p := worksteal.NewPool(2)
+	defer p.Close()
+	_ = p.SubmitCtx(ctx, func() {})
+}
+
+// A Close inside a branch does not poison the code after the branch
+// (the branch may not run).
+func branchClose(ctx context.Context, bail bool) {
+	p := worksteal.NewPool(2)
+	if bail {
+		p.Close()
+		return
+	}
+	_ = p.SubmitCtx(ctx, func() {})
+	p.Close()
+}
+
+// Reassignment revives the handle.
+func reassign() {
+	p := worksteal.NewPool(2)
+	p.Close()
+	p = worksteal.NewPool(4)
+	p.Close()
+}
+
+// Two distinct handles are independent.
+func twoHandles() {
+	a := worksteal.NewPool(2)
+	b := worksteal.NewPool(2)
+	a.Close()
+	b.Close()
+}
+
+// Joining two different threads is fine; so is Joinable, which is
+// not a consuming or dead method.
+func joinEach(ts []*futures.Thread) {
+	for _, t := range ts {
+		t.Join()
+	}
+}
+
+func checkThenJoin(t *futures.Thread) {
+	if t.Joinable() {
+		t.Join()
+	}
+}
+
+// A handle consumed inside a literal does not affect the enclosing
+// function's view, and vice versa.
+func litScope(ctx context.Context) {
+	p := worksteal.NewPool(2)
+	cleanup := func() { p.Close() }
+	_ = p.SubmitCtx(ctx, func() {})
+	cleanup()
+}

@@ -1,0 +1,285 @@
+package interproc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"threading/internal/analysis"
+)
+
+// EdgeKind distinguishes how control may reach the target.
+type EdgeKind int
+
+const (
+	// EdgeCall is an ordinary synchronous call (including an
+	// immediately invoked function literal).
+	EdgeCall EdgeKind = iota
+	// EdgeSpawn passes the target to a runtime entry point as an
+	// asynchronous task.
+	EdgeSpawn
+	// EdgeLoopBody passes the target to a runtime entry point as a
+	// parallel-loop body.
+	EdgeLoopBody
+	// EdgeRef is a function literal whose fate the analysis cannot
+	// follow (stored, returned, or passed to a non-entry function).
+	// Analyzers treat it conservatively: possibly invoked, context
+	// unknown.
+	EdgeRef
+)
+
+// Edge is one outgoing reference from a Node.
+type Edge struct {
+	Kind EdgeKind
+	// Site is the call expression (nil for EdgeRef).
+	Site *ast.CallExpr
+	// Pos locates the edge for diagnostics.
+	Pos token.Pos
+	// Callee is the in-package target, when its body is available.
+	Callee *Node
+	// Ext is the statically resolved target declared outside the
+	// package (summaries come from facts), nil for dynamic targets.
+	Ext *types.Func
+	// Entry describes the entry point for spawn/loop-body edges.
+	Entry Entry
+	// EntryFn is the entry point itself (e.g. Pool.SubmitCtx) for
+	// spawn/loop-body edges.
+	EntryFn *types.Func
+}
+
+// Node is one function with a body in the package: a declared
+// function/method or a function literal.
+type Node struct {
+	// Fn is the declared function's object; nil for literals.
+	Fn *types.Func
+	// Lit is the literal; nil for declared functions.
+	Lit *ast.FuncLit
+	// Body is never nil.
+	Body  *ast.BlockStmt
+	Edges []Edge
+}
+
+// Pos returns the node's declaration position.
+func (n *Node) Pos() token.Pos {
+	if n.Lit != nil {
+		return n.Lit.Pos()
+	}
+	return n.Fn.Pos()
+}
+
+// Name renders the node for diagnostics.
+func (n *Node) Name() string {
+	if n.Fn != nil {
+		return analysis.FuncName(n.Fn)
+	}
+	return "func literal"
+}
+
+// Graph is the module-local call graph of one package.
+type Graph struct {
+	Nodes []*Node
+	ByFn  map[*types.Func]*Node
+	ByLit map[*ast.FuncLit]*Node
+	// byBody maps every node's body back to it, for enclosing-node
+	// resolution during traversal.
+	byBody map[*ast.BlockStmt]*Node
+	// bySite indexes spawn/loop/call edges by their call expression.
+	bySite map[*ast.CallExpr][]*Edge
+}
+
+// EdgesAt returns the edges attached to a call site.
+func (g *Graph) EdgesAt(call *ast.CallExpr) []*Edge {
+	return g.bySite[call]
+}
+
+// Build constructs the call graph of the pass's package.
+func Build(pass *analysis.Pass) *Graph {
+	g := &Graph{
+		ByFn:   make(map[*types.Func]*Node),
+		ByLit:  make(map[*ast.FuncLit]*Node),
+		byBody: make(map[*ast.BlockStmt]*Node),
+		bySite: make(map[*ast.CallExpr][]*Edge),
+	}
+	// First pass: create nodes for declared functions so forward
+	// references resolve.
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			n := &Node{Fn: fn, Body: fd.Body}
+			g.Nodes = append(g.Nodes, n)
+			g.ByFn[fn] = n
+			g.byBody[fd.Body] = n
+		}
+	}
+	// Second pass: literal nodes. Created before any edges so a call
+	// site can resolve a literal argument it lexically precedes.
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(nd ast.Node) bool {
+			if l, ok := nd.(*ast.FuncLit); ok {
+				lit := &Node{Lit: l, Body: l.Body}
+				g.Nodes = append(g.Nodes, lit)
+				g.ByLit[l] = lit
+				g.byBody[l.Body] = lit
+			}
+			return true
+		})
+	}
+	// Third pass: edges.
+	for _, file := range pass.Files {
+		analysis.WithStack(file, func(nd ast.Node, stack []ast.Node) bool {
+			switch nd := nd.(type) {
+			case *ast.FuncLit:
+				if owner := g.enclosing(stack); owner != nil && !isTracked(pass, g, nd, stack) {
+					owner.Edges = append(owner.Edges, Edge{
+						Kind: EdgeRef, Pos: nd.Pos(), Callee: g.ByLit[nd],
+					})
+				}
+			case *ast.CallExpr:
+				owner := g.enclosing(stack)
+				if owner == nil {
+					return true // call in a var initializer etc.
+				}
+				g.addCallEdges(pass, owner, nd)
+			}
+			return true
+		})
+	}
+	for i := range g.Nodes {
+		n := g.Nodes[i]
+		for j := range n.Edges {
+			e := &n.Edges[j]
+			if e.Site != nil {
+				g.bySite[e.Site] = append(g.bySite[e.Site], e)
+			}
+		}
+	}
+	return g
+}
+
+// addCallEdges records the edges induced by one call expression.
+func (g *Graph) addCallEdges(pass *analysis.Pass, owner *Node, call *ast.CallExpr) {
+	// Immediately invoked literal: func(){...}().
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		owner.Edges = append(owner.Edges, Edge{
+			Kind: EdgeCall, Site: call, Pos: call.Pos(), Callee: g.ByLit[lit],
+		})
+		return
+	}
+	if entryFn, entry, ok := Classify(pass.TypesInfo, call); ok {
+		for _, ta := range TaskArgs(pass.TypesInfo, call, entry) {
+			kind := EdgeSpawn
+			if ta.Param.Loop {
+				kind = EdgeLoopBody
+			}
+			e := Edge{
+				Kind: kind, Site: call, Pos: call.Pos(),
+				Entry: entry, EntryFn: entryFn,
+			}
+			switch {
+			case ta.Lit != nil:
+				e.Callee = g.ByLit[ta.Lit]
+			case ta.Fn != nil:
+				if n, ok := g.ByFn[ta.Fn]; ok {
+					e.Callee = n
+				} else {
+					e.Ext = ta.Fn
+				}
+			default:
+				continue // dynamic function value
+			}
+			owner.Edges = append(owner.Edges, e)
+		}
+		// The entry point itself is also an ordinary (blocking,
+		// lock-holding) callee; fall through.
+	}
+	callee := analysis.Callee(pass.TypesInfo, call)
+	if callee == nil {
+		return
+	}
+	e := Edge{Kind: EdgeCall, Site: call, Pos: call.Pos()}
+	if n, ok := g.ByFn[callee]; ok {
+		e.Callee = n
+	} else {
+		e.Ext = callee
+	}
+	owner.Edges = append(owner.Edges, e)
+}
+
+// enclosing returns the node of the innermost function enclosing the
+// current traversal position.
+func (g *Graph) enclosing(stack []ast.Node) *Node {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch n := stack[i].(type) {
+		case *ast.FuncLit:
+			return g.ByLit[n]
+		case *ast.FuncDecl:
+			return g.byBody[n.Body]
+		}
+	}
+	return nil
+}
+
+// isTracked reports whether lit is consumed by its parent in a way
+// addCallEdges models (task argument of an entry point, or immediate
+// invocation), so no EdgeRef is needed.
+func isTracked(pass *analysis.Pass, g *Graph, lit *ast.FuncLit, stack []ast.Node) bool {
+	// Walk past parens to the nearest interesting parent.
+	i := len(stack) - 1
+	for i >= 0 {
+		if _, ok := stack[i].(*ast.ParenExpr); ok {
+			i--
+			continue
+		}
+		break
+	}
+	if i < 0 {
+		return false
+	}
+	call, ok := stack[i].(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	if ast.Unparen(call.Fun) == lit {
+		return true
+	}
+	if _, entry, ok := Classify(pass.TypesInfo, call); ok {
+		for _, ta := range TaskArgs(pass.TypesInfo, call, entry) {
+			if ta.Lit == lit {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Postorder returns the nodes callees-first (children of cycles in
+// arbitrary order), the evaluation order for bottom-up summaries.
+func (g *Graph) Postorder() []*Node {
+	var out []*Node
+	state := make(map[*Node]int) // 0 unvisited, 1 on stack, 2 done
+	var visit func(n *Node)
+	visit = func(n *Node) {
+		if state[n] != 0 {
+			return
+		}
+		state[n] = 1
+		for _, e := range n.Edges {
+			if e.Callee != nil {
+				visit(e.Callee)
+			}
+		}
+		state[n] = 2
+		out = append(out, n)
+	}
+	for _, n := range g.Nodes {
+		visit(n)
+	}
+	return out
+}

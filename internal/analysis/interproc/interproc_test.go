@@ -1,0 +1,154 @@
+package interproc_test
+
+import (
+	"go/ast"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"threading/internal/analysis"
+	"threading/internal/analysis/interproc"
+	"threading/internal/analysis/load"
+)
+
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod above working directory")
+		}
+		dir = parent
+	}
+}
+
+func buildFixture(t *testing.T) (*analysis.Pass, *interproc.Graph) {
+	t.Helper()
+	l := load.New(moduleRoot(t))
+	pkg, err := l.CheckDir("testdata/src/a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pass := &analysis.Pass{
+		Analyzer:  &analysis.Analyzer{Name: "test"},
+		Fset:      l.Fset(),
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.Info,
+	}
+	return pass, interproc.Build(pass)
+}
+
+// TestGraphEdges pins the edge classification: spawn and loop-body
+// edges at entry-point calls, call edges for declared and immediately
+// invoked functions, ref edges for stored literals.
+func TestGraphEdges(t *testing.T) {
+	_, g := buildFixture(t)
+
+	var spawnsNode *interproc.Node
+	for fn, n := range g.ByFn {
+		if fn.Name() == "spawns" {
+			spawnsNode = n
+		}
+	}
+	if spawnsNode == nil {
+		t.Fatal("node for spawns not found")
+	}
+
+	counts := map[interproc.EdgeKind]int{}
+	var externals []string
+	for _, e := range spawnsNode.Edges {
+		counts[e.Kind]++
+		if e.Ext != nil {
+			externals = append(externals, e.Ext.Name())
+		}
+	}
+	if counts[interproc.EdgeSpawn] != 1 {
+		t.Errorf("spawn edges = %d, want 1", counts[interproc.EdgeSpawn])
+	}
+	if counts[interproc.EdgeLoopBody] != 1 {
+		t.Errorf("loop-body edges = %d, want 1", counts[interproc.EdgeLoopBody])
+	}
+	if counts[interproc.EdgeRef] != 1 {
+		t.Errorf("ref edges = %d, want 1 (the stored literal)", counts[interproc.EdgeRef])
+	}
+	// Call edges: helper, SubmitCtx, ParallelForCtx, Background x2,
+	// and the immediately invoked literal.
+	if counts[interproc.EdgeCall] < 4 {
+		t.Errorf("call edges = %d, want >= 4 (%v)", counts[interproc.EdgeCall], externals)
+	}
+
+	// Postorder must place helper before spawns.
+	order := g.Postorder()
+	pos := map[*interproc.Node]int{}
+	for i, n := range order {
+		pos[n] = i
+	}
+	var helperNode *interproc.Node
+	for fn, n := range g.ByFn {
+		if fn.Name() == "helper" {
+			helperNode = n
+		}
+	}
+	if helperNode == nil {
+		t.Fatal("helper node missing")
+	}
+	if pos[helperNode] > pos[spawnsNode] {
+		t.Errorf("postorder: helper (%d) after spawns (%d)", pos[helperNode], pos[spawnsNode])
+	}
+}
+
+// TestLockClasses pins the canonical lock-class shapes: package var
+// ("<pkg>.mu") and struct field ("<pkg>.box.mu"), with acquire and
+// release of the same expression mapping to the same class.
+func TestLockClasses(t *testing.T) {
+	pass, _ := buildFixture(t)
+
+	acquired := map[string]int{}
+	released := map[string]int{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(nd ast.Node) bool {
+			call, ok := nd.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			op, class, _ := interproc.LockOp(pass.TypesInfo, pass.Pkg, call)
+			switch op {
+			case interproc.LockAcquire:
+				acquired[class]++
+			case interproc.LockRelease:
+				released[class]++
+			}
+			return true
+		})
+	}
+	var pkgVar, field string
+	for class := range acquired {
+		switch {
+		case strings.HasSuffix(class, ".box.mu"):
+			field = class
+		case strings.HasSuffix(class, "a.mu"):
+			pkgVar = class
+		}
+	}
+	if pkgVar == "" {
+		t.Errorf("no package-var lock class found in %v", acquired)
+	}
+	if field == "" {
+		t.Errorf("no struct-field lock class found in %v", acquired)
+	}
+	for class, n := range acquired {
+		if released[class] != n {
+			t.Errorf("class %q acquired %d released %d: acquire/release classes disagree",
+				class, n, released[class])
+		}
+	}
+}

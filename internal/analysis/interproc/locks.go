@@ -1,0 +1,123 @@
+package interproc
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+
+	"threading/internal/analysis"
+)
+
+// LockOpKind classifies a sync.(RW)Mutex method call.
+type LockOpKind int
+
+const (
+	// LockNone: not a mutex operation.
+	LockNone LockOpKind = iota
+	// LockAcquire: Lock or RLock.
+	LockAcquire
+	// LockRelease: Unlock or RUnlock.
+	LockRelease
+)
+
+// LockOp classifies call as a sync.Mutex/RWMutex acquire or release
+// and returns the lock's canonical class and a display form of the
+// receiver expression. RLock/RUnlock map to the same class as
+// Lock/Unlock: read locks participate in order cycles with writers.
+//
+// The class abstracts lock *instances* into lock *classes*, the
+// standard move that makes order analysis possible across call and
+// spawn boundaries:
+//
+//   - a field selection s.mu keys on the field's declaring struct
+//     ("pkg.Type.mu"), conflating all instances of the type;
+//   - a package-level var keys on "pkg.name";
+//   - a local (or captured) var keys on its declaration position,
+//     unique within the package and shared by every closure that
+//     captures it.
+func LockOp(info *types.Info, pkg *types.Package, call *ast.CallExpr) (op LockOpKind, class, display string) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return LockNone, "", ""
+	}
+	callee := analysis.Callee(info, call)
+	if callee == nil {
+		return LockNone, "", ""
+	}
+	recv := analysis.ReceiverNamed(callee)
+	if recv == nil || recv.Obj().Pkg() == nil || recv.Obj().Pkg().Path() != "sync" {
+		return LockNone, "", ""
+	}
+	if name := recv.Obj().Name(); name != "Mutex" && name != "RWMutex" {
+		return LockNone, "", ""
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		op = LockAcquire
+	case "Unlock", "RUnlock":
+		op = LockRelease
+	default:
+		return LockNone, "", ""
+	}
+	class = LockClass(info, pkg, sel.X)
+	return op, class, types.ExprString(sel.X)
+}
+
+// LockClass renders the canonical class of a lock expression (see
+// LockOp). Expressions it cannot resolve fall back to their printed
+// form qualified by the package, which keeps distinct shapes distinct
+// at the cost of instance precision.
+func LockClass(info *types.Info, pkg *types.Package, expr ast.Expr) string {
+	expr = ast.Unparen(expr)
+	switch e := expr.(type) {
+	case *ast.SelectorExpr:
+		if s, ok := info.Selections[e]; ok {
+			// Field selection: class is the field within its named
+			// receiver type.
+			if recv, ok := analysis.Named(s.Recv()); ok {
+				obj := recv.Origin().Obj()
+				path := ""
+				if obj.Pkg() != nil {
+					path = obj.Pkg().Path()
+				}
+				return path + "." + obj.Name() + "." + e.Sel.Name
+			}
+		}
+		// Package-qualified var: pkg.mu.
+		if obj, ok := info.Uses[e.Sel].(*types.Var); ok {
+			return varClass(obj, pkg)
+		}
+	case *ast.Ident:
+		if obj, ok := info.Uses[e].(*types.Var); ok {
+			return varClass(obj, pkg)
+		}
+	case *ast.StarExpr:
+		return LockClass(info, pkg, e.X)
+	}
+	path := ""
+	if pkg != nil {
+		path = pkg.Path()
+	}
+	return path + ".expr:" + types.ExprString(expr)
+}
+
+// varClass keys a variable object: package-level vars by qualified
+// name, locals by declaration position (stable within a package and
+// shared across capturing closures).
+func varClass(obj *types.Var, pkg *types.Package) string {
+	if obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope() {
+		return obj.Pkg().Path() + "." + obj.Name()
+	}
+	path := ""
+	if obj.Pkg() != nil {
+		path = obj.Pkg().Path()
+	}
+	return fmt.Sprintf("%s.%s@%d", path, obj.Name(), obj.Pos())
+}
+
+// IsDeferredCall reports whether call is the call of a defer
+// statement given the immediate parent from a WithStack traversal.
+func IsDeferredCall(parent ast.Node, call *ast.CallExpr) bool {
+	d, ok := parent.(*ast.DeferStmt)
+	return ok && d.Call == call
+}

@@ -1,0 +1,33 @@
+package a
+
+import (
+	"context"
+	"sync"
+
+	"threading/internal/worksteal"
+)
+
+var mu sync.Mutex
+
+type box struct {
+	mu sync.Mutex
+	n  int
+}
+
+func helper() {
+	mu.Lock()
+	mu.Unlock()
+}
+
+func spawns(p *worksteal.Pool, b *box) {
+	_ = p.SubmitCtx(context.Background(), func() {
+		b.mu.Lock()
+		b.n++
+		b.mu.Unlock()
+	})
+	helper()
+	_ = p.ParallelForCtx(context.Background(), 0, 10, 0, func(l, h int) {})
+	stored := func() { helper() }
+	_ = stored
+	func() { helper() }()
+}

@@ -1,0 +1,16 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"threading/internal/analysis/analysistest"
+	"threading/internal/analysis/lockorder"
+)
+
+func TestLockOrder(t *testing.T) {
+	analysistest.Run(t, lockorder.Analyzer,
+		"testdata/src/a",
+		"testdata/src/spawn",
+		"testdata/src/clean",
+	)
+}

@@ -1,0 +1,48 @@
+package a
+
+import "sync"
+
+var (
+	a sync.Mutex
+	b sync.Mutex
+)
+
+// Classic ABBA: ab locks a then b, ba locks b then a.
+func ab() {
+	a.Lock()
+	b.Lock() // want `acquiring "b" while "a" is held closes the lock-order cycle`
+	b.Unlock()
+	a.Unlock()
+}
+
+func ba() {
+	b.Lock()
+	a.Lock() // want `acquiring "a" while "b" is held closes the lock-order cycle`
+	a.Unlock()
+	b.Unlock()
+}
+
+// The cycle also closes through a call: holding a, call lockB, which
+// locks b.
+var (
+	c sync.Mutex
+	d sync.Mutex
+)
+
+func lockD() {
+	d.Lock()
+	d.Unlock()
+}
+
+func viaCall() {
+	c.Lock()
+	defer c.Unlock()
+	lockD() // want `acquiring "d" while "c" is held via a.lockD closes the lock-order cycle`
+}
+
+func viaCallReverse() {
+	d.Lock()
+	c.Lock() // want `acquiring "c" while "d" is held closes the lock-order cycle`
+	c.Unlock()
+	d.Unlock()
+}

@@ -1,0 +1,64 @@
+// Negative fixture: consistent lock ordering, nesting without
+// reversal, and sequential (non-nested) acquisition produce no
+// diagnostics.
+package clean
+
+import (
+	"sync"
+
+	"threading/internal/worksteal"
+)
+
+var (
+	outer sync.Mutex
+	inner sync.Mutex
+)
+
+// Consistent nesting order everywhere: outer before inner.
+func first() {
+	outer.Lock()
+	inner.Lock()
+	inner.Unlock()
+	outer.Unlock()
+}
+
+func second() {
+	outer.Lock()
+	defer outer.Unlock()
+	inner.Lock()
+	defer inner.Unlock()
+}
+
+// Sequential acquisition: no order edge at all.
+func sequential() {
+	outer.Lock()
+	outer.Unlock()
+	inner.Lock()
+	inner.Unlock()
+}
+
+// A task acquiring a lock while the spawner holds nothing induces no
+// edge.
+func spawnUnheld(p *worksteal.Pool) {
+	p.Run(func(c *worksteal.Ctx) {
+		c.Spawn(func(cc *worksteal.Ctx) {
+			inner.Lock()
+			inner.Unlock()
+		})
+		c.Sync()
+	})
+}
+
+// Same field on two instances: instance-conflated self-edges are
+// deliberately not reported (see package doc).
+type node struct {
+	mu   sync.Mutex
+	next *node
+}
+
+func handOverHand(n *node) {
+	n.mu.Lock()
+	n.next.mu.Lock()
+	n.next.mu.Unlock()
+	n.mu.Unlock()
+}

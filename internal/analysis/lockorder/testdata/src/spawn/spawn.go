@@ -1,0 +1,38 @@
+// Fixture for the acceptance case: a two-mutex cycle that only
+// closes across a Spawn edge. No single function acquires both locks
+// in the e -> f order; the e -> f edge exists only because a task is
+// spawned (and may be help-first-stolen back onto the spawner's
+// stack) while e is held.
+package spawn
+
+import (
+	"sync"
+
+	"threading/internal/worksteal"
+)
+
+var (
+	e sync.Mutex
+	f sync.Mutex
+)
+
+func spawnSide(p *worksteal.Pool) {
+	p.Run(func(c *worksteal.Ctx) {
+		e.Lock()
+		// The spawned task acquires f while this goroutine still
+		// holds e: order edge e -> f across the spawn boundary.
+		c.Spawn(func(cc *worksteal.Ctx) { // want `acquiring "f" while "e" is held in a task passed to Ctx.Spawn while the lock is held closes the lock-order cycle`
+			f.Lock()
+			f.Unlock()
+		})
+		e.Unlock()
+		c.Sync()
+	})
+}
+
+func plainSide() {
+	f.Lock()
+	e.Lock() // want `acquiring "e" while "f" is held closes the lock-order cycle`
+	e.Unlock()
+	f.Unlock()
+}

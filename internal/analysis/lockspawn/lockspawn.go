@@ -27,6 +27,7 @@ import (
 	"go/types"
 
 	"threading/internal/analysis"
+	"threading/internal/analysis/interproc"
 )
 
 // Analyzer is the lockspawn pass.
@@ -67,29 +68,16 @@ func isSubmitter(f *types.Func) bool {
 }
 
 // lockMethod classifies a call as acquiring or releasing a
-// sync.(RW)Mutex and returns the key identifying the lock expression.
+// sync.(RW)Mutex and returns the key identifying the lock
+// expression. Thin wrapper over interproc.LockOp, which lockorder
+// and racecapture share.
 func lockMethod(pass *analysis.Pass, call *ast.CallExpr) (key string, acquire, release bool) {
-	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
-	if !ok {
-		return "", false, false
-	}
-	callee := analysis.Callee(pass.TypesInfo, call)
-	if callee == nil {
-		return "", false, false
-	}
-	recv := analysis.ReceiverNamed(callee)
-	if recv == nil || recv.Obj().Pkg() == nil || recv.Obj().Pkg().Path() != "sync" {
-		return "", false, false
-	}
-	if name := recv.Obj().Name(); name != "Mutex" && name != "RWMutex" {
-		return "", false, false
-	}
-	key = types.ExprString(sel.X)
-	switch sel.Sel.Name {
-	case "Lock", "RLock":
-		return key, true, false
-	case "Unlock", "RUnlock":
-		return key, false, true
+	op, _, display := interproc.LockOp(pass.TypesInfo, pass.Pkg, call)
+	switch op {
+	case interproc.LockAcquire:
+		return display, true, false
+	case interproc.LockRelease:
+		return display, false, true
 	}
 	return "", false, false
 }
@@ -120,7 +108,7 @@ func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
 			return true
 		}
 		if key, acquire, release := lockMethod(pass, call); acquire || release {
-			deferred := len(stack) > 0 && isDefer(stack[len(stack)-1], call)
+			deferred := len(stack) > 0 && interproc.IsDeferredCall(stack[len(stack)-1], call)
 			switch {
 			case acquire:
 				held = append(held, heldLock{key: key, pos: call.Pos()})
@@ -147,9 +135,4 @@ func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
 			analysis.FuncName(callee), h.key, pass.Fset.Position(h.pos))
 		return true
 	})
-}
-
-func isDefer(parent ast.Node, call *ast.CallExpr) bool {
-	d, ok := parent.(*ast.DeferStmt)
-	return ok && d.Call == call
 }

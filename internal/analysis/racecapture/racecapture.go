@@ -1,0 +1,244 @@
+// Package racecapture reports writes inside a parallel-loop body to
+// variables captured by reference that are neither indexed by the
+// loop variable nor synchronized — the shared-capture data race.
+//
+// Contract encoded: a body passed to ParallelFor/ParallelForCtx/
+// ForDAC/ForEach executes concurrently on many workers over disjoint
+// index ranges. The only captured locations a body may write without
+// synchronization are elements of an array/slice addressed *by the
+// loop index* (disjoint ranges touch disjoint elements). A captured
+// scalar accumulation (sum += x), a write through an index unrelated
+// to the loop variable, or any captured-map write (Go maps race on
+// their internal state even at distinct keys) is a data race the Go
+// race detector only catches when two iterations actually collide
+// under test. Quantifying OpenMP (PAPERS.md) finds exactly this
+// shared-write-in-parallel-loop family to be the most common
+// real-world OpenMP defect; this analyzer is its static gate for the
+// paper's loop models.
+//
+// Accepted (not reported): element writes whose index is derived from
+// the body's range parameters (including through locals such as the
+// canonical `for i := lo; i < hi; i++`), writes inside a lexically
+// held mutex region, atomic.* calls and the atomic wrapper types
+// (method calls mutate nothing syntactically), and writes to
+// variables declared inside the body.
+package racecapture
+
+import (
+	"go/ast"
+	"go/types"
+
+	"threading/internal/analysis"
+	"threading/internal/analysis/interproc"
+)
+
+// Analyzer is the racecapture pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "racecapture",
+	Doc: "report unsynchronized writes to captured variables inside " +
+		"parallel-loop bodies that are not indexed by the loop variable",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(nd ast.Node) bool {
+			call, ok := nd.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee, entry, ok := interproc.Classify(pass.TypesInfo, call)
+			if !ok {
+				return true
+			}
+			for _, ta := range interproc.TaskArgs(pass.TypesInfo, call, entry) {
+				if ta.Param.Loop && ta.Lit != nil {
+					checkBody(pass, callee, ta.Lit)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkBody analyzes one parallel-loop body literal.
+func checkBody(pass *analysis.Pass, entryFn *types.Func, lit *ast.FuncLit) {
+	tainted := rangeParams(pass, lit)
+	growTaint(pass, lit, tainted)
+
+	var held int // lexically held mutexes
+	analysis.WithStack(lit.Body, func(nd ast.Node, stack []ast.Node) bool {
+		switch nd := nd.(type) {
+		case *ast.CallExpr:
+			if op, _, _ := interproc.LockOp(pass.TypesInfo, pass.Pkg, nd); op != interproc.LockNone {
+				deferred := len(stack) > 0 && interproc.IsDeferredCall(stack[len(stack)-1], nd)
+				switch {
+				case op == interproc.LockAcquire:
+					held++
+				case op == interproc.LockRelease && !deferred:
+					if held > 0 {
+						held--
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			if held > 0 {
+				return true
+			}
+			for _, lhs := range nd.Lhs {
+				checkWrite(pass, entryFn, lit, lhs, tainted)
+			}
+		case *ast.IncDecStmt:
+			if held > 0 {
+				return true
+			}
+			checkWrite(pass, entryFn, lit, nd.X, tainted)
+		}
+		return true
+	})
+}
+
+// rangeParams collects the body's integer parameters — the loop
+// range/index variables handed to it by the runtime.
+func rangeParams(pass *analysis.Pass, lit *ast.FuncLit) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	if lit.Type.Params == nil {
+		return out
+	}
+	for _, field := range lit.Type.Params.List {
+		tv, ok := pass.TypesInfo.Types[field.Type]
+		if !ok {
+			continue
+		}
+		basic, ok := tv.Type.Underlying().(*types.Basic)
+		if !ok || basic.Info()&types.IsInteger == 0 {
+			continue
+		}
+		for _, name := range field.Names {
+			if obj := pass.TypesInfo.Defs[name]; obj != nil {
+				out[obj] = true
+			}
+		}
+	}
+	return out
+}
+
+// growTaint extends the tainted set with locals assigned from tainted
+// expressions (e.g. i := lo in the canonical chunk loop). Two rounds
+// handle one level of indirection through another local.
+func growTaint(pass *analysis.Pass, lit *ast.FuncLit, tainted map[types.Object]bool) {
+	for round := 0; round < 2; round++ {
+		changed := false
+		ast.Inspect(lit.Body, func(nd ast.Node) bool {
+			as, ok := nd.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != len(as.Rhs) {
+				return true
+			}
+			for i, lhs := range as.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := pass.TypesInfo.Defs[id]
+				if obj == nil {
+					obj = pass.TypesInfo.Uses[id]
+				}
+				if obj == nil || tainted[obj] {
+					continue
+				}
+				if mentionsTainted(pass, as.Rhs[i], tainted) {
+					tainted[obj] = true
+					changed = true
+				}
+			}
+			return true
+		})
+		if !changed {
+			break
+		}
+	}
+}
+
+func mentionsTainted(pass *analysis.Pass, e ast.Expr, tainted map[types.Object]bool) bool {
+	found := false
+	ast.Inspect(e, func(nd ast.Node) bool {
+		if id, ok := nd.(*ast.Ident); ok {
+			if obj := pass.TypesInfo.Uses[id]; obj != nil && tainted[obj] {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// checkWrite classifies one write target inside the body.
+func checkWrite(pass *analysis.Pass, entryFn *types.Func, lit *ast.FuncLit, lhs ast.Expr, tainted map[types.Object]bool) {
+	lhs = ast.Unparen(lhs)
+	if id, ok := lhs.(*ast.Ident); ok && id.Name == "_" {
+		return
+	}
+	base, baseObj := baseVar(pass, lhs)
+	if baseObj == nil {
+		return
+	}
+	// Declared inside the body (including nested literals): private
+	// to the iteration.
+	if baseObj.Pos() >= lit.Pos() && baseObj.Pos() <= lit.End() {
+		return
+	}
+
+	// Walk the LHS shape: indexed access with a loop-derived index
+	// into a slice/array is the sanctioned pattern; maps are never
+	// safe; everything else captured is a race.
+	switch e := lhs.(type) {
+	case *ast.IndexExpr:
+		container, _ := pass.TypesInfo.Types[e.X]
+		_, isMap := container.Type.Underlying().(*types.Map)
+		if isMap {
+			pass.Reportf(lhs.Pos(),
+				"write to captured map %q inside a %s body: Go maps race on concurrent writes even at distinct keys; use per-worker maps or a mutex",
+				types.ExprString(e.X), analysis.FuncName(entryFn))
+			return
+		}
+		if mentionsTainted(pass, e.Index, tainted) {
+			return // out[i] = ... with i derived from the range
+		}
+		pass.Reportf(lhs.Pos(),
+			"write to captured %q indexed by %q, which is not derived from the loop variable, inside a %s body: concurrent iterations may collide; index by the loop variable or guard with a mutex",
+			types.ExprString(e.X), types.ExprString(e.Index), analysis.FuncName(entryFn))
+	default:
+		pass.Reportf(lhs.Pos(),
+			"unsynchronized write to captured variable %q inside a %s body: concurrent iterations race; accumulate per-chunk locally, index a slice by the loop variable, use an atomic, or guard with a mutex",
+			types.ExprString(base), analysis.FuncName(entryFn))
+	}
+}
+
+// baseVar peels selectors, stars, and indexes down to the root
+// identifier of an lvalue and resolves its object.
+func baseVar(pass *analysis.Pass, e ast.Expr) (ast.Expr, types.Object) {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.Ident:
+			obj := pass.TypesInfo.Uses[x]
+			if obj == nil {
+				obj = pass.TypesInfo.Defs[x]
+			}
+			if _, ok := obj.(*types.Var); !ok {
+				return x, nil
+			}
+			return x, obj
+		default:
+			return e, nil
+		}
+	}
+}

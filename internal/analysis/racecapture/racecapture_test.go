@@ -1,0 +1,15 @@
+package racecapture_test
+
+import (
+	"testing"
+
+	"threading/internal/analysis/analysistest"
+	"threading/internal/analysis/racecapture"
+)
+
+func TestRaceCapture(t *testing.T) {
+	analysistest.Run(t, racecapture.Analyzer,
+		"testdata/src/a",
+		"testdata/src/clean",
+	)
+}

@@ -1,0 +1,86 @@
+// Negative fixture: the sanctioned parallel-loop write patterns.
+package clean
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+
+	"threading/internal/worksteal"
+)
+
+// Element write indexed by the loop variable: disjoint ranges touch
+// disjoint elements.
+func indexed(p *worksteal.Pool, out []float64) {
+	_ = p.ParallelForCtx(context.Background(), 0, len(out), 0, func(l, h int) {
+		for i := l; i < h; i++ {
+			out[i] = float64(i) * 2
+		}
+	})
+}
+
+// Index derived from the loop variable through arithmetic and a
+// second local is still loop-derived.
+func derivedIndex(p *worksteal.Pool, out []int) {
+	_ = p.ParallelForCtx(context.Background(), 0, len(out)/2, 0, func(l, h int) {
+		for i := l; i < h; i++ {
+			j := 2 * i
+			out[j] = i
+			out[j+1] = i
+		}
+	})
+}
+
+// Mutex-guarded accumulation is synchronized.
+func guarded(p *worksteal.Pool, xs []float64) float64 {
+	var mu sync.Mutex
+	sum := 0.0
+	_ = p.ParallelForCtx(context.Background(), 0, len(xs), 0, func(l, h int) {
+		local := 0.0
+		for i := l; i < h; i++ {
+			local += xs[i]
+		}
+		mu.Lock()
+		sum += local
+		mu.Unlock()
+	})
+	return sum
+}
+
+// Deferred unlock holds the lock to the end of the body.
+func guardedDefer(p *worksteal.Pool, xs []float64) float64 {
+	var mu sync.Mutex
+	sum := 0.0
+	_ = p.ParallelForCtx(context.Background(), 0, len(xs), 0, func(l, h int) {
+		mu.Lock()
+		defer mu.Unlock()
+		for i := l; i < h; i++ {
+			sum += xs[i]
+		}
+	})
+	return sum
+}
+
+// Atomics are calls, not assignments: nothing to flag.
+func atomicAccum(p *worksteal.Pool, xs []int64) int64 {
+	var sum atomic.Int64
+	_ = p.ParallelForCtx(context.Background(), 0, len(xs), 0, func(l, h int) {
+		var local int64
+		for i := l; i < h; i++ {
+			local += xs[i]
+		}
+		sum.Add(local)
+	})
+	return sum.Load()
+}
+
+// Locals declared inside the body are private to the iteration chunk.
+func localAccum(p *worksteal.Pool, xs []float64, out []float64) {
+	_ = p.ParallelForCtx(context.Background(), 0, len(xs), 0, func(l, h int) {
+		acc := 0.0
+		for i := l; i < h; i++ {
+			acc += xs[i]
+		}
+		out[l] = acc
+	})
+}
