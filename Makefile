@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: all build test race race-sched vet lint lint-fix bench-smoke bench-loopdist bench-scaling bench-record bench-gate trace-smoke clean
+.PHONY: all build test race race-sched vet lint lint-fix bench-smoke bench-loopdist bench-scaling bench-record bench-gate serve-smoke serve-sweep trace-smoke clean
 
-all: build vet lint test bench-gate
+all: build vet lint test bench-gate serve-smoke
 
 build:
 	$(GO) build ./...
@@ -65,6 +65,7 @@ bench-scaling:
 bench-record:
 	$(GO) run ./cmd/benchgate record -kernels axpy,sum,matvec,fib -pinned -out BENCH_kernels.json
 	$(GO) run ./cmd/benchgate record -kernels axpy,sum -shards -1 -balancer least-loaded -out BENCH_shard.json
+	$(GO) run ./cmd/loadsweep -out BENCH_latency.json
 
 # Statistical benchmark-regression gate: fresh samples against the
 # committed baseline, plus the paper's directional invariants
@@ -74,6 +75,22 @@ bench-record:
 bench-gate:
 	$(GO) run ./cmd/benchgate check -reps 3 -alpha 0.05 -ratio 1.3
 	$(GO) run ./cmd/benchgate check -baseline BENCH_shard.json -reps 3 -alpha 0.05 -ratio 1.3
+
+# Tail-latency gate, mirroring CI's latency-smoke lane: `benchgate
+# check` detects the latency baseline (BENCH_latency.json, written by
+# cmd/loadsweep), boots an in-process threadserve per model, re-sweeps
+# the two lowest offered-load points, and gates the tail invariants
+# (low-load p99 parity; sharded least-loaded p99 within 1.1x of
+# single-pool). Tight -alpha so percentile noise cannot flap the gate;
+# the bounds ride on the invariants themselves.
+serve-smoke:
+	$(GO) run ./cmd/benchgate check -baseline BENCH_latency.json -points 2 -requests 300 -alpha 0.01
+
+# Full open-loop service sweep: every default runtime across the
+# default offered-load points, with the per-point tail table on
+# stdout. Use -out via cmd/loadsweep directly to record a baseline.
+serve-sweep:
+	$(GO) run ./cmd/loadsweep
 
 # End-to-end exercise of the tracing pipeline: a small Sum+Fib sweep
 # with -trace, then traceview converts the raw events to Chrome

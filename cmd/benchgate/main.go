@@ -14,6 +14,7 @@
 //	benchgate compare [-alpha 0.05] [-ratio 1.1] [-json] old.json new.json
 //	benchgate check   [-baseline BENCH_kernels.json] [-reps N]
 //	                  [-alpha 0.05] [-ratio 1.3] [-json] [-out fresh.json]
+//	                  [-requests N] [-points N]
 //
 // record runs the kernel suite through the benchmark harness and
 // writes every raw repetition with environment metadata (go version,
@@ -25,6 +26,15 @@
 // the directional invariants on both sample sets; when the baseline
 // was recorded in a different environment (platform or GOMAXPROCS),
 // absolute regressions are reported but only invariants gate.
+//
+// check detects latency baselines (written by cmd/loadsweep; config
+// carries a scenario) and re-measures them through the open-loop
+// service sweep instead of the kernel suite, gating the tail
+// invariants (low-load p99 parity, sharded-tail overhead) on both
+// sample sets. -requests and -points shrink the fresh sweep for a CI
+// smoke lane: -points keeps only the N lowest offered points, where
+// every tail invariant is defined, so the gate's coverage survives
+// the trim.
 //
 // -json emits one JSON object per verdict (and per invariant result
 // for check) on stdout. Exit status: 0 clean, 1 regressions or
@@ -40,6 +50,7 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"sort"
 	"strings"
 	"syscall"
 	"time"
@@ -179,6 +190,8 @@ func runCheck(args []string, stdout, stderr io.Writer) int {
 		ratio    = fs.Float64("ratio", 0, "minimum effect ratio; 0 = 1.10 (CI uses 1.3 so shared runners don't flap)")
 		jsonOut  = fs.Bool("json", false, "emit newline-delimited JSON verdicts and invariant results on stdout")
 		out      = fs.String("out", "", "also write the fresh samples to this path (CI artifact)")
+		requests = fs.Int("requests", 0, "latency baselines: arrivals per sweep point for the fresh run; 0 = the baseline's count")
+		points   = fs.Int("points", 0, "latency baselines: re-measure only the N lowest offered points (0 = all); the tail invariants live at the lowest point, so they still gate")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -191,27 +204,55 @@ func runCheck(args []string, stdout, stderr io.Writer) int {
 	opt := benchgate.Options{Alpha: *alpha, MinRatio: *ratio}
 	invs := benchgate.InvariantsFor(base.Config)
 
-	// The baseline must itself satisfy the paper's orderings: a
-	// doctored (or stale) baseline that inverts them fails the gate
-	// before any fresh measurement is trusted against it.
+	// The baseline must itself satisfy the paper's orderings (or, for
+	// a latency baseline, the tail claims): a doctored or stale
+	// baseline that inverts them fails the gate before any fresh
+	// measurement is trusted against it.
 	baseInv := benchgate.CheckInvariants(base, invs, opt)
 
-	cfg := benchgate.SuiteConfig{
-		Kernels:  base.Config.Kernels,
-		Threads:  base.Config.Threads,
-		Reps:     base.Config.Reps,
-		Grain:    base.Config.Grain,
-		Scale:    base.Config.Scale,
-		Shards:   base.Config.Shards,
-		Balancer: base.Config.Balancer,
-		Pinned:   base.Config.Pinned,
-	}
-	if *reps > 0 {
-		cfg.Reps = *reps
-	}
 	ctx, stop := signalCtx()
 	defer stop()
-	fresh, err := benchgate.RunSuite(ctx, cfg)
+	var fresh *benchgate.Report
+	if base.Config.Scenario != "" {
+		// Latency baseline: re-measure through the open-loop sweep with
+		// the baseline's recorded configuration. -requests and -points
+		// shrink a CI smoke run; trimmed points show up as "removed"
+		// verdicts, which do not gate.
+		kernel := ""
+		if len(base.Config.Kernels) > 0 {
+			kernel = base.Config.Kernels[0]
+		}
+		cfg := benchgate.LatencySuiteConfig{
+			Models:   base.Config.Models,
+			Kernel:   kernel,
+			Threads:  base.Config.Threads,
+			Offered:  lowestPoints(base.Config.Offered, *points),
+			Requests: base.Config.Requests,
+			Warmup:   -1,
+			Shards:   base.Config.Shards,
+			Balancer: base.Config.Balancer,
+			Seed:     base.Config.Seed,
+		}
+		if *requests > 0 {
+			cfg.Requests = *requests
+		}
+		fresh, err = benchgate.RunLatencySuite(ctx, cfg)
+	} else {
+		cfg := benchgate.SuiteConfig{
+			Kernels:  base.Config.Kernels,
+			Threads:  base.Config.Threads,
+			Reps:     base.Config.Reps,
+			Grain:    base.Config.Grain,
+			Scale:    base.Config.Scale,
+			Shards:   base.Config.Shards,
+			Balancer: base.Config.Balancer,
+			Pinned:   base.Config.Pinned,
+		}
+		if *reps > 0 {
+			cfg.Reps = *reps
+		}
+		fresh, err = benchgate.RunSuite(ctx, cfg)
+	}
 	if err != nil {
 		return suiteFailure(err, stderr)
 	}
@@ -260,6 +301,28 @@ func runCheck(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	return 0
+}
+
+// lowestPoints keeps the n lowest offered points (all when n <= 0),
+// preserving order. The tail invariants are defined at the lowest
+// point, so a trimmed smoke check still exercises every gated claim.
+func lowestPoints(offered []int, n int) []int {
+	if n <= 0 || n >= len(offered) {
+		return offered
+	}
+	sorted := append([]int(nil), offered...)
+	sort.Ints(sorted)
+	keep := make(map[int]bool, n)
+	for _, o := range sorted[:n] {
+		keep[o] = true
+	}
+	var out []int
+	for _, o := range offered {
+		if keep[o] {
+			out = append(out, o)
+		}
+	}
+	return out
 }
 
 // suiteFailure maps a suite error to an exit code: 130 for an

@@ -1,0 +1,156 @@
+// Command loadsweep drives the service scenario with an open-loop
+// Poisson load generator: for each selected threading runtime it
+// boots an in-process threadserve (no sockets) and sweeps a set of
+// offered-load points, reporting per-point tail latency (p50, p99,
+// p999), goodput, shed rate, and peak admission-queue depth.
+//
+// Usage:
+//
+//	loadsweep [-models omp_for,cilk_for,sharded:cilk_for,cpp_async]
+//	          [-kernel sum] [-threads N] [-offered 200,400,800]
+//	          [-requests 400] [-warmup -1] [-shards 2]
+//	          [-balancer least-loaded] [-queue N] [-timeout 2s]
+//	          [-worksize N] [-seed 1] [-out latency.json]
+//
+// The generator is open-loop: arrivals follow an absolute-time
+// Poisson schedule at the offered rate, so a slow server cannot slow
+// the arrivals down (no coordinated omission) — overload shows up as
+// queueing, shedding, and tail growth instead of a silently reduced
+// request rate. -warmup -1 excludes the first tenth of each point's
+// arrivals from measurement.
+//
+// -out writes the full latency report in the benchmark-gate schema;
+// `benchgate check -baseline <file>` re-measures it and enforces the
+// tail invariants. Ctrl-C stops the sweep at the next point boundary,
+// still writes the points measured so far, and exits 130 — the same
+// interrupt contract as cmd/threadbench.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"threading/internal/benchgate"
+	"threading/internal/stats"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with injectable streams and arguments, so the interrupt
+// contract is testable in-process.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("loadsweep", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		modelsFlag = fs.String("models", "", "comma-separated runtimes to sweep; empty = omp_for,cilk_for,sharded:cilk_for,cpp_async")
+		kernel     = fs.String("kernel", "sum", "kernel each request executes (sum, axpy, matvec, pathfinder)")
+		threads    = fs.Int("threads", 0, "runtime worker count (0 = GOMAXPROCS)")
+		offered    = fs.String("offered", "", "comma-separated offered loads in requests/second; empty = 200,400,800")
+		requests   = fs.Int("requests", 0, "arrivals per point (0 = 400)")
+		warmup     = fs.Int("warmup", -1, "warmup arrivals excluded per point (-1 = requests/10)")
+		shards     = fs.Int("shards", 0, "shard count for sharded: models (0 = 2)")
+		balancer   = fs.String("balancer", "", "shard balancer (empty = least-loaded)")
+		queue      = fs.Int("queue", 0, "admission queue bound (0 = 4x threads)")
+		timeout    = fs.Duration("timeout", 0, "per-request deadline (0 = 2s)")
+		worksize   = fs.Int("worksize", 0, "base workload size n (0 = 32768)")
+		seed       = fs.Uint64("seed", 0, "arrival-schedule seed (0 = 1)")
+		out        = fs.String("out", "", "write the latency report to this path in the benchmark-gate schema")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	cfg := benchgate.LatencySuiteConfig{
+		Kernel:   *kernel,
+		Threads:  *threads,
+		Requests: *requests,
+		Warmup:   *warmup,
+		Shards:   *shards,
+		Balancer: *balancer,
+		Queue:    *queue,
+		Timeout:  *timeout,
+		WorkSize: *worksize,
+		Seed:     *seed,
+	}
+	if *modelsFlag != "" {
+		cfg.Models = splitList(*modelsFlag)
+	}
+	if *offered != "" {
+		for _, part := range splitList(*offered) {
+			n, err := strconv.Atoi(part)
+			if err != nil || n < 1 {
+				fmt.Fprintf(stderr, "loadsweep: bad offered load %q\n", part)
+				return 2
+			}
+			cfg.Offered = append(cfg.Offered, n)
+		}
+	}
+
+	// Ctrl-C cancels the sweep at the next point boundary instead of
+	// killing the process mid-measurement.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	rep, err := benchgate.RunLatencySuite(ctx, cfg)
+	// Export whatever completed — an interrupted sweep still leaves a
+	// gate-able partial artifact.
+	if rep != nil && len(rep.Series) > 0 {
+		writeTable(stdout, rep)
+		if *out != "" {
+			if werr := benchgate.WriteFile(*out, rep); werr != nil {
+				fmt.Fprintf(stderr, "loadsweep: %v\n", werr)
+			} else {
+				fmt.Fprintf(stdout, "wrote %s (%d series)\n", *out, len(rep.Series))
+			}
+		}
+	}
+	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(stderr, "loadsweep: interrupted; partial sweep above")
+			return 130
+		}
+		fmt.Fprintf(stderr, "loadsweep: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+// writeTable renders the sweep as a human table, one row per
+// (model, offered) point.
+func writeTable(w io.Writer, rep *benchgate.Report) {
+	fmt.Fprintf(w, "%-22s %8s %10s %10s %10s %9s %6s %6s\n",
+		"model", "offered", "p50", "p99", "p999", "goodput", "shed", "depth")
+	for _, s := range rep.Series {
+		fmt.Fprintf(w, "%-22s %8d %10s %10s %10s %9.1f %5.1f%% %6d\n",
+			s.Model, s.Offered,
+			fmtNs(stats.PercentileNs(s.SampleNs, 0.50)),
+			fmtNs(stats.PercentileNs(s.SampleNs, 0.99)),
+			fmtNs(stats.PercentileNs(s.SampleNs, 0.999)),
+			s.Goodput, 100*s.ShedRate, s.QueueDepth)
+	}
+}
+
+func fmtNs(ns int64) string {
+	return time.Duration(ns).Round(time.Microsecond).String()
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}

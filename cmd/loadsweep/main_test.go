@@ -1,0 +1,111 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"threading/internal/benchgate"
+)
+
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+func TestSweepWritesReport(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "lat.json")
+	var stdout, stderr syncBuffer
+	code := run([]string{
+		"-models", "omp_for", "-offered", "2000,4000", "-requests", "40",
+		"-worksize", "1024", "-out", out,
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit = %d\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
+	}
+	rep, err := benchgate.ReadFile(out)
+	if err != nil {
+		t.Fatalf("report unreadable: %v", err)
+	}
+	if len(rep.Series) != 2 || rep.Config.Scenario != benchgate.Scenario {
+		t.Fatalf("report = %d series, scenario %q", len(rep.Series), rep.Config.Scenario)
+	}
+	if !strings.Contains(stdout.String(), "p999") || !strings.Contains(stdout.String(), "omp_for") {
+		t.Errorf("table missing from stdout:\n%s", stdout.String())
+	}
+}
+
+// TestInterruptWritesPartialSweepAndExits130 pins the interrupt
+// contract: SIGINT stops the sweep at the next point boundary, still
+// writes the completed points, and exits 130 — matching threadbench.
+func TestInterruptWritesPartialSweepAndExits130(t *testing.T) {
+	// Guard subscription: while registered, SIGINT cannot terminate
+	// the test process even if run()'s own handler is not yet
+	// installed when the signal lands.
+	guard := make(chan os.Signal, 1)
+	signal.Notify(guard, os.Interrupt)
+	defer signal.Stop(guard)
+
+	out := filepath.Join(t.TempDir(), "lat.json")
+	var stdout, stderr syncBuffer
+	done := make(chan int, 1)
+	go func() {
+		// The first point finishes in milliseconds; the second, at
+		// 1 rps, would take most of a minute — the interrupt lands there.
+		done <- run([]string{
+			"-models", "omp_for", "-offered", "5000,1", "-requests", "40",
+			"-worksize", "1024", "-out", out,
+		}, &stdout, &stderr)
+	}()
+	time.Sleep(600 * time.Millisecond)
+	if err := syscall.Kill(os.Getpid(), syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case code := <-done:
+		if code != 130 {
+			t.Fatalf("exit code = %d, want 130\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("run did not exit after SIGINT")
+	}
+	if !strings.Contains(stderr.String(), "interrupted") {
+		t.Errorf("stderr missing interrupt notice:\n%s", stderr.String())
+	}
+	// The completed first point was still exported.
+	rep, err := benchgate.ReadFile(out)
+	if err != nil {
+		t.Fatalf("partial report unreadable: %v", err)
+	}
+	if len(rep.Series) != 1 || rep.Series[0].Offered != 5000 {
+		t.Fatalf("partial report = %+v, want the completed 5000 rps point", rep.Series)
+	}
+}
+
+func TestBadFlagsExitTwo(t *testing.T) {
+	var stdout, stderr syncBuffer
+	if code := run([]string{"-offered", "abc"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("bad offered exit = %d, want 2", code)
+	}
+	if code := run([]string{"-nope"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("unknown flag exit = %d, want 2", code)
+	}
+}

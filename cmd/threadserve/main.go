@@ -1,0 +1,153 @@
+// Command threadserve boots the latency-bound service scenario: an
+// HTTP server executing the repo's kernels (sum, axpy, matvec, and
+// the Rodinia PathFinder DP) on a selectable threading runtime, with
+// bounded admission, per-request deadlines, fan-out, and hedged
+// requests (see internal/serve).
+//
+// Usage:
+//
+//	threadserve [-addr 127.0.0.1:8080] [-model omp_for]
+//	            [-threads N] [-shards N] [-balancer least-loaded]
+//	            [-pinned] [-grain N] [-queue N] [-timeout 2s]
+//	            [-hedge 5ms] [-worksize 32768] [-trace trace.json]
+//
+// Endpoints: /run executes one kernel (?kernel=, ?n=, ?rows=,
+// ?timeout_ms=), /fanout forks a sum into ?ways= concurrent parts,
+// /hedged duplicates a slow request after ?hedge_ms=, /statz reports
+// counters, /healthz reports readiness.
+//
+// Ctrl-C drains in-flight requests, quiesces the runtime, emits the
+// final counters as JSON (the partial report), and exits 130 — the
+// same interrupt contract as cmd/threadbench. -trace writes the
+// runtime's scheduler events on every exit path.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"threading/internal/models"
+	"threading/internal/serve"
+	"threading/internal/tracez"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with injectable streams and arguments, so the interrupt
+// contract is testable in-process.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("threadserve", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr     = fs.String("addr", "127.0.0.1:8080", "listen address")
+		model    = fs.String("model", models.OMPFor, "threading runtime: omp_for, omp_task, cilk_for, cilk_spawn, cpp_thread, cpp_async, or sharded:<model>")
+		threads  = fs.Int("threads", 0, "runtime worker count (0 = GOMAXPROCS)")
+		shards   = fs.Int("shards", 0, "shard count for sharded: models (0 = model default, -1 = GOMAXPROCS)")
+		balancer = fs.String("balancer", "", "shard balancer: round-robin (default), random, least-loaded, or affinity")
+		pinned   = fs.Bool("pinned", false, "lock runtime workers to OS threads")
+		grain    = fs.Int("grain", 0, "loop grain for kernel requests (0 = runtime default)")
+		queue    = fs.Int("queue", 0, "admission queue bound; excess requests are shed with 429 (0 = 4x threads)")
+		timeout  = fs.Duration("timeout", 0, "default per-request deadline (0 = 2s)")
+		hedge    = fs.Duration("hedge", 0, "default /hedged duplicate delay (0 = 5ms)")
+		worksize = fs.Int("worksize", 0, "base workload size n (0 = 32768)")
+		traceTo  = fs.String("trace", "", "write the runtime's scheduler events to this path (view with cmd/traceview)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	var tracer *tracez.Tracer
+	if *traceTo != "" {
+		tracer = tracez.New(tracez.DefaultCapacity)
+		defer func() {
+			snap := tracer.Snapshot()
+			snap.Meta["tool"] = "threadserve"
+			snap.Meta["model"] = *model
+			if err := tracez.WriteFile(*traceTo, snap); err != nil {
+				fmt.Fprintf(stderr, "threadserve: %v\n", err)
+				return
+			}
+			fmt.Fprintf(stderr, "wrote trace to %s (inspect with: traceview %s)\n", *traceTo, *traceTo)
+		}()
+	}
+
+	s, err := serve.New(serve.Config{
+		Model:    *model,
+		Threads:  *threads,
+		Shards:   *shards,
+		Balancer: *balancer,
+		Pinned:   *pinned,
+		Grain:    *grain,
+		Queue:    *queue,
+		Timeout:  *timeout,
+		Hedge:    *hedge,
+		WorkSize: *worksize,
+		Tracer:   tracer,
+	})
+	if err != nil {
+		fmt.Fprintf(stderr, "threadserve: %v\n", err)
+		return 2
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(stderr, "threadserve: %v\n", err)
+		s.Close()
+		return 1
+	}
+	fmt.Fprintf(stdout, "threadserve: serving %s on http://%s\n", s.Model(), ln.Addr())
+
+	// Ctrl-C stops accepting, drains in-flight requests, and leaves a
+	// final stats report — same contract as threadbench.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	srv := &http.Server{Handler: s}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	interrupted := false
+	select {
+	case <-ctx.Done():
+		interrupted = true
+		sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		if err := srv.Shutdown(sctx); err != nil {
+			fmt.Fprintf(stderr, "threadserve: shutdown: %v\n", err)
+		}
+		cancel()
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintf(stderr, "threadserve: %v\n", err)
+			s.Close()
+			return 1
+		}
+	}
+
+	closeErr := s.Close()
+	// The partial report: whatever the server counted before the
+	// interrupt, as one JSON object.
+	enc := json.NewEncoder(stdout)
+	enc.SetIndent("", "  ")
+	enc.Encode(s.Stats(false))
+	if closeErr != nil {
+		fmt.Fprintf(stderr, "threadserve: quiesce: %v\n", closeErr)
+		return 1
+	}
+	if interrupted {
+		fmt.Fprintln(stderr, "threadserve: interrupted; final stats above")
+		return 130
+	}
+	return 0
+}

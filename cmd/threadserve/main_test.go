@@ -1,0 +1,135 @@
+package main
+
+import (
+	"bytes"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// syncBuffer is a bytes.Buffer safe for concurrent writer/reader use:
+// run() writes from its goroutine while the test polls.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+func waitFor(t *testing.T, buf *syncBuffer, substr string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if strings.Contains(buf.String(), substr) {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("%q never appeared in output:\n%s", substr, buf.String())
+}
+
+// TestInterruptEmitsFinalStatsAndExits130 pins the interrupt
+// contract: SIGINT drains the server, emits the final counters as
+// JSON, and exits 130 — matching threadbench.
+func TestInterruptEmitsFinalStatsAndExits130(t *testing.T) {
+	// Guard subscription: while registered, SIGINT cannot terminate
+	// the test process even if run()'s own handler is not yet
+	// installed when the signal lands.
+	guard := make(chan os.Signal, 1)
+	signal.Notify(guard, os.Interrupt)
+	defer signal.Stop(guard)
+
+	var stdout, stderr syncBuffer
+	done := make(chan int, 1)
+	go func() {
+		done <- run([]string{"-addr", "127.0.0.1:0", "-model", "cilk_for", "-threads", "2", "-worksize", "1024"},
+			&stdout, &stderr)
+	}()
+	waitFor(t, &stdout, "serving cilk_for on http://")
+
+	// The server is live: one request over real TCP before the
+	// interrupt, so the final stats have something to report.
+	var addr string
+	for _, line := range strings.Split(stdout.String(), "\n") {
+		if i := strings.Index(line, "http://"); i >= 0 {
+			addr = strings.TrimSpace(line[i:])
+		}
+	}
+	resp, err := http.Get(addr + "/run?kernel=sum")
+	if err != nil {
+		t.Fatalf("live request: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("live request = %d", resp.StatusCode)
+	}
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case code := <-done:
+		if code != 130 {
+			t.Fatalf("exit code = %d, want 130\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("run did not exit after SIGINT")
+	}
+	out := stdout.String()
+	if !strings.Contains(out, `"accepted": 1`) || !strings.Contains(out, `"completed": 1`) {
+		t.Errorf("final stats report missing from stdout:\n%s", out)
+	}
+	if !strings.Contains(stderr.String(), "interrupted") {
+		t.Errorf("stderr missing interrupt notice:\n%s", stderr.String())
+	}
+}
+
+func TestBadFlagsExitTwo(t *testing.T) {
+	var stdout, stderr syncBuffer
+	if code := run([]string{"-model", "no_such_model"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("unknown model exit = %d, want 2", code)
+	}
+	if code := run([]string{"-nope"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("unknown flag exit = %d, want 2", code)
+	}
+}
+
+func TestTraceWrittenOnExit(t *testing.T) {
+	guard := make(chan os.Signal, 1)
+	signal.Notify(guard, os.Interrupt)
+	defer signal.Stop(guard)
+
+	trace := t.TempDir() + "/trace.json"
+	var stdout, stderr syncBuffer
+	done := make(chan int, 1)
+	go func() {
+		done <- run([]string{"-addr", "127.0.0.1:0", "-worksize", "1024", "-trace", trace}, &stdout, &stderr)
+	}()
+	waitFor(t, &stdout, "serving")
+	if err := syscall.Kill(os.Getpid(), syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("run did not exit after SIGINT")
+	}
+	if _, err := os.Stat(trace); err != nil {
+		t.Fatalf("trace artifact not written: %v\nstderr: %s", err, stderr.String())
+	}
+}

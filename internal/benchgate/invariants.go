@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"strings"
 
 	"threading/internal/models"
 	"threading/internal/stats"
@@ -28,6 +29,11 @@ type Invariant struct {
 	// claims ("sharding costs at most 10%") carry their tolerance here
 	// so the CLI's noise threshold cannot loosen them.
 	Ratio float64 `json:"ratio,omitempty"`
+	// Metric selects the compared statistic. Empty gates on the
+	// min+median of whole-run repetition timings (the bench default);
+	// "p50", "p99", or "p999" gate on that percentile of per-request
+	// latency samples — the service-scenario tail claims.
+	Metric string `json:"metric,omitempty"`
 }
 
 // DefaultInvariants returns the gated ordering claims at the given
@@ -119,6 +125,110 @@ func PinInvariants(threads, grain int) []Invariant {
 	return out
 }
 
+// Latency-scenario bounds. Both ride on the invariant (Invariant.
+// Ratio), not the CLI noise threshold.
+//
+// tailParityRatio bounds cross-runtime p99 at low offered load: with
+// the service far from saturation, tail latency is dominated by the
+// kernel itself plus per-request scheduling overhead, so no runtime
+// may tail more than 3x beyond another's. The bound is loose by
+// design — it flags an inversion of kind (a runtime that queues or
+// serializes where others do not), not percentage-level noise.
+//
+// shardTailRatio bounds the sharded runtime's p99 against its
+// single-pool twin at low load: routing a request to one of k shards
+// must not cost more than 10% of the tail — the latency twin of the
+// throughput sharding-overhead bound.
+const (
+	tailParityRatio = 3.0
+	shardTailRatio  = 1.1
+)
+
+// LatencyInvariants returns the service-scenario tail claims for a
+// latency report: pairwise low-load p99 parity between the reference
+// runtime (omp_for, or the first configured model) and every other
+// unsharded model — both directions, since parity is symmetric — and
+// the sharded-tail bound for every sharded model whose single-pool
+// twin was also swept. All claims are defined at the lowest offered
+// point, where queueing is rare and the tails measure the runtimes,
+// not the load.
+func LatencyInvariants(cfg RunConfig) []Invariant {
+	if cfg.Scenario == "" || len(cfg.Offered) == 0 || len(cfg.Models) == 0 {
+		return nil
+	}
+	low := cfg.Offered[0]
+	for _, o := range cfg.Offered {
+		if o < low {
+			low = o
+		}
+	}
+	kernel := "sum"
+	if len(cfg.Kernels) > 0 {
+		kernel = cfg.Kernels[0]
+	}
+	key := func(model string) Key {
+		k := Key{Kernel: kernel, Model: model, Threads: cfg.Threads,
+			Partitioner: "-", Scenario: cfg.Scenario, Offered: low}
+		if strings.HasPrefix(model, models.ShardedPrefix) {
+			k.Shards = cfg.Shards
+			k.Balancer = cfg.Balancer
+		}
+		return k
+	}
+	ref := cfg.Models[0]
+	for _, m := range cfg.Models {
+		if m == models.OMPFor {
+			ref = m
+			break
+		}
+	}
+	var out []Invariant
+	for _, m := range cfg.Models {
+		if m == ref || strings.HasPrefix(m, models.ShardedPrefix) {
+			continue
+		}
+		claim := fmt.Sprintf("low-load p99 parity at %d rps: %%s <= %.1fx %%s", low, tailParityRatio)
+		out = append(out,
+			Invariant{
+				Name:   "serve-p99-parity-" + m,
+				Claim:  fmt.Sprintf(claim, m, ref),
+				Fast:   key(m),
+				Slow:   key(ref),
+				Ratio:  tailParityRatio,
+				Metric: "p99",
+			},
+			Invariant{
+				Name:   "serve-p99-parity-" + ref + "-vs-" + m,
+				Claim:  fmt.Sprintf(claim, ref, m),
+				Fast:   key(ref),
+				Slow:   key(m),
+				Ratio:  tailParityRatio,
+				Metric: "p99",
+			})
+	}
+	for _, m := range cfg.Models {
+		base, ok := strings.CutPrefix(m, models.ShardedPrefix)
+		if !ok {
+			continue
+		}
+		for _, twin := range cfg.Models {
+			if twin == base {
+				out = append(out, Invariant{
+					Name: "serve-sharded-tail-overhead",
+					Claim: fmt.Sprintf("sharded %s p99 <= %.1fx single-pool at %d rps (routing must not cost the tail)",
+						base, shardTailRatio, low),
+					Fast:   key(m),
+					Slow:   key(twin),
+					Ratio:  shardTailRatio,
+					Metric: "p99",
+				})
+				break
+			}
+		}
+	}
+	return out
+}
+
 // FibInvariant returns the spawn-heavy ordering claim of the paper's
 // Fig. 5: cilk_spawn (lock-free Chase-Lev deques, arena-recycled task
 // records) is not slower than omp task (locked team deques) on uncut
@@ -139,8 +249,14 @@ func FibInvariant(threads int) Invariant {
 // configuration must satisfy: the paper's ordering claims, the
 // sharding-overhead bound when the run measured a sharded series, the
 // pinning-overhead bound when it measured pinned twins, and the
-// Fig. 5 spawn ordering when it measured the fib kernel.
+// Fig. 5 spawn ordering when it measured the fib kernel. A latency
+// report (Config.Scenario set) carries only the tail claims — its
+// series hold per-request latencies, not kernel repetition timings,
+// so the bench invariants do not apply.
 func InvariantsFor(cfg RunConfig) []Invariant {
+	if cfg.Scenario != "" {
+		return LatencyInvariants(cfg)
+	}
 	out := DefaultInvariants(cfg.Threads, cfg.Grain)
 	if cfg.Shards != 0 {
 		out = append(out, ShardInvariants(cfg.Threads, cfg.Grain, cfg.Shards, cfg.Balancer)...)
@@ -191,20 +307,53 @@ func CheckInvariants(rep *Report, invs []Invariant, opt Options) []InvariantResu
 			continue
 		}
 		u := stats.MannWhitneyU(toFloat(fast.SampleNs), toFloat(slow.SampleNs))
-		fastSum, slowSum := Summarize(fast.SampleNs), Summarize(slow.SampleNs)
 		res.P = u.P
-		res.MinRatio = ratio(fastSum.MinNs, slowSum.MinNs)
-		res.MedianRatio = ratio(fastSum.MedianNs, slowSum.MedianNs)
 		bound := opt.MinRatio
 		if inv.Ratio > 0 {
 			bound = inv.Ratio
 		}
+		if inv.Metric != "" {
+			// Percentile claim: the named quantile of the fast side's
+			// latency samples must stay within bound of the slow side's,
+			// and the U test must reject distribution equality — a tail
+			// blip without a distribution shift is noise, not a verdict.
+			q, ok := metricQuantile(inv.Metric)
+			if !ok {
+				res.Skipped = true
+				res.P = 1
+				out = append(out, res)
+				continue
+			}
+			r := ratio(stats.PercentileNs(fast.SampleNs, q), stats.PercentileNs(slow.SampleNs, q))
+			res.MinRatio, res.MedianRatio = r, r
+			if u.P < opt.Alpha && r >= bound {
+				res.Holds = false
+			}
+			out = append(out, res)
+			continue
+		}
+		fastSum, slowSum := Summarize(fast.SampleNs), Summarize(slow.SampleNs)
+		res.MinRatio = ratio(fastSum.MinNs, slowSum.MinNs)
+		res.MedianRatio = ratio(fastSum.MedianNs, slowSum.MedianNs)
 		if u.P < opt.Alpha && res.MinRatio >= bound && res.MedianRatio >= bound {
 			res.Holds = false
 		}
 		out = append(out, res)
 	}
 	return out
+}
+
+// metricQuantile maps an Invariant.Metric spelling to its quantile.
+func metricQuantile(m string) (float64, bool) {
+	switch m {
+	case "p50":
+		return 0.50, true
+	case "p99":
+		return 0.99, true
+	case "p999":
+		return 0.999, true
+	}
+	return 0, false
 }
 
 // AnyViolated reports whether any invariant failed.
@@ -226,7 +375,11 @@ func WriteInvariantTable(w io.Writer, label string, rs []InvariantResult) {
 		case r.Skipped:
 			status = "skipped (keys absent)"
 		case !r.Holds:
-			status = fmt.Sprintf("VIOLATED (fast/slow min ratio %.2f, p=%.4f)", r.MinRatio, r.P)
+			metric := "min"
+			if r.Metric != "" {
+				metric = r.Metric
+			}
+			status = fmt.Sprintf("VIOLATED (fast/slow %s ratio %.2f, p=%.4f)", metric, r.MinRatio, r.P)
 		}
 		fmt.Fprintf(w, "  %-28s %-10s %s\n", r.Name, status, r.Claim)
 	}

@@ -1,0 +1,192 @@
+package benchgate
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+
+	"threading/internal/loadgen"
+	"threading/internal/models"
+	"threading/internal/serve"
+)
+
+// Scenario names the service scenario latency reports are keyed by.
+const Scenario = "serve"
+
+// DefaultServeModels is the default latency sweep: the two paper
+// families with persistent runtimes (work-sharing team, work-stealing
+// pool), the sharded pool (so the sharded-tail bound has a subject),
+// and the per-request cpp_async model as the no-runtime contrast.
+func DefaultServeModels() []string {
+	return []string{models.OMPFor, models.CilkFor,
+		models.ShardedPrefix + models.CilkFor, models.CPPAsync}
+}
+
+// DefaultOffered is the default offered-load sweep in requests per
+// second: a low point where queueing is rare (the tail-parity and
+// sharded-tail claims are defined there), then doublings that spread
+// utilization so goodput tracking offered load — and any departure
+// from it — is visible across the sweep.
+func DefaultOffered() []int { return []int{200, 400, 800} }
+
+// LatencySuiteConfig selects what RunLatencySuite measures.
+type LatencySuiteConfig struct {
+	// Models to sweep; empty selects DefaultServeModels.
+	Models []string
+	// Kernel each request executes; empty selects "sum".
+	Kernel string
+	// Threads is each runtime's worker count; 0 selects GOMAXPROCS.
+	Threads int
+	// Offered lists the swept arrival rates in requests/second; empty
+	// selects DefaultOffered.
+	Offered []int
+	// Requests is the number of arrivals per point; 0 selects 400.
+	Requests int
+	// Warmup arrivals are excluded from every point's measurements;
+	// negative selects Requests/10, 0 keeps 0.
+	Warmup int
+	// Shards splits the sharded models' runtimes; 0 selects 2.
+	Shards int
+	// Balancer routes the sharded models; empty selects least-loaded,
+	// the balancer the sharded-tail bound is claimed for.
+	Balancer string
+	// Queue bounds each server's admission queue; 0 keeps the serve
+	// default (4x threads).
+	Queue int
+	// Timeout is the per-request deadline; 0 keeps the serve default.
+	Timeout time.Duration
+	// WorkSize is the kernel working-set knob (serve.Config.WorkSize);
+	// 0 keeps the serve default.
+	WorkSize int
+	// Seed drives the deterministic arrival schedule; 0 selects 1.
+	Seed uint64
+}
+
+func (c LatencySuiteConfig) withDefaults() LatencySuiteConfig {
+	if len(c.Models) == 0 {
+		c.Models = DefaultServeModels()
+	}
+	if c.Kernel == "" {
+		c.Kernel = "sum"
+	}
+	if c.Threads <= 0 {
+		c.Threads = runtime.GOMAXPROCS(0)
+	}
+	if len(c.Offered) == 0 {
+		c.Offered = DefaultOffered()
+	}
+	if c.Requests <= 0 {
+		c.Requests = 400
+	}
+	if c.Warmup < 0 {
+		c.Warmup = c.Requests / 10
+	}
+	if c.Shards <= 0 {
+		c.Shards = 2
+	}
+	if c.Balancer == "" {
+		c.Balancer = "least-loaded"
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// RunConfig returns the schema record of this configuration.
+func (c LatencySuiteConfig) RunConfig() RunConfig {
+	c = c.withDefaults()
+	return RunConfig{
+		Threads:  c.Threads,
+		Reps:     c.Requests,
+		Kernels:  []string{c.Kernel},
+		Shards:   c.Shards,
+		Balancer: c.Balancer,
+		Scenario: Scenario,
+		Offered:  c.Offered,
+		Requests: c.Requests,
+		Models:   c.Models,
+		Seed:     c.Seed,
+	}
+}
+
+// RunLatencySuite sweeps every configured model across the offered-
+// load points and returns a latency report: one series per (model,
+// offered) whose samples are per-request latencies, with goodput,
+// shed rate, and the point's peak admission-queue depth alongside.
+// Each model boots a fresh in-process threadserve driven through
+// loadgen.HandlerTarget — no sockets, so the measured latency is
+// admission + scheduling + kernel execution.
+//
+// Canceling ctx stops the sweep at the next point boundary (the
+// in-flight point finishes early with a partial measurement, which is
+// discarded) and returns the points measured so far alongside ctx's
+// error — the partial-report path the SIGINT contract is built on.
+func RunLatencySuite(ctx context.Context, cfg LatencySuiteConfig) (*Report, error) {
+	cfg = cfg.withDefaults()
+	rep := New("cmd/loadsweep", cfg.RunConfig())
+	for _, model := range cfg.Models {
+		if err := runLatencyModel(ctx, cfg, rep, model); err != nil {
+			return rep, err
+		}
+	}
+	return rep, rep.Validate()
+}
+
+// runLatencyModel sweeps one model, closing its server before
+// returning so a canceled sweep still quiesces every runtime it
+// booted.
+func runLatencyModel(ctx context.Context, cfg LatencySuiteConfig, rep *Report, model string) error {
+	scfg := serve.Config{
+		Model:    model,
+		Threads:  cfg.Threads,
+		Queue:    cfg.Queue,
+		Timeout:  cfg.Timeout,
+		WorkSize: cfg.WorkSize,
+	}
+	if strings.HasPrefix(model, models.ShardedPrefix) {
+		scfg.Shards = cfg.Shards
+		scfg.Balancer = cfg.Balancer
+	}
+	s, err := serve.New(scfg)
+	if err != nil {
+		return fmt.Errorf("benchgate: boot %s: %w", model, err)
+	}
+	defer s.Close()
+	target := loadgen.HandlerTarget{Handler: s}
+	path := "/run?kernel=" + cfg.Kernel
+	for _, offered := range cfg.Offered {
+		s.Stats(true) // reset the peak-depth watermark for this point
+		res, err := loadgen.Run(ctx, loadgen.Config{
+			Target:   target,
+			Path:     path,
+			Offered:  float64(offered),
+			Requests: cfg.Requests,
+			Warmup:   cfg.Warmup,
+			Seed:     cfg.Seed,
+		})
+		if err != nil {
+			return err
+		}
+		if len(res.LatencyNs) == 0 {
+			return fmt.Errorf("benchgate: %s at %d rps completed no requests (%d shed, %d timeouts, %d errors)",
+				model, offered, res.Shed, res.Timeouts, res.Errors)
+		}
+		k := Key{Kernel: cfg.Kernel, Model: model, Threads: cfg.Threads,
+			Partitioner: "-", Scenario: Scenario, Offered: offered}
+		if strings.HasPrefix(model, models.ShardedPrefix) {
+			k.Shards = cfg.Shards
+			k.Balancer = cfg.Balancer
+		}
+		rep.Add(Series{
+			Key:        k,
+			SampleNs:   res.LatencyNs,
+			Goodput:    res.Goodput(),
+			ShedRate:   res.ShedRate(),
+			QueueDepth: int(s.Stats(false).PeakDepth),
+		})
+	}
+	return nil
+}

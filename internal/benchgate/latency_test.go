@@ -1,0 +1,168 @@
+package benchgate
+
+import (
+	"context"
+	"testing"
+
+	"threading/internal/models"
+)
+
+// latencyReport builds a healthy low-load latency report: every
+// runtime's per-request latency distribution is near-identical, the
+// parity and sharded-tail claims all hold.
+func latencyReport() *Report {
+	cfg := LatencySuiteConfig{
+		Models:  []string{models.OMPFor, models.CilkFor, models.ShardedPrefix + models.CilkFor},
+		Threads: 1, Offered: []int{200, 400}, Requests: 40,
+	}
+	rep := New("test", cfg.RunConfig())
+	base := []int64{100, 102, 104, 106, 108, 110, 112, 114, 116, 200}
+	for _, m := range rep.Config.Models {
+		for _, off := range rep.Config.Offered {
+			k := Key{Kernel: "sum", Model: m, Threads: 1,
+				Partitioner: "-", Scenario: Scenario, Offered: off}
+			if m == models.ShardedPrefix+models.CilkFor {
+				k.Shards = rep.Config.Shards
+				k.Balancer = rep.Config.Balancer
+			}
+			ns := make([]int64, len(base))
+			copy(ns, base)
+			rep.Add(Series{Key: k, SampleNs: ns, Goodput: float64(off), ShedRate: 0})
+		}
+	}
+	return rep
+}
+
+func TestLatencyInvariantsShape(t *testing.T) {
+	rep := latencyReport()
+	invs := InvariantsFor(rep.Config)
+	// cilk_for <-> omp_for parity both ways, plus the sharded-tail
+	// bound: three claims, all on the p99 metric at the low point.
+	if len(invs) != 3 {
+		t.Fatalf("got %d invariants, want 3: %+v", len(invs), invs)
+	}
+	for _, inv := range invs {
+		if inv.Metric != "p99" {
+			t.Errorf("%s metric = %q, want p99", inv.Name, inv.Metric)
+		}
+		if inv.Fast.Offered != 200 || inv.Slow.Offered != 200 {
+			t.Errorf("%s not at the low offered point: %+v", inv.Name, inv)
+		}
+	}
+	rs := CheckInvariants(rep, invs, Options{})
+	for _, r := range rs {
+		if r.Skipped {
+			t.Errorf("%s skipped; latency keys not found", r.Name)
+		}
+		if !r.Holds {
+			t.Errorf("%s violated on healthy data (ratio %v, p %v)", r.Name, r.MinRatio, r.P)
+		}
+	}
+}
+
+func TestMetricInvariantCatchesTailInversion(t *testing.T) {
+	rep := latencyReport()
+	// Doctor cilk_for's low-load distribution: every request 10x
+	// slower — both the p99 ratio and the U test fire.
+	s := rep.Find(Key{Kernel: "sum", Model: models.CilkFor, Threads: 1,
+		Partitioner: "-", Scenario: Scenario, Offered: 200})
+	for i := range s.SampleNs {
+		s.SampleNs[i] *= 10
+	}
+	rs := CheckInvariants(rep, InvariantsFor(rep.Config), Options{})
+	var violated []string
+	for _, r := range rs {
+		if !r.Holds {
+			violated = append(violated, r.Name)
+		}
+	}
+	if len(violated) != 1 || violated[0] != "serve-p99-parity-"+models.CilkFor {
+		t.Errorf("violated = %v, want exactly serve-p99-parity-cilk_for", violated)
+	}
+}
+
+func TestMetricInvariantTailBlipWithoutShiftDoesNotGate(t *testing.T) {
+	rep := latencyReport()
+	// One outlier request 100x slower: the p99 ratio blows past the
+	// bound, but the distributions are otherwise identical, so the U
+	// test cannot reject equality — a blip is noise, not a verdict.
+	s := rep.Find(Key{Kernel: "sum", Model: models.CilkFor, Threads: 1,
+		Partitioner: "-", Scenario: Scenario, Offered: 200})
+	s.SampleNs[len(s.SampleNs)-1] *= 100
+	rs := CheckInvariants(rep, InvariantsFor(rep.Config), Options{})
+	for _, r := range rs {
+		if !r.Holds {
+			t.Errorf("%s gated a single-request blip (ratio %v, p %v)", r.Name, r.MinRatio, r.P)
+		}
+	}
+}
+
+func TestMetricInvariantUnknownMetricSkips(t *testing.T) {
+	rep := latencyReport()
+	invs := []Invariant{{
+		Name: "bogus", Metric: "p12345",
+		Fast: rep.Series[0].Key, Slow: rep.Series[2].Key,
+	}}
+	rs := CheckInvariants(rep, invs, Options{})
+	if len(rs) != 1 || !rs[0].Skipped || !rs[0].Holds {
+		t.Fatalf("unknown metric: %+v, want vacuous skip", rs)
+	}
+}
+
+// The latency suite itself, at a tiny scale: an in-process sweep must
+// produce exactly the keys the latency invariants expect, with the
+// scenario telemetry filled in.
+func TestRunLatencySuiteProducesInvariantKeys(t *testing.T) {
+	if testing.Short() {
+		t.Skip("measures wall time")
+	}
+	cfg := LatencySuiteConfig{
+		Models:   []string{models.OMPFor, models.CilkFor, models.ShardedPrefix + models.CilkFor},
+		Threads:  1,
+		Offered:  []int{2000, 4000},
+		Requests: 30,
+		WorkSize: 1 << 10,
+	}
+	rep, err := RunLatencySuite(context.Background(), cfg)
+	if err != nil {
+		t.Fatalf("RunLatencySuite: %v", err)
+	}
+	if got, want := len(rep.Series), 3*2; got != want {
+		t.Fatalf("series = %d, want %d", got, want)
+	}
+	for _, s := range rep.Series {
+		if s.Scenario != Scenario || s.Offered == 0 {
+			t.Errorf("series %s missing scenario tagging", s.Key)
+		}
+		if s.Goodput <= 0 {
+			t.Errorf("series %s goodput = %v, want > 0", s.Key, s.Goodput)
+		}
+		if len(s.SampleNs) == 0 {
+			t.Errorf("series %s has no latency samples", s.Key)
+		}
+	}
+	rs := CheckInvariants(rep, InvariantsFor(rep.Config), Options{})
+	if len(rs) == 0 {
+		t.Fatal("no latency invariants for the suite's own config")
+	}
+	for _, r := range rs {
+		if r.Skipped {
+			t.Errorf("%s skipped: suite keys do not line up with invariant keys", r.Name)
+		}
+	}
+}
+
+func TestRunLatencySuiteCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rep, err := RunLatencySuite(ctx, LatencySuiteConfig{
+		Models: []string{models.OMPFor}, Threads: 1,
+		Offered: []int{1000}, Requests: 10, WorkSize: 1 << 10,
+	})
+	if err == nil {
+		t.Fatal("canceled sweep returned nil error")
+	}
+	if rep == nil {
+		t.Fatal("canceled sweep must still return the partial report")
+	}
+}

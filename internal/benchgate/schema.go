@@ -53,6 +53,13 @@ type Key struct {
 	// size across the thread sweep) or "weak" (fixed per-thread size).
 	// Empty for plain fixed-thread series.
 	Sweep string `json:"sweep,omitempty"`
+	// Scenario tags a service-scenario series (e.g. "serve"): samples
+	// are per-request latencies from an open-loop load sweep rather
+	// than whole-kernel repetition timings. Empty for bench series.
+	Scenario string `json:"scenario,omitempty"`
+	// Offered is the scenario's offered load in requests/second — the
+	// sweep point this series was measured at. Zero outside scenarios.
+	Offered int `json:"offered,omitempty"`
 }
 
 func (k Key) String() string {
@@ -67,7 +74,30 @@ func (k Key) String() string {
 	if k.Sweep != "" {
 		s += " " + k.Sweep
 	}
+	if k.Scenario != "" {
+		s += fmt.Sprintf(" %s@%drps", k.Scenario, k.Offered)
+	}
 	return s
+}
+
+// normalized maps a key to its canonical spelling, so reports written
+// by different tools (or by hand-trimmed baselines) stay comparable:
+// an absent partitioner means "does not apply", an unsharded series
+// cannot carry a balancer, and a sharded series with no recorded
+// balancer was routed by the default. Without this, a baseline whose
+// omitempty fields were dropped would silently stop matching its
+// freshly measured twin and the gate would report "missing key"
+// instead of comparing.
+func (k Key) normalized() Key {
+	if k.Partitioner == "" {
+		k.Partitioner = "-"
+	}
+	if k.Shards == 0 {
+		k.Balancer = ""
+	} else if k.Balancer == "" {
+		k.Balancer = "round-robin"
+	}
+	return k
 }
 
 // Series is one key plus its raw repetition timings. All statistics
@@ -85,6 +115,14 @@ type Series struct {
 	// T(1)/(p*T(p)) for strong sweeps, T(1)/T(p) for weak sweeps, from
 	// the minimum timings. Zero (and omitted) outside scaling sweeps.
 	Efficiency float64 `json:"efficiency,omitempty"`
+	// Goodput, ShedRate, and QueueDepth describe a service-scenario
+	// series (Key.Scenario != ""): completed-OK requests per second
+	// over the measured window, the shed (429) fraction of arrivals,
+	// and the peak admission-queue depth observed at this sweep point.
+	// Zero (and omitted) outside scenarios.
+	Goodput    float64 `json:"goodput,omitempty"`
+	ShedRate   float64 `json:"shed_rate,omitempty"`
+	QueueDepth int     `json:"queue_depth,omitempty"`
 }
 
 // Env records where a report was measured. Cross-environment
@@ -139,6 +177,17 @@ type RunConfig struct {
 	// Sweep records the scaling-suite mode the report was produced by:
 	// "strong", "weak", or empty for fixed-thread runs.
 	Sweep string `json:"sweep,omitempty"`
+	// Scenario records the service scenario the report was produced
+	// by (e.g. "serve"); empty for bench reports. When set, Offered
+	// lists the swept offered-load points (requests/second), Requests
+	// the arrivals generated per point, and Models the runtimes the
+	// sweep was run against.
+	Scenario string   `json:"scenario,omitempty"`
+	Offered  []int    `json:"offered,omitempty"`
+	Requests int      `json:"requests,omitempty"`
+	Models   []string `json:"models,omitempty"`
+	// Seed drives the scenario's deterministic arrival schedule.
+	Seed uint64 `json:"seed,omitempty"`
 }
 
 // Report is the sample-file schema shared by all bench tools.
@@ -159,10 +208,14 @@ func New(tool string, cfg RunConfig) *Report {
 // Add appends a series.
 func (r *Report) Add(s Series) { r.Series = append(r.Series, s) }
 
-// Find returns the series with the given key, or nil.
+// Find returns the series with the given key, or nil. Keys are
+// matched under normalization (see Key.normalized), so equivalent
+// spellings of the same configuration — with or without omitempty
+// defaults — resolve to the same series.
 func (r *Report) Find(k Key) *Series {
+	k = k.normalized()
 	for i := range r.Series {
-		if r.Series[i].Key == k {
+		if r.Series[i].Key.normalized() == k {
 			return &r.Series[i]
 		}
 	}
@@ -184,10 +237,11 @@ func (r *Report) Validate() error {
 		if len(s.SampleNs) == 0 {
 			return fmt.Errorf("benchgate: series %s has no samples", s.Key)
 		}
-		if seen[s.Key] {
+		k := s.Key.normalized()
+		if seen[k] {
 			return fmt.Errorf("benchgate: duplicate series %s", s.Key)
 		}
-		seen[s.Key] = true
+		seen[k] = true
 	}
 	return nil
 }

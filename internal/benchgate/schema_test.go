@@ -101,6 +101,92 @@ func TestFind(t *testing.T) {
 	}
 }
 
+// TestFindNormalizesKeys pins the baseline-compatibility contract:
+// the omitempty key fields (partitioner, balancer) may be absent from
+// an old or hand-trimmed baseline, and an unsharded key may carry a
+// stray balancer label — every spelling must resolve to the same
+// series instead of degrading the gate to "missing key".
+func TestFindNormalizesKeys(t *testing.T) {
+	rep := New("test", RunConfig{})
+	rep.Add(Series{
+		Key: Key{Kernel: "axpy", Model: "sharded:cilk_for", Threads: 2,
+			Grain: 64, Partitioner: "eager", Shards: 2, Balancer: "round-robin"},
+		SampleNs: []int64{100},
+	})
+	rep.Add(Series{
+		Key:      Key{Kernel: "axpy", Model: "omp_for", Threads: 2, Partitioner: "-"},
+		SampleNs: []int64{200},
+	})
+
+	// A sharded key with the default balancer omitted matches its
+	// explicit round-robin twin.
+	dropped := Key{Kernel: "axpy", Model: "sharded:cilk_for", Threads: 2,
+		Grain: 64, Partitioner: "eager", Shards: 2}
+	if s := rep.Find(dropped); s == nil || s.SampleNs[0] != 100 {
+		t.Errorf("Find(balancer omitted) = %v, want the round-robin series", s)
+	}
+	// An unsharded key with a stray balancer, or a missing partitioner,
+	// matches the plain series.
+	stray := Key{Kernel: "axpy", Model: "omp_for", Threads: 2, Balancer: "least-loaded"}
+	if s := rep.Find(stray); s == nil || s.SampleNs[0] != 200 {
+		t.Errorf("Find(stray balancer, no partitioner) = %v, want the omp_for series", s)
+	}
+	// But a genuinely different balancer on a sharded key must not match.
+	other := dropped
+	other.Balancer = "least-loaded"
+	if s := rep.Find(other); s != nil {
+		t.Errorf("Find(least-loaded) = %v, want nil", s)
+	}
+}
+
+// TestNormalizationRoundTrip writes a baseline whose omitempty fields
+// vanish from the JSON and re-reads it: the gate's Find must still
+// match the in-memory key that produced it.
+func TestNormalizationRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "r.json")
+	k := Key{Kernel: "sum", Model: "omp_for", Threads: 1, Partitioner: "-"}
+	rep := New("test", RunConfig{})
+	rep.Add(Series{Key: k, SampleNs: []int64{7}})
+	if err := WriteFile(path, rep); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a hand-trimmed baseline: strip the partitioner field.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trimmed := strings.Replace(string(data), `"partitioner": "-",`, "", 1)
+	if trimmed == string(data) {
+		t.Fatal("test setup: partitioner field not found to strip")
+	}
+	if err := os.WriteFile(path, []byte(trimmed), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := got.Find(k); s == nil || s.SampleNs[0] != 7 {
+		t.Errorf("Find after trim = %v, want the original series", s)
+	}
+}
+
+func TestValidateRejectsDuplicateUnderNormalization(t *testing.T) {
+	rep := New("test", RunConfig{})
+	rep.Add(Series{
+		Key:      Key{Kernel: "sum", Model: "omp_for", Threads: 1, Partitioner: "-"},
+		SampleNs: []int64{1},
+	})
+	rep.Add(Series{
+		// Same key spelled with the omitempty defaults dropped.
+		Key:      Key{Kernel: "sum", Model: "omp_for", Threads: 1},
+		SampleNs: []int64{2},
+	})
+	if err := rep.Validate(); err == nil {
+		t.Error("Validate accepted two spellings of the same key")
+	}
+}
+
 func TestEnvComparable(t *testing.T) {
 	a := Env{GoVersion: "go1.23.0", GOOS: "linux", GOARCH: "amd64", GOMAXPROCS: 4}
 	b := a

@@ -226,11 +226,17 @@ func RunSuite(ctx context.Context, cfg SuiteConfig) (*Report, error) {
 // Config.KeepSamples into a schema report — the export path
 // cmd/threadbench uses so a smoke run doubles as a compare-able
 // artifact. The kernel name of each series is the experiment ID
-// (fig1..fig10).
+// (fig1..fig10). Keys carry the full measured configuration the
+// harness echoes (grain, sharding, pinning) — omitting them would
+// collide a sharded smoke run's series with its unsharded twin.
 func FromResults(results []*harness.Result, tool string, reps int, scale float64) *Report {
 	rep := New(tool, RunConfig{Scale: scale, Reps: reps})
 	for _, r := range results {
 		for _, m := range r.Models {
+			shards, balancer := 0, ""
+			if strings.HasPrefix(m, models.ShardedPrefix) {
+				shards, balancer = r.Shards, r.Balancer
+			}
 			for _, t := range r.Threads {
 				samples, ok := r.RawSamples[m][t]
 				if !ok {
@@ -245,8 +251,11 @@ func FromResults(results []*harness.Result, tool string, reps int, scale float64
 						Kernel:      r.Experiment.ID,
 						Model:       m,
 						Threads:     t,
-						Grain:       0,
+						Grain:       r.Grain,
 						Partitioner: partitionerName(m, r.Partitioner),
+						Shards:      shards,
+						Balancer:    balancer,
+						Pinned:      r.Pinned,
 					},
 					SampleNs: ns,
 				})

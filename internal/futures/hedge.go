@@ -1,0 +1,94 @@
+package futures
+
+import (
+	"context"
+	"time"
+)
+
+// This file adds the hedged-request combinator used by the service
+// scenario (cmd/threadserve): launch an attempt, and if it has not
+// settled after a delay, launch a duplicate and take whichever
+// finishes first — "The Tail at Scale" hedging, expressed over the
+// package's futures so the winner/loser plumbing is WhenAny.
+
+// HedgeResult reports a hedged call's outcome: the winning value,
+// whether a duplicate was actually launched, and which attempt won
+// (0 = primary, 1 = duplicate).
+type HedgeResult[T any] struct {
+	Value  T
+	Hedged bool
+	Winner int
+}
+
+// HedgeCtx runs fn as a primary attempt; if the primary has not
+// settled within delay, it launches one duplicate attempt and returns
+// the first result to arrive. Each attempt receives its own child
+// context, canceled as soon as the other attempt wins or ctx is done,
+// so a cooperative fn (one that observes its context at chunk
+// boundaries, as every Executor loop does) stops promptly after
+// losing.
+//
+// HedgeCtx returns only after BOTH launched attempts have settled:
+// the losing attempt is canceled and then drained synchronously, so
+// no goroutine, future, or executor task outlives the call. That
+// makes the combinator safe to layer over pooled runtimes — a loser
+// is never left running against a region the caller has moved past.
+//
+// If ctx itself is done, both attempts are canceled, drained, and the
+// context's error is returned. A non-positive delay hedges
+// immediately.
+func HedgeCtx[T any](ctx context.Context, delay time.Duration, fn func(ctx context.Context) (T, error)) (HedgeResult[T], error) {
+	pctx, pcancel := context.WithCancel(ctx)
+	defer pcancel()
+	primary := Async(LaunchAsync, func() (T, error) { return fn(pctx) })
+
+	if delay > 0 && primary.WaitFor(delay) {
+		//threadvet:ignore ctxdrop the future is already settled (WaitFor returned true); Get cannot block
+		v, err := primary.Get()
+		return HedgeResult[T]{Value: v, Winner: 0}, err
+	}
+	if err := ctx.Err(); err != nil {
+		// The deadline burned down during the wait: don't hedge a dead
+		// request — cancel and drain the primary, report the context.
+		pcancel()
+		//threadvet:ignore ctxdrop drain on purpose: the canceled primary must settle before the combinator returns (GetCtx would abandon a live attempt)
+		primary.Get()
+		var zero T
+		return HedgeResult[T]{Value: zero}, err
+	}
+
+	dctx, dcancel := context.WithCancel(ctx)
+	defer dcancel()
+	dup := Async(LaunchAsync, func() (T, error) { return fn(dctx) })
+
+	//threadvet:ignore ctxdrop WhenAny settles as soon as either attempt does; attempts observe ctx themselves, so this wait is already ctx-bounded
+	any, anyErr := WhenAny(primary, dup).Get()
+	// First settle decides; cancel both children (the winner has
+	// already returned) and drain both attempts before returning.
+	pcancel()
+	dcancel()
+	//threadvet:ignore ctxdrop drain on purpose: both attempts must settle before the combinator returns — the no-leak guarantee (GetCtx would abandon the loser)
+	pv, perr := primary.Get()
+	//threadvet:ignore ctxdrop drain on purpose: both attempts must settle before the combinator returns — the no-leak guarantee (GetCtx would abandon the loser)
+	dv, derr := dup.Get()
+
+	res := HedgeResult[T]{Hedged: true, Winner: any.Index}
+	if anyErr != nil {
+		// The first attempt to settle failed. WhenAny does not say
+		// which; prefer a success from the other attempt (hedging
+		// exists to mask exactly this), else report the first error.
+		if perr == nil {
+			res.Winner = 0
+			res.Value = pv
+			return res, nil
+		}
+		if derr == nil {
+			res.Winner = 1
+			res.Value = dv
+			return res, nil
+		}
+		return res, anyErr
+	}
+	res.Value = any.Value
+	return res, nil
+}

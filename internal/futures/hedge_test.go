@@ -1,0 +1,121 @@
+package futures
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestHedgeFastPrimaryDoesNotHedge(t *testing.T) {
+	var calls atomic.Int32
+	res, err := HedgeCtx(context.Background(), 50*time.Millisecond,
+		func(ctx context.Context) (int, error) {
+			calls.Add(1)
+			return 7, nil
+		})
+	if err != nil || res.Value != 7 {
+		t.Fatalf("HedgeCtx = %+v, %v", res, err)
+	}
+	if res.Hedged || res.Winner != 0 {
+		t.Fatalf("fast primary hedged: %+v", res)
+	}
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("attempts = %d, want 1", n)
+	}
+}
+
+// TestHedgeLoserDrainedBeforeReturn is the leak test: when the
+// duplicate wins, the slow primary must have been canceled AND have
+// returned by the time HedgeCtx returns — nothing outlives the call.
+func TestHedgeLoserDrainedBeforeReturn(t *testing.T) {
+	var started, returned atomic.Int32
+	var loserSawCancel atomic.Bool
+	res, err := HedgeCtx(context.Background(), time.Millisecond,
+		func(ctx context.Context) (int, error) {
+			defer returned.Add(1)
+			if started.Add(1) == 1 {
+				// First attempt to run: stall until canceled (the
+				// cooperative loser). Which attempt this is depends on
+				// scheduling; the drain property below does not.
+				<-ctx.Done()
+				loserSawCancel.Store(true)
+				return 0, ctx.Err()
+			}
+			return 42, nil // the other attempt wins
+		})
+	if err != nil {
+		t.Fatalf("HedgeCtx: %v", err)
+	}
+	if !res.Hedged || res.Value != 42 {
+		t.Fatalf("HedgeCtx = %+v, want hedged win of 42", res)
+	}
+	// Both attempts must have fully returned — no background goroutine
+	// still holds the closure. This read races with nothing precisely
+	// because HedgeCtx drains synchronously.
+	if n := returned.Load(); n != 2 {
+		t.Fatalf("returned attempts = %d, want 2 (loser leaked)", n)
+	}
+	if !loserSawCancel.Load() {
+		t.Fatal("loser was never canceled")
+	}
+}
+
+func TestHedgeZeroDelayHedgesImmediately(t *testing.T) {
+	var calls atomic.Int32
+	res, err := HedgeCtx(context.Background(), 0,
+		func(ctx context.Context) (int, error) {
+			calls.Add(1)
+			return 1, nil
+		})
+	if err != nil || !res.Hedged {
+		t.Fatalf("HedgeCtx = %+v, %v, want immediate hedge", res, err)
+	}
+	if n := calls.Load(); n != 2 {
+		t.Fatalf("attempts = %d, want 2", n)
+	}
+}
+
+func TestHedgeMasksFirstError(t *testing.T) {
+	boom := errors.New("boom")
+	var n atomic.Int32
+	res, err := HedgeCtx(context.Background(), 0,
+		func(ctx context.Context) (int, error) {
+			if n.Add(1) == 1 {
+				return 0, boom // first attempt fails fast
+			}
+			time.Sleep(2 * time.Millisecond)
+			return 9, nil
+		})
+	if err != nil || res.Value != 9 {
+		t.Fatalf("HedgeCtx = %+v, %v, want masked error and 9", res, err)
+	}
+}
+
+func TestHedgeBothFail(t *testing.T) {
+	boom := errors.New("boom")
+	_, err := HedgeCtx(context.Background(), 0,
+		func(ctx context.Context) (int, error) { return 0, boom })
+	if !errors.Is(err, boom) {
+		t.Fatalf("HedgeCtx err = %v, want boom", err)
+	}
+}
+
+func TestHedgeContextExpiryDrainsPrimary(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	var returned atomic.Int32
+	_, err := HedgeCtx(ctx, time.Second, // delay longer than the deadline
+		func(c context.Context) (int, error) {
+			defer returned.Add(1)
+			<-c.Done()
+			return 0, c.Err()
+		})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("HedgeCtx err = %v, want deadline", err)
+	}
+	if n := returned.Load(); n != 1 {
+		t.Fatalf("returned attempts = %d, want 1 (primary not drained)", n)
+	}
+}

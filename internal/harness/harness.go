@@ -145,6 +145,11 @@ type Result struct {
 	// (Config.Shards resolved against GOMAXPROCS; zero when unsharded).
 	Shards   int
 	Balancer string
+	// Pinned and Grain echo the remaining model-shaping knobs of the
+	// run, so exporters (benchgate.FromResults) can key samples by the
+	// full measured configuration rather than assuming defaults.
+	Pinned bool
+	Grain  int
 	Cells    map[string]map[int]stats.Sample
 	// Sched holds per-cell scheduler counters, present only when the
 	// run was configured with Stats and the model's runtime collects
@@ -199,6 +204,8 @@ func RunCtx(ctx context.Context, e *Experiment, cfg Config) (*Result, error) {
 		Partitioner: cfg.Partitioner,
 		Shards:      shards,
 		Balancer:    cfg.Balancer,
+		Pinned:      cfg.Pinned,
+		Grain:       cfg.Grain,
 		Cells:       make(map[string]map[int]stats.Sample),
 	}
 	if cfg.Stats {

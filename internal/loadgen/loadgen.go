@@ -1,0 +1,218 @@
+// Package loadgen is an open-loop load generator for the service
+// scenario: arrivals follow a Poisson process at a configured offered
+// load, and every arrival issues its request immediately regardless
+// of how many are still outstanding. That distinction — open loop, as
+// in pSTL-Bench-style methodology, versus the closed request-per-
+// worker loop most microbenchmarks run — is what makes tail latency
+// honest: a closed loop slows its own arrival rate exactly when the
+// system under test stalls (coordinated omission), while an open loop
+// keeps offering work and measures the queueing the stall caused.
+//
+// The generator drives a Target: either a live HTTP endpoint or an
+// in-process http.Handler (no sockets), which is how CI and the
+// benchgate latency suite boot threadserve without a port.
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"time"
+)
+
+// Target issues one request and reports its HTTP status.
+type Target interface {
+	Do(ctx context.Context, path string) (status int, err error)
+}
+
+// HandlerTarget drives an http.Handler in process — request and
+// response never touch a socket, so the measured latency is admission
+// + scheduling + kernel execution.
+type HandlerTarget struct {
+	Handler http.Handler
+}
+
+func (t HandlerTarget) Do(ctx context.Context, path string) (int, error) {
+	req := httptest.NewRequest(http.MethodGet, path, nil).WithContext(ctx)
+	rec := httptest.NewRecorder()
+	t.Handler.ServeHTTP(rec, req)
+	return rec.Code, nil
+}
+
+// HTTPTarget drives a live endpoint, e.g. "http://127.0.0.1:8080".
+type HTTPTarget struct {
+	Base   string
+	Client *http.Client
+}
+
+func (t HTTPTarget) Do(ctx context.Context, path string) (int, error) {
+	client := t.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, t.Base+path, nil)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode, nil
+}
+
+// Config is one measurement point.
+type Config struct {
+	Target Target
+	// Path is the request path, e.g. "/run?kernel=sum".
+	Path string
+	// Offered is the arrival rate in requests per second.
+	Offered float64
+	// Requests is the number of arrivals to generate.
+	Requests int
+	// Warmup arrivals at the front are issued but excluded from every
+	// counter and latency except Sent.
+	Warmup int
+	// Seed drives the deterministic Poisson arrival schedule.
+	Seed uint64
+}
+
+// Result is one point's outcome. Latencies cover completed-OK
+// requests only; shed (429) and deadline (504) requests are counted
+// separately — folding a 429's sub-millisecond turnaround into the
+// latency distribution would make an overloaded server look fast.
+type Result struct {
+	Offered   float64
+	Sent      int
+	OK        int
+	Shed      int
+	Timeouts  int
+	Errors    int
+	LatencyNs []int64
+	// Elapsed spans the measured window (first post-warmup arrival to
+	// last completion).
+	Elapsed time.Duration
+	// Interrupted reports that ctx canceled the run; counts and
+	// latencies cover what completed — a partial but valid point.
+	Interrupted bool
+}
+
+// Goodput is completed-OK requests per second over the measured
+// window.
+func (r Result) Goodput() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.OK) / r.Elapsed.Seconds()
+}
+
+// ShedRate is the shed fraction of measured arrivals.
+func (r Result) ShedRate() float64 {
+	n := r.OK + r.Shed + r.Timeouts + r.Errors
+	if n == 0 {
+		return 0
+	}
+	return float64(r.Shed) / float64(n)
+}
+
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9E3779B97F4A7C15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// expInterval draws an exponential inter-arrival time for rate
+// arrivals/second — a Poisson arrival process.
+func expInterval(state *uint64, rate float64) time.Duration {
+	u := float64(splitmix64(state)>>11) / (1 << 53) // uniform [0, 1)
+	return time.Duration(-math.Log(1-u) / rate * float64(time.Second))
+}
+
+// Run generates cfg.Requests arrivals against the target and blocks
+// until every issued request has completed. The schedule is absolute
+// (each arrival time is the sum of exponential gaps from the start),
+// so a slow target cannot push later arrivals back — the open-loop
+// property. Canceling ctx stops new arrivals, lets the in-flight
+// requests finish (their own deadlines bound the wait), and returns
+// the partial Result with Interrupted set and ctx's error.
+func Run(ctx context.Context, cfg Config) (Result, error) {
+	if cfg.Target == nil || cfg.Offered <= 0 || cfg.Requests <= 0 {
+		return Result{}, fmt.Errorf("loadgen: config needs a target, offered > 0, requests > 0 (got %+v)", cfg)
+	}
+	res := Result{Offered: cfg.Offered}
+	var (
+		mu    sync.Mutex
+		wg    sync.WaitGroup
+		state = cfg.Seed
+	)
+	start := time.Now()
+	next := start
+	measureStart := start
+	var lastDone time.Time
+
+	for i := 0; i < cfg.Requests; i++ {
+		next = next.Add(expInterval(&state, cfg.Offered))
+		if d := time.Until(next); d > 0 {
+			timer := time.NewTimer(d)
+			select {
+			case <-timer.C:
+			case <-ctx.Done():
+				timer.Stop()
+				res.Interrupted = true
+			}
+		} else if ctx.Err() != nil {
+			res.Interrupted = true
+		}
+		if res.Interrupted {
+			break
+		}
+		if i == cfg.Warmup {
+			measureStart = time.Now()
+		}
+		res.Sent++
+		measured := i >= cfg.Warmup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			t0 := time.Now()
+			status, err := cfg.Target.Do(ctx, cfg.Path)
+			lat := time.Since(t0)
+			if !measured {
+				return
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			lastDone = time.Now()
+			switch {
+			case err != nil:
+				res.Errors++
+			case status == http.StatusOK:
+				res.OK++
+				res.LatencyNs = append(res.LatencyNs, lat.Nanoseconds())
+			case status == http.StatusTooManyRequests:
+				res.Shed++
+			case status == http.StatusGatewayTimeout:
+				res.Timeouts++
+			default:
+				res.Errors++
+			}
+		}()
+	}
+	wg.Wait()
+	if lastDone.IsZero() {
+		lastDone = time.Now()
+	}
+	res.Elapsed = lastDone.Sub(measureStart)
+	if res.Interrupted {
+		return res, context.Cause(ctx)
+	}
+	return res, nil
+}

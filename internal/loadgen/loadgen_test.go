@@ -1,0 +1,167 @@
+package loadgen
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// statusTarget answers every request with a fixed status after an
+// optional service time, tracking peak concurrency.
+type statusTarget struct {
+	status  int
+	delay   time.Duration
+	inFl    atomic.Int64
+	peak    atomic.Int64
+	served  atomic.Int64
+	failErr error
+}
+
+func (t *statusTarget) Do(ctx context.Context, path string) (int, error) {
+	d := t.inFl.Add(1)
+	defer t.inFl.Add(-1)
+	for {
+		p := t.peak.Load()
+		if d <= p || t.peak.CompareAndSwap(p, d) {
+			break
+		}
+	}
+	if t.delay > 0 {
+		select {
+		case <-time.After(t.delay):
+		case <-ctx.Done():
+			return http.StatusGatewayTimeout, nil
+		}
+	}
+	t.served.Add(1)
+	if t.failErr != nil {
+		return 0, t.failErr
+	}
+	return t.status, nil
+}
+
+func TestRunCountsByStatus(t *testing.T) {
+	cases := []struct {
+		status int
+		check  func(Result) bool
+	}{
+		{http.StatusOK, func(r Result) bool { return r.OK == 20 && len(r.LatencyNs) == 20 }},
+		{http.StatusTooManyRequests, func(r Result) bool { return r.Shed == 20 && len(r.LatencyNs) == 0 }},
+		{http.StatusGatewayTimeout, func(r Result) bool { return r.Timeouts == 20 }},
+		{http.StatusInternalServerError, func(r Result) bool { return r.Errors == 20 }},
+	}
+	for _, c := range cases {
+		res, err := Run(context.Background(), Config{
+			Target: &statusTarget{status: c.status}, Path: "/x",
+			Offered: 5000, Requests: 20, Seed: 1,
+		})
+		if err != nil {
+			t.Fatalf("status %d: %v", c.status, err)
+		}
+		if res.Sent != 20 || !c.check(res) {
+			t.Fatalf("status %d: %+v", c.status, res)
+		}
+	}
+}
+
+// TestOpenLoopDoesNotSerialize is the generator's defining property:
+// with a 30ms service time and arrivals every ~2ms, requests must
+// overlap — a closed loop would take 20*30ms = 600ms, the open loop
+// roughly 20*2ms + 30ms.
+func TestOpenLoopDoesNotSerialize(t *testing.T) {
+	tgt := &statusTarget{status: http.StatusOK, delay: 30 * time.Millisecond}
+	start := time.Now()
+	res, err := Run(context.Background(), Config{
+		Target: tgt, Path: "/x", Offered: 500, Requests: 20, Seed: 1,
+	})
+	if err != nil || res.OK != 20 {
+		t.Fatalf("run: %+v, %v", res, err)
+	}
+	if el := time.Since(start); el > 400*time.Millisecond {
+		t.Fatalf("arrivals serialized: 20 reqs took %v", el)
+	}
+	if p := tgt.peak.Load(); p < 2 {
+		t.Fatalf("peak concurrency = %d, want >= 2 (open loop overlaps)", p)
+	}
+}
+
+func TestRunWarmupExcluded(t *testing.T) {
+	res, err := Run(context.Background(), Config{
+		Target: &statusTarget{status: http.StatusOK}, Path: "/x",
+		Offered: 5000, Requests: 30, Warmup: 10, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sent != 30 || res.OK != 20 || len(res.LatencyNs) != 20 {
+		t.Fatalf("warmup not excluded: %+v", res)
+	}
+}
+
+func TestRunDeterministicSchedule(t *testing.T) {
+	st1, st2 := uint64(7), uint64(7)
+	for i := 0; i < 100; i++ {
+		if a, b := expInterval(&st1, 100), expInterval(&st2, 100); a != b {
+			t.Fatalf("draw %d: %v != %v", i, a, b)
+		}
+	}
+	// Mean inter-arrival ~ 1/rate: 10k draws at rate 100 ≈ 10ms mean.
+	st := uint64(3)
+	var sum time.Duration
+	for i := 0; i < 10000; i++ {
+		sum += expInterval(&st, 100)
+	}
+	mean := sum / 10000
+	if mean < 8*time.Millisecond || mean > 12*time.Millisecond {
+		t.Fatalf("mean inter-arrival %v, want ~10ms", mean)
+	}
+}
+
+func TestRunInterrupted(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	tgt := &statusTarget{status: http.StatusOK}
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		cancel()
+	}()
+	// 10 req/s: the run would take ~1s; cancellation cuts it short.
+	res, err := Run(ctx, Config{Target: tgt, Path: "/x", Offered: 10, Requests: 10, Seed: 1})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want Canceled", err)
+	}
+	if !res.Interrupted {
+		t.Fatal("Interrupted not set")
+	}
+	if res.Sent >= 10 {
+		t.Fatalf("sent %d, want fewer than all", res.Sent)
+	}
+	// Whatever was issued completed and was classified.
+	if got := res.OK + res.Shed + res.Timeouts + res.Errors; got != res.Sent {
+		t.Fatalf("classified %d != sent %d", got, res.Sent)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(context.Background(), Config{}); err == nil {
+		t.Fatal("empty config accepted")
+	}
+	if _, err := Run(context.Background(), Config{Target: &statusTarget{}, Offered: -1, Requests: 5}); err == nil {
+		t.Fatal("negative offered accepted")
+	}
+}
+
+func TestResultDerived(t *testing.T) {
+	r := Result{OK: 50, Shed: 25, Timeouts: 15, Errors: 10, Elapsed: 2 * time.Second}
+	if g := r.Goodput(); g != 25 {
+		t.Fatalf("Goodput = %g, want 25", g)
+	}
+	if s := r.ShedRate(); s != 0.25 {
+		t.Fatalf("ShedRate = %g, want 0.25", s)
+	}
+	if (Result{}).Goodput() != 0 || (Result{}).ShedRate() != 0 {
+		t.Fatal("zero result not zero-safe")
+	}
+}

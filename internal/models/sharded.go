@@ -77,6 +77,25 @@ func defaultShardCount(threads int) int {
 }
 
 func newSharded(base string, threads int, cfg config) (Model, error) {
+	res, err := newShardResolver(base, threads, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &sharded{
+		res:     res,
+		name:    ShardedPrefix + base,
+		threads: threads,
+		grain:   cfg.grain,
+	}, nil
+}
+
+// newShardResolver builds the resolver behind a sharded model: the
+// base model's thread budget split near-evenly across k family-native
+// shards (pools for the cilk bases, teams for the omp bases) routed
+// by the configured balancer. Shared by the sharded Model wrapper and
+// by NewExecutor, which hands the resolver out directly as the
+// concurrent submission surface.
+func newShardResolver(base string, threads int, cfg config) (*shard.Resolver, error) {
 	if !shardable(base) {
 		return nil, fmt.Errorf("models: model %q cannot be sharded (shardable: %v)", base, shardableNames)
 	}
@@ -123,12 +142,7 @@ func newSharded(base string, threads int, cfg config) (Model, error) {
 		}
 		return nil, err
 	}
-	return &sharded{
-		res:     res,
-		name:    ShardedPrefix + base,
-		threads: threads,
-		grain:   cfg.grain,
-	}, nil
+	return res, nil
 }
 
 func (m *sharded) Name() string { return m.name }

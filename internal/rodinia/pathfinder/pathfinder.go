@@ -10,7 +10,12 @@
 // it is included as an extension workload.)
 package pathfinder
 
-import "threading/internal/models"
+import (
+	"context"
+
+	"threading/internal/models"
+	"threading/internal/shard"
+)
 
 // Grid is a rows x cols field of step costs.
 type Grid struct {
@@ -83,6 +88,46 @@ func Parallel(m models.Model, g *Grid) []int32 {
 		cur, next = next, cur
 	}
 	return cur
+}
+
+// ParallelCtx computes the DP by driving ex, one ParallelForCtx per
+// row, honoring ctx at every chunk boundary — the deadline-aware,
+// concurrent-safe form a service uses (cmd/threadserve). cur and next
+// are scratch rows of at least g.Cols elements; pass nil to allocate.
+// Callers that pool the scratch must copy what they need out of the
+// returned row (it aliases one of the two buffers) before recycling.
+// On error the partial DP state is meaningless and nil is returned.
+func ParallelCtx(ctx context.Context, ex shard.Executor, g *Grid, grain int, cur, next []int32) ([]int32, error) {
+	if len(cur) < g.Cols || len(next) < g.Cols {
+		cur = make([]int32, g.Cols)
+		next = make([]int32, g.Cols)
+	}
+	cur, next = cur[:g.Cols], next[:g.Cols]
+	copy(cur, g.Weight[:g.Cols])
+	for r := 1; r < g.Rows; r++ {
+		src, dst, row := cur, next, r
+		if err := ex.ParallelForCtx(ctx, 0, g.Cols, grain, func(lo, hi int) {
+			stepRange(g, dst, src, row, lo, hi)
+		}); err != nil {
+			return nil, err
+		}
+		cur, next = next, cur
+	}
+	return cur, nil
+}
+
+// View returns a sub-grid restricted to the first rows rows, sharing
+// the backing weights — a cheap way for a service to serve
+// variable-depth requests off one pre-generated grid. rows is clamped
+// to [1, g.Rows].
+func (g *Grid) View(rows int) *Grid {
+	if rows < 1 {
+		rows = 1
+	}
+	if rows > g.Rows {
+		rows = g.Rows
+	}
+	return &Grid{Rows: rows, Cols: g.Cols, Weight: g.Weight[:rows*g.Cols]}
 }
 
 // MinCost returns the smallest value in a result row.

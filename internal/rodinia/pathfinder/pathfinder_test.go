@@ -1,6 +1,8 @@
 package pathfinder
 
 import (
+	"context"
+	"errors"
 	"testing"
 	"testing/quick"
 
@@ -112,5 +114,71 @@ func TestMonotonicity(t *testing.T) {
 	}
 	if MinCost(res) < rowMin {
 		t.Fatalf("final cost %d below first-row minimum %d", MinCost(res), rowMin)
+	}
+}
+
+func TestParallelCtxMatchesSeq(t *testing.T) {
+	g := Generate(16, 500, 7)
+	want := Seq(g)
+	ex, err := models.NewExecutor(models.CilkFor, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ex.Close()
+	got, err := ParallelCtx(context.Background(), ex, g, 0, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range want {
+		if got[j] != want[j] {
+			t.Fatalf("col %d: ParallelCtx %d != Seq %d", j, got[j], want[j])
+		}
+	}
+	// Caller-provided scratch gives the same answer.
+	cur, next := make([]int32, g.Cols), make([]int32, g.Cols)
+	got2, err := ParallelCtx(context.Background(), ex, g, 32, cur, next)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range want {
+		if got2[j] != want[j] {
+			t.Fatalf("col %d with scratch: %d != %d", j, got2[j], want[j])
+		}
+	}
+}
+
+func TestParallelCtxCanceled(t *testing.T) {
+	g := Generate(8, 100, 7)
+	ex, err := models.NewExecutor(models.OMPFor, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ex.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := ParallelCtx(ctx, ex, g, 0, nil, nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("ParallelCtx on canceled ctx = %v, want Canceled", err)
+	}
+}
+
+func TestGridView(t *testing.T) {
+	g := Generate(16, 50, 3)
+	v := g.View(4)
+	if v.Rows != 4 || v.Cols != 50 || len(v.Weight) != 200 {
+		t.Fatalf("View(4) = %dx%d/%d", v.Rows, v.Cols, len(v.Weight))
+	}
+	// The view's DP equals a freshly truncated grid's.
+	want := Seq(&Grid{Rows: 4, Cols: 50, Weight: g.Weight[:200]})
+	got := Seq(v)
+	for j := range want {
+		if got[j] != want[j] {
+			t.Fatalf("col %d: view %d != truncated %d", j, got[j], want[j])
+		}
+	}
+	if v := g.View(0); v.Rows != 1 {
+		t.Fatalf("View(0).Rows = %d, want clamp to 1", v.Rows)
+	}
+	if v := g.View(99); v.Rows != 16 {
+		t.Fatalf("View(99).Rows = %d, want clamp to 16", v.Rows)
 	}
 }

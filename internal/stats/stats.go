@@ -60,6 +60,40 @@ func Summarize(ds []time.Duration) Sample {
 	}
 }
 
+// PercentileNs returns the q-quantile (0 <= q <= 1) of ns by linear
+// interpolation between order statistics (the R-7 / NumPy "linear"
+// definition): rank h = q*(n-1) selects sorted[floor(h)] blended with
+// sorted[ceil(h)] by the fractional part. The input is not modified.
+// An empty input yields 0; q is clamped to [0, 1].
+//
+// Latency gating reads tails through this: p50/p99/p999 are
+// PercentileNs(samples, 0.50/0.99/0.999). With n samples the largest
+// observation dominates every quantile past (n-1)/n, so a p999 from a
+// few hundred requests is close to the max — report it, but bound
+// invariants on p99.
+func PercentileNs(ns []int64, q float64) int64 {
+	if len(ns) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	sorted := make([]int64, len(ns))
+	copy(sorted, ns)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	h := q * float64(len(sorted)-1)
+	lo := int(math.Floor(h))
+	hi := int(math.Ceil(h))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := h - float64(lo)
+	return sorted[lo] + int64(frac*float64(sorted[hi]-sorted[lo]))
+}
+
 // Speedup returns base/measured — how many times faster measured is
 // than base. A non-positive measured duration yields 0.
 func Speedup(base, measured time.Duration) float64 {

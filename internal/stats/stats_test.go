@@ -89,3 +89,54 @@ func TestEfficiency(t *testing.T) {
 		t.Fatalf("Efficiency with 0 threads = %g, want 0", got)
 	}
 }
+
+func TestPercentileNs(t *testing.T) {
+	// 0..100 shuffled: the q-quantile of an arithmetic ramp is exact.
+	ns := make([]int64, 101)
+	for i := range ns {
+		ns[i] = int64((i * 37) % 101) // a permutation of 0..100
+	}
+	cases := []struct {
+		q    float64
+		want int64
+	}{
+		{0, 0}, {0.25, 25}, {0.5, 50}, {0.99, 99}, {1, 100},
+		{-1, 0}, {2, 100}, // clamped
+	}
+	for _, c := range cases {
+		if got := PercentileNs(ns, c.q); got != c.want {
+			t.Errorf("PercentileNs(ramp, %g) = %d, want %d", c.q, got, c.want)
+		}
+	}
+}
+
+func TestPercentileNsInterpolates(t *testing.T) {
+	// Two samples: the median is the linear midpoint.
+	if got := PercentileNs([]int64{100, 200}, 0.5); got != 150 {
+		t.Fatalf("PercentileNs([100 200], 0.5) = %d, want 150", got)
+	}
+	// p999 of a small sample rides on the max (rank past n-2).
+	if got := PercentileNs([]int64{1, 2, 3, 1000}, 0.999); got < 997 {
+		t.Fatalf("PercentileNs p999 = %d, want near max", got)
+	}
+}
+
+func TestPercentileNsEmptyAndSingle(t *testing.T) {
+	if got := PercentileNs(nil, 0.5); got != 0 {
+		t.Fatalf("PercentileNs(nil) = %d, want 0", got)
+	}
+	if got := PercentileNs([]int64{42}, 0.99); got != 42 {
+		t.Fatalf("PercentileNs(single) = %d, want 42", got)
+	}
+}
+
+func TestPercentileNsDoesNotMutate(t *testing.T) {
+	ns := []int64{5, 1, 4, 2, 3}
+	PercentileNs(ns, 0.5)
+	want := []int64{5, 1, 4, 2, 3}
+	for i := range ns {
+		if ns[i] != want[i] {
+			t.Fatalf("input mutated: %v", ns)
+		}
+	}
+}
