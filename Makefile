@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: all build test race race-sched vet lint lint-fix bench-smoke bench-loopdist bench-scaling bench-record bench-gate serve-smoke serve-sweep trace-smoke clean
+.PHONY: all build test race race-sched vet lint lint-fix bench-smoke bench-loopdist bench-scaling bench-record bench-gate serve-smoke serve-sweep metrics-smoke trace-smoke clean
 
-all: build vet lint test bench-gate serve-smoke
+all: build vet lint test bench-gate serve-smoke metrics-smoke
 
 build:
 	$(GO) build ./...
@@ -91,6 +91,16 @@ serve-smoke:
 # stdout. Use -out via cmd/loadsweep directly to record a baseline.
 serve-sweep:
 	$(GO) run ./cmd/loadsweep
+
+# Telemetry smoke: boot a real threadserve, load it, scrape /metrics,
+# and assert the exposition carries every required metric family with
+# a quiet stall watchdog — the in-process twin of CI's metrics-smoke
+# job (which curls the families over TCP), plus the zero-allocation
+# pins on the metric fast paths and the watchdog's injected-stall
+# unit tests.
+metrics-smoke:
+	$(GO) test -count=1 -run 'TestMetricsSmoke' ./cmd/threadserve/
+	$(GO) test -count=1 -run 'TestMetrics|TestRequestID|TestUpdatesZeroAlloc|TestWatchdog' ./internal/serve/ ./internal/metrics/
 
 # End-to-end exercise of the tracing pipeline: a small Sum+Fib sweep
 # with -trace, then traceview converts the raw events to Chrome

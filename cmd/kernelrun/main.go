@@ -177,6 +177,10 @@ func main() {
 		snap.Meta["kernel"] = *app
 		snap.Meta["model"] = *model
 		snap.Meta["threads"] = strconv.Itoa(*threads)
+		fmt.Printf("  %-14s %d\n", "trace-dropped:", tracer.Dropped())
+		if d := tracer.Dropped(); d > 0 {
+			fmt.Fprintf(os.Stderr, "kernelrun: warning: trace rings overwrote %d events; the capture covers only the tail of the run\n", d)
+		}
 		if err := tracez.WriteFile(*traceTo, snap); err != nil {
 			fmt.Fprintf(os.Stderr, "kernelrun: %v\n", err)
 			os.Exit(1)

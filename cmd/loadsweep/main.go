@@ -19,6 +19,12 @@
 // request rate. -warmup -1 excludes the first tenth of each point's
 // arrivals from measurement.
 //
+// Every swept server runs with its live telemetry registry enabled
+// (the production configuration); the registry is scraped between
+// offered-load points, each row shows the window's steal count and
+// mean worker utilization, and one extra telemetry-off run of the
+// reference model anchors the metrics-overhead invariant.
+//
 // -out writes the full latency report in the benchmark-gate schema;
 // `benchgate check -baseline <file>` re-measures it and enforces the
 // tail invariants. Ctrl-C stops the sweep at the next point boundary,
@@ -127,17 +133,31 @@ func run(args []string, stdout, stderr io.Writer) int {
 }
 
 // writeTable renders the sweep as a human table, one row per
-// (model, offered) point.
+// (model, offered) point. The steals and util columns come from the
+// telemetry registry scraped between points (Series.Telemetry): steals
+// the runtime performed over the point's window and the mean
+// per-worker utilization at its end. The reference model's
+// telemetry-off twin (the metrics-overhead invariant's subject) shows
+// "-" there and is tagged tel-off.
 func writeTable(w io.Writer, rep *benchgate.Report) {
-	fmt.Fprintf(w, "%-22s %8s %10s %10s %10s %9s %6s %6s\n",
-		"model", "offered", "p50", "p99", "p999", "goodput", "shed", "depth")
+	fmt.Fprintf(w, "%-26s %8s %10s %10s %10s %9s %6s %6s %8s %6s\n",
+		"model", "offered", "p50", "p99", "p999", "goodput", "shed", "depth", "steals", "util")
 	for _, s := range rep.Series {
-		fmt.Fprintf(w, "%-22s %8d %10s %10s %10s %9.1f %5.1f%% %6d\n",
-			s.Model, s.Offered,
+		name := s.Model
+		if !s.Key.Metrics {
+			name += " (tel-off)"
+		}
+		steals, util := "-", "-"
+		if s.Telemetry != nil {
+			steals = strconv.FormatInt(int64(s.Telemetry["sched.steals"]), 10)
+			util = fmt.Sprintf("%.2f", s.Telemetry["worker_util_mean"])
+		}
+		fmt.Fprintf(w, "%-26s %8d %10s %10s %10s %9.1f %5.1f%% %6d %8s %6s\n",
+			name, s.Offered,
 			fmtNs(stats.PercentileNs(s.SampleNs, 0.50)),
 			fmtNs(stats.PercentileNs(s.SampleNs, 0.99)),
 			fmtNs(stats.PercentileNs(s.SampleNs, 0.999)),
-			s.Goodput, 100*s.ShedRate, s.QueueDepth)
+			s.Goodput, 100*s.ShedRate, s.QueueDepth, steals, util)
 	}
 }
 

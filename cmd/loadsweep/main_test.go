@@ -45,11 +45,15 @@ func TestSweepWritesReport(t *testing.T) {
 	if err != nil {
 		t.Fatalf("report unreadable: %v", err)
 	}
-	if len(rep.Series) != 2 || rep.Config.Scenario != benchgate.Scenario {
+	// Two swept points plus the telemetry-off twin at the low point.
+	if len(rep.Series) != 3 || rep.Config.Scenario != benchgate.Scenario {
 		t.Fatalf("report = %d series, scenario %q", len(rep.Series), rep.Config.Scenario)
 	}
 	if !strings.Contains(stdout.String(), "p999") || !strings.Contains(stdout.String(), "omp_for") {
 		t.Errorf("table missing from stdout:\n%s", stdout.String())
+	}
+	if !strings.Contains(stdout.String(), "util") || !strings.Contains(stdout.String(), "(tel-off)") {
+		t.Errorf("table missing telemetry columns or the tel-off twin:\n%s", stdout.String())
 	}
 }
 

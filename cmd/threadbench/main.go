@@ -31,7 +31,9 @@
 //
 // Observability: -trace records per-worker scheduler events across the
 // whole sweep and writes them as raw tracez JSON (inspect or convert
-// with cmd/traceview). -cpuprofile/-memprofile write standard pprof
+// with cmd/traceview); combined with -stats, the counter tables gain a
+// "dropped" column counting events the rings overwrote per cell, and a
+// nonzero sweep-wide total is warned about on stderr. -cpuprofile/-memprofile write standard pprof
 // profiles; worker goroutines carry pprof labels (runtime, worker) so
 // `go tool pprof -tagfocus` can isolate one runtime's workers. All
 // three artifacts are written even when the sweep is interrupted with
@@ -148,6 +150,9 @@ func run() int {
 			if err := tracez.WriteFile(*traceTo, snap); err != nil {
 				fmt.Fprintf(os.Stderr, "threadbench: %v\n", err)
 				return
+			}
+			if d := tracer.Dropped(); d > 0 {
+				fmt.Fprintf(os.Stderr, "threadbench: warning: trace rings overwrote %d events; the capture covers only the tail of the sweep\n", d)
 			}
 			fmt.Fprintf(os.Stderr, "wrote trace to %s (inspect with: traceview %s)\n", *traceTo, *traceTo)
 		}()

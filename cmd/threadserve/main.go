@@ -10,11 +10,14 @@
 //	            [-threads N] [-shards N] [-balancer least-loaded]
 //	            [-pinned] [-grain N] [-queue N] [-timeout 2s]
 //	            [-hedge 5ms] [-worksize 32768] [-trace trace.json]
+//	            [-metrics] [-metrics-interval 250ms]
 //
 // Endpoints: /run executes one kernel (?kernel=, ?n=, ?rows=,
 // ?timeout_ms=), /fanout forks a sum into ?ways= concurrent parts,
 // /hedged duplicates a slow request after ?hedge_ms=, /statz reports
-// counters, /healthz reports readiness.
+// counters, /healthz reports readiness, and /metrics (on by default;
+// -metrics=false disables) exposes the live telemetry registry in
+// Prometheus text format (?format=json for the JSON view).
 //
 // Ctrl-C drains in-flight requests, quiesces the runtime, emits the
 // final counters as JSON (the partial report), and exits 130 — the
@@ -63,6 +66,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		hedge    = fs.Duration("hedge", 0, "default /hedged duplicate delay (0 = 5ms)")
 		worksize = fs.Int("worksize", 0, "base workload size n (0 = 32768)")
 		traceTo  = fs.String("trace", "", "write the runtime's scheduler events to this path (view with cmd/traceview)")
+		withMet  = fs.Bool("metrics", true, "serve the live telemetry registry at /metrics (stall watchdog, per-worker utilization, latency histograms)")
+		metEvery = fs.Duration("metrics-interval", 0, "telemetry sampling and watchdog interval (0 = 250ms)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -84,17 +89,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	s, err := serve.New(serve.Config{
-		Model:    *model,
-		Threads:  *threads,
-		Shards:   *shards,
-		Balancer: *balancer,
-		Pinned:   *pinned,
-		Grain:    *grain,
-		Queue:    *queue,
-		Timeout:  *timeout,
-		Hedge:    *hedge,
-		WorkSize: *worksize,
-		Tracer:   tracer,
+		Model:           *model,
+		Threads:         *threads,
+		Shards:          *shards,
+		Balancer:        *balancer,
+		Pinned:          *pinned,
+		Grain:           *grain,
+		Queue:           *queue,
+		Timeout:         *timeout,
+		Hedge:           *hedge,
+		WorkSize:        *worksize,
+		Tracer:          tracer,
+		Metrics:         *withMet,
+		MetricsInterval: *metEvery,
 	})
 	if err != nil {
 		fmt.Fprintf(stderr, "threadserve: %v\n", err)

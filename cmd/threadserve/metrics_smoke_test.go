@@ -1,0 +1,111 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// requiredFamilies is the contract the CI metrics-smoke job greps for:
+// a loaded threadserve must expose sched counters, queue depth, shed
+// totals, per-worker utilization, and latency histograms.
+var requiredFamilies = []string{
+	"threadserve_sched_total",
+	"threadserve_queue_depth",
+	"threadserve_queue_cap",
+	"threadserve_requests_total",
+	"threadserve_request_latency_ns",
+	"threadserve_worker_utilization",
+	"threadserve_worker_busy_ns",
+	"threadserve_trace_dropped_total",
+	"threadserve_sched_stalls_total",
+}
+
+// TestMetricsSmoke boots the real server binary path (run() over a TCP
+// listener), loads it, and scrapes /metrics — the same sequence the CI
+// metrics-smoke job performs with curl.
+func TestMetricsSmoke(t *testing.T) {
+	guard := make(chan os.Signal, 1)
+	signal.Notify(guard, os.Interrupt)
+	defer signal.Stop(guard)
+
+	var stdout, stderr syncBuffer
+	done := make(chan int, 1)
+	go func() {
+		done <- run([]string{"-addr", "127.0.0.1:0", "-model", "cilk_for", "-threads", "2", "-worksize", "4096"},
+			&stdout, &stderr)
+	}()
+	waitFor(t, &stdout, "http://")
+	var addr string
+	for _, line := range strings.Split(stdout.String(), "\n") {
+		if i := strings.Index(line, "http://"); i >= 0 {
+			addr = strings.TrimSpace(line[i:])
+		}
+	}
+
+	for i := 0; i < 4; i++ {
+		resp, err := http.Get(addr + "/run?kernel=sum")
+		if err != nil {
+			t.Fatalf("load request: %v", err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("/run = %d", resp.StatusCode)
+		}
+	}
+
+	resp, err := http.Get(addr + "/metrics")
+	if err != nil {
+		t.Fatalf("scrape: %v", err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics = %d", resp.StatusCode)
+	}
+	body := string(raw)
+	for _, fam := range requiredFamilies {
+		if !strings.Contains(body, "# TYPE "+fam+" ") {
+			t.Errorf("missing family %s", fam)
+		}
+	}
+	// A healthy loaded server: the stall watchdog stays quiet.
+	for _, line := range strings.Split(body, "\n") {
+		if strings.HasPrefix(line, "threadserve_sched_stalls_total") && !strings.HasSuffix(line, " 0") {
+			t.Errorf("watchdog tripped on a healthy server: %s", line)
+		}
+	}
+
+	resp, err = http.Get(addr + "/metrics?format=json")
+	if err != nil {
+		t.Fatalf("json scrape: %v", err)
+	}
+	raw, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var m map[string]float64
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatalf("JSON exposition: %v", err)
+	}
+	if m[`threadserve_requests_total{outcome="completed"}`] < 4 {
+		t.Errorf("completed = %v, want >= 4", m[`threadserve_requests_total{outcome="completed"}`])
+	}
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case code := <-done:
+		if code != 130 {
+			t.Fatalf("exit = %d, want 130\nstderr: %s", code, stderr.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("run did not exit after SIGINT")
+	}
+}

@@ -1,8 +1,9 @@
 // Command traceview inspects a raw scheduler trace produced by the
 // -trace flag of threadbench or kernelrun. It prints a text summary
 // (per-worker utilization, steal-latency and chunk-size histograms,
-// load-imbalance ratio) and converts the trace to Chrome trace-event
-// JSON for chrome://tracing or ui.perfetto.dev.
+// load-imbalance ratio — plus a per-request scheduler-cost table when
+// the trace carries request ids) and converts the trace to Chrome
+// trace-event JSON for chrome://tracing or ui.perfetto.dev.
 //
 // Usage:
 //
@@ -79,6 +80,10 @@ func run() int {
 			fmt.Println()
 		}
 		tracez.Summarize(tr).Render(os.Stdout)
+		if costs := tracez.SummarizeRequests(tr); len(costs) > 0 {
+			fmt.Println()
+			tracez.RenderRequests(os.Stdout, costs)
+		}
 	}
 	return 0
 }

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"runtime"
 	"strings"
 
 	"threading/internal/models"
@@ -34,6 +35,12 @@ type Invariant struct {
 	// "p50", "p99", or "p999" gate on that percentile of per-request
 	// latency samples — the service-scenario tail claims.
 	Metric string `json:"metric,omitempty"`
+	// MinProcs, when positive, is the parallelism the claim assumes:
+	// CheckInvariants skips the invariant when GOMAXPROCS is below it.
+	// The sharded-tail bound carries 2 — when every shard timeshares
+	// one core, routing provably costs the tail, and gating would
+	// measure core oversubscription, not routing.
+	MinProcs int `json:"min_procs,omitempty"`
 }
 
 // DefaultInvariants returns the gated ordering claims at the given
@@ -144,14 +151,24 @@ const (
 	shardTailRatio  = 1.1
 )
 
+// metricsOverheadRatio bounds what continuous telemetry may cost the
+// service: with the registry, samplers, watchdog, and request-id
+// tracing enabled, median latency at low load may be at most 5% above
+// the telemetry-off twin. The fast paths are designed allocation-free
+// and atomic-only, so anything past 5% means an update leaked onto
+// the request path.
+const metricsOverheadRatio = 1.05
+
 // LatencyInvariants returns the service-scenario tail claims for a
 // latency report: pairwise low-load p99 parity between the reference
 // runtime (omp_for, or the first configured model) and every other
 // unsharded model — both directions, since parity is symmetric — and
 // the sharded-tail bound for every sharded model whose single-pool
-// twin was also swept. All claims are defined at the lowest offered
-// point, where queueing is rare and the tails measure the runtimes,
-// not the load.
+// twin was also swept — plus, when the run measured telemetry-enabled
+// series, the metrics-overhead bound pitting the reference model
+// against its telemetry-off twin. All claims are defined at the
+// lowest offered point, where queueing is rare and the tails measure
+// the runtimes, not the load.
 func LatencyInvariants(cfg RunConfig) []Invariant {
 	if cfg.Scenario == "" || len(cfg.Offered) == 0 || len(cfg.Models) == 0 {
 		return nil
@@ -168,7 +185,8 @@ func LatencyInvariants(cfg RunConfig) []Invariant {
 	}
 	key := func(model string) Key {
 		k := Key{Kernel: kernel, Model: model, Threads: cfg.Threads,
-			Partitioner: "-", Scenario: cfg.Scenario, Offered: low}
+			Partitioner: "-", Scenario: cfg.Scenario, Offered: low,
+			Metrics: cfg.Metrics}
 		if strings.HasPrefix(model, models.ShardedPrefix) {
 			k.Shards = cfg.Shards
 			k.Balancer = cfg.Balancer
@@ -206,6 +224,19 @@ func LatencyInvariants(cfg RunConfig) []Invariant {
 				Metric: "p99",
 			})
 	}
+	if cfg.Metrics {
+		off := key(ref)
+		off.Metrics = false
+		out = append(out, Invariant{
+			Name: "serve-metrics-overhead",
+			Claim: fmt.Sprintf("telemetry-on %s p50 <= %.2fx telemetry-off twin at %d rps (continuous metrics must be ~free)",
+				ref, metricsOverheadRatio, low),
+			Fast:   key(ref),
+			Slow:   off,
+			Ratio:  metricsOverheadRatio,
+			Metric: "p50",
+		})
+	}
 	for _, m := range cfg.Models {
 		base, ok := strings.CutPrefix(m, models.ShardedPrefix)
 		if !ok {
@@ -217,10 +248,11 @@ func LatencyInvariants(cfg RunConfig) []Invariant {
 					Name: "serve-sharded-tail-overhead",
 					Claim: fmt.Sprintf("sharded %s p99 <= %.1fx single-pool at %d rps (routing must not cost the tail)",
 						base, shardTailRatio, low),
-					Fast:   key(m),
-					Slow:   key(twin),
-					Ratio:  shardTailRatio,
-					Metric: "p99",
+					Fast:     key(m),
+					Slow:     key(twin),
+					Ratio:    shardTailRatio,
+					Metric:   "p99",
+					MinProcs: 2,
 				})
 				break
 			}
@@ -279,8 +311,11 @@ type InvariantResult struct {
 	// Holds is false only for a statistically significant inversion
 	// beyond tolerance. A skipped invariant holds vacuously.
 	Holds bool `json:"holds"`
-	// Skipped is true when the report lacks one of the keys.
-	Skipped bool `json:"skipped"`
+	// Skipped is true when the invariant could not be evaluated;
+	// SkipReason says why (missing keys, unknown metric, or a machine
+	// below the claim's MinProcs).
+	Skipped    bool   `json:"skipped"`
+	SkipReason string `json:"skip_reason,omitempty"`
 	// P is the U-test p-value for fast-vs-slow samples.
 	P float64 `json:"p"`
 	// MinRatio and MedianRatio are fast/slow; > 1 means the claimed
@@ -299,9 +334,17 @@ func CheckInvariants(rep *Report, invs []Invariant, opt Options) []InvariantResu
 	out := make([]InvariantResult, 0, len(invs))
 	for _, inv := range invs {
 		res := InvariantResult{Invariant: inv, Holds: true}
+		if inv.MinProcs > 0 && runtime.GOMAXPROCS(0) < inv.MinProcs {
+			res.Skipped = true
+			res.SkipReason = fmt.Sprintf("needs GOMAXPROCS >= %d", inv.MinProcs)
+			res.P = 1
+			out = append(out, res)
+			continue
+		}
 		fast, slow := rep.Find(inv.Fast), rep.Find(inv.Slow)
 		if fast == nil || slow == nil {
 			res.Skipped = true
+			res.SkipReason = "keys absent"
 			res.P = 1
 			out = append(out, res)
 			continue
@@ -320,6 +363,7 @@ func CheckInvariants(rep *Report, invs []Invariant, opt Options) []InvariantResu
 			q, ok := metricQuantile(inv.Metric)
 			if !ok {
 				res.Skipped = true
+				res.SkipReason = "unknown metric " + inv.Metric
 				res.P = 1
 				out = append(out, res)
 				continue
@@ -373,7 +417,7 @@ func WriteInvariantTable(w io.Writer, label string, rs []InvariantResult) {
 		status := "ok"
 		switch {
 		case r.Skipped:
-			status = "skipped (keys absent)"
+			status = "skipped (" + r.SkipReason + ")"
 		case !r.Holds:
 			metric := "min"
 			if r.Metric != "" {

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"runtime"
 	"strings"
+	"sync"
 	"time"
 
 	"threading/internal/loadgen"
@@ -14,6 +15,18 @@ import (
 
 // Scenario names the service scenario latency reports are keyed by.
 const Scenario = "serve"
+
+// warmBurst is the number of closed-loop requests driven through each
+// freshly booted server before its measured points, so no series pays
+// the runtime's boot cost (worker spin-up, first-touch of the kernel
+// working set) while its comparison twins run warm.
+const warmBurst = 64
+
+// seedStride separates the per-server arrival-schedule seeds when a
+// point is measured concurrently, so the servers' Poisson schedules
+// are decorrelated: identical seeds would fire every arrival at the
+// same instant and serialize the pair on a small machine.
+const seedStride = 1000003
 
 // DefaultServeModels is the default latency sweep: the two paper
 // families with persistent runtimes (work-sharing team, work-stealing
@@ -109,6 +122,7 @@ func (c LatencySuiteConfig) RunConfig() RunConfig {
 		Requests: c.Requests,
 		Models:   c.Models,
 		Seed:     c.Seed,
+		Metrics:  true,
 	}
 }
 
@@ -116,9 +130,27 @@ func (c LatencySuiteConfig) RunConfig() RunConfig {
 // load points and returns a latency report: one series per (model,
 // offered) whose samples are per-request latencies, with goodput,
 // shed rate, and the point's peak admission-queue depth alongside.
-// Each model boots a fresh in-process threadserve driven through
+// Each model is a fresh in-process threadserve driven through
 // loadgen.HandlerTarget — no sockets, so the measured latency is
 // admission + scheduling + kernel execution.
+//
+// Every server runs with the live telemetry registry enabled — the
+// production configuration — and each point's series carries the
+// registry deltas scraped over its window (Series.Telemetry). One extra
+// server re-measures the reference model at the lowest offered point
+// with telemetry off, so the metrics-overhead invariant has its twin.
+//
+// All servers boot (and warm) up front and each offered point is
+// measured across them concurrently — one open-loop generator per
+// server over the same wall-clock window. The latency invariants are
+// ratios between series at the same point, and a sequential
+// model-after-model sweep hands each series a different position in
+// machine-wide drift (frequency scaling, cache warm-up, noisy
+// neighbors) — on a drifting box the last-measured series wins every
+// comparison by position alone. Sharing the window makes drift and
+// noise bursts common-mode: they land on both sides of every ratio.
+// The combined offered load stays far below the service rate, so
+// cross-server contention is second-order and symmetric.
 //
 // Canceling ctx stops the sweep at the next point boundary (the
 // in-flight point finishes early with a partial measurement, which is
@@ -127,66 +159,214 @@ func (c LatencySuiteConfig) RunConfig() RunConfig {
 func RunLatencySuite(ctx context.Context, cfg LatencySuiteConfig) (*Report, error) {
 	cfg = cfg.withDefaults()
 	rep := New("cmd/loadsweep", cfg.RunConfig())
+
+	low := cfg.Offered[0]
+	for _, o := range cfg.Offered {
+		if o < low {
+			low = o
+		}
+	}
+
+	var servers []*latencyServer
+	defer func() {
+		for _, sv := range servers {
+			sv.srv.Close()
+		}
+	}()
 	for _, model := range cfg.Models {
-		if err := runLatencyModel(ctx, cfg, rep, model); err != nil {
+		sv, err := bootLatencyServer(cfg, model, true)
+		if err != nil {
+			return rep, err
+		}
+		servers = append(servers, sv)
+	}
+	twin, err := bootLatencyServer(cfg, refServeModel(cfg.Models), false)
+	if err != nil {
+		return rep, err
+	}
+	servers = append(servers, twin)
+
+	path := "/run?kernel=" + cfg.Kernel
+	for _, sv := range servers {
+		if err := sv.warm(ctx, path); err != nil {
+			return rep, err
+		}
+	}
+
+	for _, point := range cfg.Offered {
+		if err := runLatencyPoint(ctx, cfg, rep, servers, path, point, low); err != nil {
 			return rep, err
 		}
 	}
 	return rep, rep.Validate()
 }
 
-// runLatencyModel sweeps one model, closing its server before
-// returning so a canceled sweep still quiesces every runtime it
-// booted.
-func runLatencyModel(ctx context.Context, cfg LatencySuiteConfig, rep *Report, model string) error {
+// refServeModel picks the reference runtime the parity and overhead
+// invariants anchor on: omp_for when swept, else the first model.
+func refServeModel(swept []string) string {
+	for _, m := range swept {
+		if m == models.OMPFor {
+			return m
+		}
+	}
+	return swept[0]
+}
+
+// latencyServer is one booted runtime in the sweep plus its series
+// key shape — the Metrics flag doubles as "is the telemetry-off
+// twin", which only the lowest offered point measures.
+type latencyServer struct {
+	cfg   LatencySuiteConfig
+	model string
+	srv   *serve.Server
+	key   Key
+}
+
+// bootLatencyServer boots one in-process threadserve for the sweep.
+func bootLatencyServer(cfg LatencySuiteConfig, model string, metricsOn bool) (*latencyServer, error) {
 	scfg := serve.Config{
 		Model:    model,
 		Threads:  cfg.Threads,
 		Queue:    cfg.Queue,
 		Timeout:  cfg.Timeout,
 		WorkSize: cfg.WorkSize,
+		Metrics:  metricsOn,
 	}
+	k := Key{Kernel: cfg.Kernel, Model: model, Threads: cfg.Threads,
+		Partitioner: "-", Scenario: Scenario, Metrics: metricsOn}
 	if strings.HasPrefix(model, models.ShardedPrefix) {
 		scfg.Shards = cfg.Shards
 		scfg.Balancer = cfg.Balancer
+		k.Shards = cfg.Shards
+		k.Balancer = cfg.Balancer
 	}
 	s, err := serve.New(scfg)
 	if err != nil {
-		return fmt.Errorf("benchgate: boot %s: %w", model, err)
+		return nil, fmt.Errorf("benchgate: boot %s: %w", model, err)
 	}
-	defer s.Close()
-	target := loadgen.HandlerTarget{Handler: s}
-	path := "/run?kernel=" + cfg.Kernel
-	for _, offered := range cfg.Offered {
-		s.Stats(true) // reset the peak-depth watermark for this point
-		res, err := loadgen.Run(ctx, loadgen.Config{
-			Target:   target,
-			Path:     path,
-			Offered:  float64(offered),
-			Requests: cfg.Requests,
-			Warmup:   cfg.Warmup,
-			Seed:     cfg.Seed,
-		})
+	return &latencyServer{cfg: cfg, model: model, srv: s, key: k}, nil
+}
+
+// warm drives warmBurst closed-loop requests through the server so a
+// freshly booted runtime's spin-up cost never lands in a measured
+// point. Outcomes are ignored; the per-round open-loop warmup still
+// applies on top.
+func (sv *latencyServer) warm(ctx context.Context, path string) error {
+	target := loadgen.HandlerTarget{Handler: sv.srv}
+	for i := 0; i < warmBurst; i++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		_, _ = target.Do(ctx, path)
+	}
+	return nil
+}
+
+// runLatencyPoint measures one offered-load point for every server
+// concurrently — one open-loop generator per server, decorrelated
+// arrival schedules, one shared wall-clock window — and appends the
+// completed series to rep. The telemetry-off twin (the last server)
+// joins only at the lowest offered point, where the metrics-overhead
+// invariant lives. A canceled ctx abandons the whole point — no
+// partial series is added.
+func runLatencyPoint(ctx context.Context, cfg LatencySuiteConfig, rep *Report, servers []*latencyServer, path string, point, low int) error {
+	measured := make([]*latencyServer, 0, len(servers))
+	before := make([]map[string]float64, 0, len(servers))
+	for _, sv := range servers {
+		if !sv.key.Metrics && point != low {
+			continue
+		}
+		sv.srv.Stats(true) // reset the peak-depth watermark for this point
+		var b map[string]float64
+		if reg := sv.srv.Registry(); reg != nil {
+			b = reg.Gather()
+		}
+		measured = append(measured, sv)
+		before = append(before, b)
+	}
+
+	results := make([]loadgen.Result, len(measured))
+	errs := make([]error, len(measured))
+	var wg sync.WaitGroup
+	for i, sv := range measured {
+		wg.Add(1)
+		go func(i int, sv *latencyServer) {
+			defer wg.Done()
+			results[i], errs[i] = loadgen.Run(ctx, loadgen.Config{
+				Target:   loadgen.HandlerTarget{Handler: sv.srv},
+				Path:     path,
+				Offered:  float64(point),
+				Requests: cfg.Requests,
+				Warmup:   cfg.Warmup,
+				Seed:     cfg.Seed + uint64(i)*seedStride,
+			})
+		}(i, sv)
+	}
+	wg.Wait()
+	for _, err := range errs {
 		if err != nil {
 			return err
 		}
+	}
+
+	for i, sv := range measured {
+		res := results[i]
 		if len(res.LatencyNs) == 0 {
 			return fmt.Errorf("benchgate: %s at %d rps completed no requests (%d shed, %d timeouts, %d errors)",
-				model, offered, res.Shed, res.Timeouts, res.Errors)
+				sv.model, point, res.Shed, res.Timeouts, res.Errors)
 		}
-		k := Key{Kernel: cfg.Kernel, Model: model, Threads: cfg.Threads,
-			Partitioner: "-", Scenario: Scenario, Offered: offered}
-		if strings.HasPrefix(model, models.ShardedPrefix) {
-			k.Shards = cfg.Shards
-			k.Balancer = cfg.Balancer
-		}
-		rep.Add(Series{
+		k := sv.key
+		k.Offered = point
+		ser := Series{
 			Key:        k,
 			SampleNs:   res.LatencyNs,
 			Goodput:    res.Goodput(),
 			ShedRate:   res.ShedRate(),
-			QueueDepth: int(s.Stats(false).PeakDepth),
-		})
+			QueueDepth: int(sv.srv.Stats(false).PeakDepth),
+		}
+		if reg := sv.srv.Registry(); reg != nil {
+			ser.Telemetry = scrapeWindow(before[i], reg.Gather())
+		}
+		rep.Add(ser)
 	}
 	return nil
+}
+
+// scrapeWindow reduces two registry scrapes bracketing one offered-
+// load point to the compact map stored in Series.Telemetry: deltas of
+// the scheduler and request-outcome counters, watchdog stalls and
+// trace-ring drops over the window, and the end-of-window mean
+// per-worker utilization.
+func scrapeWindow(before, after map[string]float64) map[string]float64 {
+	const (
+		schedPfx = `threadserve_sched_total{counter="`
+		reqPfx   = `threadserve_requests_total{outcome="`
+	)
+	out := map[string]float64{"stalls": 0, "trace_dropped": 0}
+	var utilSum float64
+	var utilN int
+	for k, v := range after {
+		d := v - before[k]
+		switch {
+		case strings.HasPrefix(k, schedPfx):
+			if d != 0 {
+				out["sched."+strings.TrimSuffix(k[len(schedPfx):], `"}`)] = d
+			}
+		case strings.HasPrefix(k, reqPfx):
+			if d != 0 {
+				out["requests."+strings.TrimSuffix(k[len(reqPfx):], `"}`)] = d
+			}
+		case strings.HasPrefix(k, "threadserve_sched_stalls_total"):
+			out["stalls"] += d
+		case strings.HasPrefix(k, "threadserve_trace_dropped_total"):
+			out["trace_dropped"] += d
+		case strings.HasPrefix(k, "threadserve_worker_utilization{"):
+			utilSum += v
+			utilN++
+		}
+	}
+	if utilN > 0 {
+		out["worker_util_mean"] = utilSum / float64(utilN)
+	}
+	return out
 }

@@ -2,6 +2,7 @@ package benchgate
 
 import (
 	"context"
+	"runtime"
 	"testing"
 
 	"threading/internal/models"
@@ -9,7 +10,7 @@ import (
 
 // latencyReport builds a healthy low-load latency report: every
 // runtime's per-request latency distribution is near-identical, the
-// parity and sharded-tail claims all hold.
+// parity, sharded-tail, and metrics-overhead claims all hold.
 func latencyReport() *Report {
 	cfg := LatencySuiteConfig{
 		Models:  []string{models.OMPFor, models.CilkFor, models.ShardedPrefix + models.CilkFor},
@@ -17,46 +18,83 @@ func latencyReport() *Report {
 	}
 	rep := New("test", cfg.RunConfig())
 	base := []int64{100, 102, 104, 106, 108, 110, 112, 114, 116, 200}
+	series := func(k Key) {
+		ns := make([]int64, len(base))
+		copy(ns, base)
+		rep.Add(Series{Key: k, SampleNs: ns, Goodput: float64(k.Offered), ShedRate: 0})
+	}
 	for _, m := range rep.Config.Models {
 		for _, off := range rep.Config.Offered {
 			k := Key{Kernel: "sum", Model: m, Threads: 1,
-				Partitioner: "-", Scenario: Scenario, Offered: off}
+				Partitioner: "-", Scenario: Scenario, Offered: off, Metrics: true}
 			if m == models.ShardedPrefix+models.CilkFor {
 				k.Shards = rep.Config.Shards
 				k.Balancer = rep.Config.Balancer
 			}
-			ns := make([]int64, len(base))
-			copy(ns, base)
-			rep.Add(Series{Key: k, SampleNs: ns, Goodput: float64(off), ShedRate: 0})
+			series(k)
 		}
 	}
+	// The telemetry-off twin of the reference model at the low point.
+	series(Key{Kernel: "sum", Model: models.OMPFor, Threads: 1,
+		Partitioner: "-", Scenario: Scenario, Offered: 200})
 	return rep
 }
 
 func TestLatencyInvariantsShape(t *testing.T) {
 	rep := latencyReport()
 	invs := InvariantsFor(rep.Config)
-	// cilk_for <-> omp_for parity both ways, plus the sharded-tail
-	// bound: three claims, all on the p99 metric at the low point.
-	if len(invs) != 3 {
-		t.Fatalf("got %d invariants, want 3: %+v", len(invs), invs)
+	// cilk_for <-> omp_for parity both ways, the sharded-tail bound
+	// (all p99), plus the metrics-overhead bound (p50): four claims at
+	// the low offered point.
+	if len(invs) != 4 {
+		t.Fatalf("got %d invariants, want 4: %+v", len(invs), invs)
 	}
 	for _, inv := range invs {
-		if inv.Metric != "p99" {
-			t.Errorf("%s metric = %q, want p99", inv.Name, inv.Metric)
+		want := "p99"
+		if inv.Name == "serve-metrics-overhead" {
+			want = "p50"
+			if inv.Fast.Metrics == inv.Slow.Metrics {
+				t.Errorf("%s must pit telemetry-on against telemetry-off: %+v", inv.Name, inv)
+			}
+		}
+		if inv.Metric != want {
+			t.Errorf("%s metric = %q, want %s", inv.Name, inv.Metric, want)
 		}
 		if inv.Fast.Offered != 200 || inv.Slow.Offered != 200 {
 			t.Errorf("%s not at the low offered point: %+v", inv.Name, inv)
+		}
+		if inv.Name == "serve-sharded-tail-overhead" && inv.MinProcs != 2 {
+			t.Errorf("%s must require shard parallelism (MinProcs 2), got %d", inv.Name, inv.MinProcs)
 		}
 	}
 	rs := CheckInvariants(rep, invs, Options{})
 	for _, r := range rs {
 		if r.Skipped {
-			t.Errorf("%s skipped; latency keys not found", r.Name)
+			// The sharded-tail bound legitimately skips on a box that
+			// cannot run the shards in parallel.
+			if r.MinProcs > 0 && runtime.GOMAXPROCS(0) < r.MinProcs {
+				continue
+			}
+			t.Errorf("%s skipped: %s", r.Name, r.SkipReason)
 		}
 		if !r.Holds {
 			t.Errorf("%s violated on healthy data (ratio %v, p %v)", r.Name, r.MinRatio, r.P)
 		}
+	}
+}
+
+func TestInvariantMinProcsSkips(t *testing.T) {
+	rep := latencyReport()
+	invs := []Invariant{{
+		Name: "needs-a-datacenter", Metric: "p99", MinProcs: 1 << 20,
+		Fast: rep.Series[0].Key, Slow: rep.Series[2].Key,
+	}}
+	rs := CheckInvariants(rep, invs, Options{})
+	if len(rs) != 1 || !rs[0].Skipped || !rs[0].Holds {
+		t.Fatalf("MinProcs beyond the machine: %+v, want vacuous skip", rs)
+	}
+	if rs[0].SkipReason == "" {
+		t.Error("skip carries no reason")
 	}
 }
 
@@ -65,7 +103,7 @@ func TestMetricInvariantCatchesTailInversion(t *testing.T) {
 	// Doctor cilk_for's low-load distribution: every request 10x
 	// slower — both the p99 ratio and the U test fire.
 	s := rep.Find(Key{Kernel: "sum", Model: models.CilkFor, Threads: 1,
-		Partitioner: "-", Scenario: Scenario, Offered: 200})
+		Partitioner: "-", Scenario: Scenario, Offered: 200, Metrics: true})
 	for i := range s.SampleNs {
 		s.SampleNs[i] *= 10
 	}
@@ -87,7 +125,7 @@ func TestMetricInvariantTailBlipWithoutShiftDoesNotGate(t *testing.T) {
 	// bound, but the distributions are otherwise identical, so the U
 	// test cannot reject equality — a blip is noise, not a verdict.
 	s := rep.Find(Key{Kernel: "sum", Model: models.CilkFor, Threads: 1,
-		Partitioner: "-", Scenario: Scenario, Offered: 200})
+		Partitioner: "-", Scenario: Scenario, Offered: 200, Metrics: true})
 	s.SampleNs[len(s.SampleNs)-1] *= 100
 	rs := CheckInvariants(rep, InvariantsFor(rep.Config), Options{})
 	for _, r := range rs {
@@ -127,7 +165,9 @@ func TestRunLatencySuiteProducesInvariantKeys(t *testing.T) {
 	if err != nil {
 		t.Fatalf("RunLatencySuite: %v", err)
 	}
-	if got, want := len(rep.Series), 3*2; got != want {
+	// 3 models x 2 points, plus the telemetry-off twin of the
+	// reference model at the low point.
+	if got, want := len(rep.Series), 3*2+1; got != want {
 		t.Fatalf("series = %d, want %d", got, want)
 	}
 	for _, s := range rep.Series {
@@ -140,13 +180,23 @@ func TestRunLatencySuiteProducesInvariantKeys(t *testing.T) {
 		if len(s.SampleNs) == 0 {
 			t.Errorf("series %s has no latency samples", s.Key)
 		}
+		if s.Key.Metrics {
+			if len(s.Telemetry) == 0 {
+				t.Errorf("series %s measured with telemetry but carries no scraped telemetry", s.Key)
+			}
+			if s.Telemetry["requests.completed"] <= 0 {
+				t.Errorf("series %s scraped window shows no completed requests: %v", s.Key, s.Telemetry)
+			}
+		} else if s.Telemetry != nil {
+			t.Errorf("telemetry-off twin %s carries scraped metrics", s.Key)
+		}
 	}
 	rs := CheckInvariants(rep, InvariantsFor(rep.Config), Options{})
 	if len(rs) == 0 {
 		t.Fatal("no latency invariants for the suite's own config")
 	}
 	for _, r := range rs {
-		if r.Skipped {
+		if r.Skipped && !(r.MinProcs > 0 && runtime.GOMAXPROCS(0) < r.MinProcs) {
 			t.Errorf("%s skipped: suite keys do not line up with invariant keys", r.Name)
 		}
 	}

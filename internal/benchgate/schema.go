@@ -60,6 +60,12 @@ type Key struct {
 	// Offered is the scenario's offered load in requests/second — the
 	// sweep point this series was measured at. Zero outside scenarios.
 	Offered int `json:"offered,omitempty"`
+	// Metrics marks a scenario series measured with the live telemetry
+	// registry enabled (serve.Config.Metrics). Additive like Pinned:
+	// the zero value means telemetry off, so keys from pre-telemetry
+	// reports compare unchanged. The metrics-overhead invariant pits a
+	// Metrics series against its telemetry-off twin.
+	Metrics bool `json:"metrics,omitempty"`
 }
 
 func (k Key) String() string {
@@ -76,6 +82,9 @@ func (k Key) String() string {
 	}
 	if k.Scenario != "" {
 		s += fmt.Sprintf(" %s@%drps", k.Scenario, k.Offered)
+	}
+	if k.Metrics {
+		s += " metrics"
 	}
 	return s
 }
@@ -123,6 +132,12 @@ type Series struct {
 	Goodput    float64 `json:"goodput,omitempty"`
 	ShedRate   float64 `json:"shed_rate,omitempty"`
 	QueueDepth int     `json:"queue_depth,omitempty"`
+	// Telemetry optionally carries metrics scraped from the server's
+	// /metrics registry over this series' measurement window (deltas
+	// for counters, end-of-window values for gauges) — the scheduler-
+	// behavior context behind the latency samples. Present only when
+	// the series was measured with Key.Metrics set.
+	Telemetry map[string]float64 `json:"telemetry,omitempty"`
 }
 
 // Env records where a report was measured. Cross-environment
@@ -188,6 +203,11 @@ type RunConfig struct {
 	Models   []string `json:"models,omitempty"`
 	// Seed drives the scenario's deterministic arrival schedule.
 	Seed uint64 `json:"seed,omitempty"`
+	// Metrics records that the scenario series were measured with the
+	// live telemetry registry enabled (plus one telemetry-off twin for
+	// the overhead invariant). Zero for pre-telemetry reports, whose
+	// keys then resolve without the Metrics mark.
+	Metrics bool `json:"metrics,omitempty"`
 }
 
 // Report is the sample-file schema shared by all bench tools.

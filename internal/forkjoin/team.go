@@ -454,6 +454,13 @@ func (m *member) runRegion(r *region) {
 	root := &taskNode{}
 	m.cur = root
 	m.reg = r.reg
+	// Work-sharing chunk spans have no free argument for a request id
+	// (A1/A2 are the iteration range), so tag the member's whole
+	// region with an ambient req-tag instant instead; the matching
+	// clear below keeps ids from leaking across regions.
+	if rid := r.reg.TraceID(); rid != 0 {
+		m.ring.Record(tracez.KindReqTag, rid, 0)
+	}
 	tc := &Ctx{m: m, r: r}
 	func() {
 		defer func() {
@@ -476,6 +483,9 @@ func (m *member) runRegion(r *region) {
 	m.ring.Record(tracez.KindBarrierStart, 0, 0)
 	m.team.barrier.Wait()
 	m.ring.Record(tracez.KindBarrierEnd, 0, 0)
+	if r.reg.TraceID() != 0 {
+		m.ring.Record(tracez.KindReqTag, 0, 0)
+	}
 	m.cur = nil
 	m.reg = nil
 }
@@ -531,7 +541,7 @@ func (m *member) findTask() *task {
 // queued tasks drain and taskwait/region-end conditions resolve.
 func (m *member) execute(tc *Ctx, tk *task) {
 	m.st.CountTask()
-	m.ring.Record(tracez.KindTaskStart, 0, 0)
+	m.ring.Record(tracez.KindTaskStart, m.reg.TraceID(), 0)
 	if m.ring != nil && trace.IsEnabled() {
 		defer trace.StartRegion(context.Background(), "forkjoin.task").End()
 	}

@@ -150,7 +150,7 @@ type Result struct {
 	// full measured configuration rather than assuming defaults.
 	Pinned bool
 	Grain  int
-	Cells    map[string]map[int]stats.Sample
+	Cells  map[string]map[int]stats.Sample
 	// Sched holds per-cell scheduler counters, present only when the
 	// run was configured with Stats and the model's runtime collects
 	// them.
@@ -163,6 +163,11 @@ type Result struct {
 	// measurement order, present only when the run was configured
 	// with KeepSamples.
 	RawSamples map[string]map[int][]time.Duration
+	// TraceDropped holds the per-cell count of scheduler events the
+	// tracer's rings overwrote during the timed reps (a wraparound
+	// warning: the captured window is incomplete). Present only when
+	// the run was configured with a Tracer.
+	TraceDropped map[string]map[int]int64
 }
 
 // Run executes the experiment under cfg.
@@ -215,6 +220,9 @@ func RunCtx(ctx context.Context, e *Experiment, cfg Config) (*Result, error) {
 	if cfg.KeepSamples {
 		res.RawSamples = make(map[string]map[int][]time.Duration)
 	}
+	if cfg.Tracer != nil {
+		res.TraceDropped = make(map[string]map[int]int64)
+	}
 	for _, name := range e.Models {
 		res.Cells[name] = make(map[int]stats.Sample)
 		for _, threads := range cfg.Threads {
@@ -243,6 +251,10 @@ func RunCtx(ctx context.Context, e *Experiment, cfg Config) (*Result, error) {
 			var shardBase []shard.Stat
 			if ss, ok := m.(models.ShardedStats); ok && cfg.Stats {
 				shardBase = ss.ShardSchedulerStats()
+			}
+			var dropBase int64
+			if cfg.Tracer != nil {
+				dropBase = cfg.Tracer.Dropped()
 			}
 			var ts []time.Duration
 			for r := 0; r < cfg.Reps; r++ {
@@ -273,6 +285,12 @@ func RunCtx(ctx context.Context, e *Experiment, cfg Config) (*Result, error) {
 					res.RawSamples[name] = make(map[int][]time.Duration)
 				}
 				res.RawSamples[name][threads] = ts
+			}
+			if cfg.Tracer != nil {
+				if res.TraceDropped[name] == nil {
+					res.TraceDropped[name] = make(map[int]int64)
+				}
+				res.TraceDropped[name][threads] = cfg.Tracer.Dropped() - dropBase
 			}
 			m.Close()
 			res.Cells[name][threads] = stats.Summarize(ts)
@@ -355,7 +373,9 @@ func (r *Result) Render(w io.Writer) {
 // sharded cell expands into a merged row (tagged "-") followed by one
 // row per shard id, so imbalance across shards is visible next to the
 // totals. Unsharded runs keep the original layout; the counter columns
-// are derived from Fields() in both cases.
+// are derived from Fields() in both cases. A traced run adds a
+// "dropped" column — events the tracer rings overwrote during the
+// cell's timed reps; nonzero means that cell's capture is truncated.
 func (r *Result) RenderStats(w io.Writer) {
 	if len(r.Sched) == 0 {
 		return
@@ -375,14 +395,20 @@ func (r *Result) RenderStats(w io.Writer) {
 	for _, f := range (sched.Snapshot{}).Fields() {
 		fmt.Fprintf(w, " %13s", f.Name)
 	}
+	if r.TraceDropped != nil {
+		fmt.Fprintf(w, " %13s", "dropped")
+	}
 	fmt.Fprintln(w)
-	row := func(model string, threads int, tag string, s sched.Snapshot) {
+	row := func(model string, threads int, tag string, s sched.Snapshot, dropped string) {
 		fmt.Fprintf(w, "%-12s %-8d", model, threads)
 		if sharded {
 			fmt.Fprintf(w, " %-6s", tag)
 		}
 		for _, f := range s.Fields() {
 			fmt.Fprintf(w, " %13d", f.Value)
+		}
+		if r.TraceDropped != nil {
+			fmt.Fprintf(w, " %13s", dropped)
 		}
 		fmt.Fprintln(w)
 	}
@@ -396,9 +422,15 @@ func (r *Result) RenderStats(w io.Writer) {
 			if !ok {
 				continue
 			}
-			row(m, t, "-", s)
+			dropped := ""
+			if r.TraceDropped != nil {
+				// The tracer is shared across shards, so the drop count
+				// is cell-wide: report it on the merged row only.
+				dropped = strconv.FormatInt(r.TraceDropped[m][t], 10)
+			}
+			row(m, t, "-", s, dropped)
 			for _, st := range r.ShardSched[m][t] {
-				row(m, t, "s"+strconv.Itoa(st.ID), st.Snapshot)
+				row(m, t, "s"+strconv.Itoa(st.ID), st.Snapshot, "")
 			}
 		}
 	}

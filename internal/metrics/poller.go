@@ -1,0 +1,76 @@
+package metrics
+
+import (
+	"sync"
+	"time"
+)
+
+// DefaultInterval is the sampling period pollers and watchdogs use
+// when the caller passes zero — frequent enough that utilization and
+// stall detection track load transients, cheap enough (one snapshot
+// walk) to leave running for the life of a server.
+const DefaultInterval = 250 * time.Millisecond
+
+// Poller runs fn on a fixed interval in its own goroutine — the
+// periodic half of the telemetry layer, driving the samplers that
+// turn monotone counters (sched.Snapshot, tracez busy time) into
+// rates and utilizations. Samplers that only need freshness at scrape
+// time should use Registry.OnScrape instead; a Poller is for values
+// that need a fixed Δt to be meaningful.
+type Poller struct {
+	interval time.Duration
+	fn       func()
+
+	once sync.Once
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewPoller returns an unstarted poller; a zero or negative interval
+// selects DefaultInterval.
+func NewPoller(interval time.Duration, fn func()) *Poller {
+	if interval <= 0 {
+		interval = DefaultInterval
+	}
+	return &Poller{
+		interval: interval,
+		fn:       fn,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+}
+
+// Start launches the polling goroutine. Calling Start twice is a
+// no-op.
+func (p *Poller) Start() {
+	p.once.Do(func() {
+		go p.run()
+	})
+}
+
+func (p *Poller) run() {
+	defer close(p.done)
+	t := time.NewTicker(p.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-p.stop:
+			return
+		case <-t.C:
+			p.fn()
+		}
+	}
+}
+
+// Stop halts the poller and waits for the goroutine to exit. Safe to
+// call more than once; a Stop before Start just marks the poller
+// finished.
+func (p *Poller) Stop() {
+	select {
+	case <-p.stop:
+	default:
+		close(p.stop)
+	}
+	p.once.Do(func() { close(p.done) }) // never started: nothing to wait for
+	<-p.done
+}

@@ -1,0 +1,134 @@
+package metrics
+
+import (
+	"testing"
+
+	"threading/internal/tracez"
+)
+
+// fakeSched is an injectable SchedTarget: the test sets the exact
+// pending/parked/workers view each tick observes.
+type fakeSched struct {
+	pending int64
+	parked  int
+	workers int
+}
+
+func (f *fakeSched) PendingWork() int64 { return f.pending }
+func (f *fakeSched) ParkedWorkers() int { return f.parked }
+func (f *fakeSched) Workers() int       { return f.workers }
+
+func stallEvents(tr *tracez.Tracer) int {
+	n := 0
+	snap := tr.Snapshot()
+	if snap == nil {
+		return 0
+	}
+	for _, wt := range snap.Workers {
+		for _, e := range wt.Events {
+			if e.Kind == tracez.KindStall {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+func TestWatchdogInjectedStall(t *testing.T) {
+	r := New()
+	tr := tracez.New(64)
+	target := &fakeSched{pending: 5, parked: 2, workers: 2}
+	w := NewWatchdog(r, "stalls_total", target, tr.Ring(0),
+		WatchdogConfig{FullThreshold: 3, PartialThreshold: 5})
+
+	// Two anomalous ticks: under threshold, nothing trips.
+	w.tick()
+	w.tick()
+	if got := w.full.Value(); got != 0 {
+		t.Fatalf("tripped after 2 ticks (threshold 3): %d", got)
+	}
+	// Third consecutive tick trips once — metric and trace event.
+	w.tick()
+	if got := w.full.Value(); got != 1 {
+		t.Fatalf("all-parked stalls = %d after threshold, want 1", got)
+	}
+	if got := stallEvents(tr); got != 1 {
+		t.Fatalf("stall trace events = %d, want 1", got)
+	}
+	// Still stalled: same episode, no double count.
+	w.tick()
+	w.tick()
+	if got := w.full.Value(); got != 1 {
+		t.Fatalf("one episode counted %d times", got)
+	}
+	// Clear, then stall again: a new episode counts.
+	target.pending = 0
+	w.tick()
+	target.pending = 5
+	w.tick()
+	w.tick()
+	w.tick()
+	if got := w.full.Value(); got != 2 {
+		t.Fatalf("second episode not counted: %d", got)
+	}
+}
+
+func TestWatchdogPartialPark(t *testing.T) {
+	r := New()
+	target := &fakeSched{pending: 1, parked: 1, workers: 4}
+	w := NewWatchdog(r, "stalls_total", target, nil,
+		WatchdogConfig{FullThreshold: 3, PartialThreshold: 5})
+	for i := 0; i < 4; i++ {
+		w.tick()
+	}
+	if got := w.partial.Value(); got != 0 {
+		t.Fatalf("partial tripped early: %d", got)
+	}
+	w.tick()
+	if got := w.partial.Value(); got != 1 {
+		t.Fatalf("partial stalls = %d after threshold, want 1", got)
+	}
+	if got := w.full.Value(); got != 0 {
+		t.Fatalf("full stall counted on a partial park: %d", got)
+	}
+}
+
+func TestWatchdogQuietOnHealthySchedules(t *testing.T) {
+	r := New()
+	target := &fakeSched{workers: 4}
+	w := NewWatchdog(r, "stalls_total", target, nil,
+		WatchdogConfig{FullThreshold: 1, PartialThreshold: 1})
+	states := []fakeSched{
+		{pending: 0, parked: 4, workers: 4}, // idle pool, everyone parked
+		{pending: 9, parked: 0, workers: 4}, // busy pool, nobody parked
+		{pending: 0, parked: 0, workers: 4},
+	}
+	for _, st := range states {
+		*target = st
+		for i := 0; i < 10; i++ {
+			w.tick()
+		}
+	}
+	if full, partial := w.full.Value(), w.partial.Value(); full != 0 || partial != 0 {
+		t.Fatalf("healthy states tripped watchdog: full=%d partial=%d", full, partial)
+	}
+}
+
+// An interval streak must be consecutive: a healthy tick in between
+// resets it.
+func TestWatchdogStreakResets(t *testing.T) {
+	r := New()
+	target := &fakeSched{pending: 5, parked: 2, workers: 2}
+	w := NewWatchdog(r, "stalls_total", target, nil,
+		WatchdogConfig{FullThreshold: 3, PartialThreshold: 5})
+	w.tick()
+	w.tick()
+	target.parked = 0 // a worker woke: healthy
+	w.tick()
+	target.parked = 2
+	w.tick()
+	w.tick()
+	if got := w.full.Value(); got != 0 {
+		t.Fatalf("non-consecutive anomaly ticks tripped the watchdog: %d", got)
+	}
+}

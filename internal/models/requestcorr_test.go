@@ -1,0 +1,73 @@
+package models
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"threading/internal/sched"
+	"threading/internal/tracez"
+)
+
+// Request correlation end to end: a request id threaded through the
+// context must come back out of the trace as span attribution —
+// including through a sharded executor, where the per-shard tracer
+// views (s0/, s1/ lanes) offset worker ids and prefix labels.
+func TestRequestIDFlowsIntoTrace(t *testing.T) {
+	for _, name := range []string{CilkFor, OMPFor, ShardedPrefix + CilkFor} {
+		t.Run(name, func(t *testing.T) {
+			tr := tracez.New(1 << 10)
+			ex, err := NewExecutor(name, 2,
+				WithShardCount(2), WithTracer(tr))
+			if err != nil {
+				t.Fatalf("NewExecutor(%q): %v", name, err)
+			}
+			defer ex.Close()
+
+			const rid = 42
+			ctx := sched.WithRequestID(context.Background(), rid)
+			if err := ex.ParallelForCtx(ctx, 0, 4096, 32, func(l, h int) {
+				sink := 0
+				for i := l; i < h; i++ {
+					sink += i
+				}
+				_ = sink
+			}); err != nil {
+				t.Fatalf("ParallelForCtx: %v", err)
+			}
+			if err := ex.Quiesce(); err != nil {
+				t.Fatalf("Quiesce: %v", err)
+			}
+
+			snap := tr.Snapshot()
+			costs := tracez.SummarizeRequests(snap)
+			if len(costs) == 0 {
+				t.Fatal("no request costs derived from a tagged run")
+			}
+			rc := costs[0]
+			if rc.ID != rid {
+				t.Fatalf("attributed request id = %d, want %d", rc.ID, rid)
+			}
+			if rc.BusyNs <= 0 {
+				t.Errorf("request busy time = %d, want > 0", rc.BusyNs)
+			}
+			if rc.Tasks == 0 && rc.Chunks == 0 {
+				t.Errorf("request attributed no tasks or chunks: %+v", rc)
+			}
+
+			if strings.HasPrefix(name, ShardedPrefix) {
+				// The sharded lanes must show up as composed view
+				// prefixes, and the request should span shards.
+				lanes := map[string]bool{}
+				for _, wt := range snap.Workers {
+					if i := strings.IndexByte(wt.Label, '/'); i >= 0 {
+						lanes[wt.Label[:i+1]] = true
+					}
+				}
+				if !lanes["s0/"] || !lanes["s1/"] {
+					t.Errorf("shard lane prefixes missing: %v", lanes)
+				}
+			}
+		})
+	}
+}

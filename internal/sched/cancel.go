@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // PanicError is the structured form of a panic recovered inside a
@@ -68,6 +69,12 @@ type Region struct {
 	stop     chan struct{}
 	stopOnce sync.Once
 	watched  bool
+
+	// traceID is the request id carried by the region's context (see
+	// WithRequestID), captured once at region creation so the worker
+	// hot paths read a plain field instead of walking a context chain
+	// per task. Zero means unattributed.
+	traceID int64
 }
 
 // NewRegion returns a region bound to ctx. For a context that can
@@ -80,12 +87,16 @@ func NewRegion(ctx context.Context) *Region {
 	if ctx == nil {
 		return r
 	}
+	// Capture the request id before the can-this-cancel check: a
+	// value-only context (WithRequestID over Background) has a nil
+	// Done but still attributes its region's trace spans.
+	r.traceID = RequestIDFrom(ctx)
 	done := ctx.Done()
 	if done == nil {
 		return r
 	}
 	r.ctx = ctx
-	if err := ctx.Err(); err != nil {
+	if err := expired(ctx); err != nil {
 		// Already expired: trip synchronously, no watcher needed.
 		r.fail(err)
 		return r
@@ -100,6 +111,16 @@ func NewRegion(ctx context.Context) *Region {
 		}
 	}()
 	return r
+}
+
+// TraceID returns the request id captured from the region's context
+// at creation, 0 when unattributed. Nil-safe, so instrumentation
+// sites can call it on an absent region.
+func (r *Region) TraceID() int64 {
+	if r == nil {
+		return 0
+	}
+	return r.traceID
 }
 
 // Canceled reports whether the region has been canceled — by its
@@ -154,10 +175,28 @@ func (r *Region) Finish() error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.err == nil && r.ctx != nil {
-		if err := r.ctx.Err(); err != nil {
+		if err := expired(r.ctx); err != nil {
 			r.err = err
 			r.canceled.Store(true)
 		}
 	}
 	return r.err
+}
+
+// expired reports why ctx should be treated as dead: its recorded
+// error, or DeadlineExceeded when its deadline has passed on the wall
+// clock even though the runtime timer has not fired yet. The second
+// check matters on a saturated machine (e.g. GOMAXPROCS=1 with every
+// worker busy): Go timers fire from the scheduler, so a hot parallel
+// region can outrun its own deadline timer by tens of milliseconds —
+// region entry and Finish must not depend on timer delivery to
+// observe a deadline that has objectively passed.
+func expired(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if dl, ok := ctx.Deadline(); ok && !time.Now().Before(dl) {
+		return context.DeadlineExceeded
+	}
+	return nil
 }

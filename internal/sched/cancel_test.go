@@ -127,3 +127,42 @@ func TestRegionFinishIdempotent(t *testing.T) {
 		t.Fatalf("second Finish = %v", err)
 	}
 }
+
+// stuckTimerCtx models a deadline whose runtime timer never fires —
+// what a request context looks like on a saturated GOMAXPROCS=1 box
+// where every worker is busy and the scheduler never runs the timer:
+// the deadline is objectively in the past, but Done never closes and
+// Err stays nil.
+type stuckTimerCtx struct {
+	context.Context
+	dl time.Time
+}
+
+func (c stuckTimerCtx) Deadline() (time.Time, bool) { return c.dl, true }
+
+func TestRegionObservesDeadlineWithoutTimer(t *testing.T) {
+	ctx := stuckTimerCtx{context.Background(), time.Now().Add(-time.Second)}
+	if ctx.Err() != nil || ctx.Done() != nil {
+		t.Fatal("fixture must look uncanceled to the channel protocol")
+	}
+	// Done is nil here, so the region takes the value-only fast path;
+	// wrap in a cancelable parent to force the watched path instead.
+	parent, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	r := NewRegion(stuckTimerCtx{parent, time.Now().Add(-time.Second)})
+	if !r.Canceled() {
+		t.Fatal("past-deadline region not tripped at entry")
+	}
+	if err := r.Finish(); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Finish = %v, want DeadlineExceeded", err)
+	}
+
+	// A live (future) deadline must not trip anything.
+	r = NewRegion(stuckTimerCtx{parent, time.Now().Add(time.Hour)})
+	if r.Canceled() {
+		t.Fatal("future-deadline region born canceled")
+	}
+	if err := r.Finish(); err != nil {
+		t.Fatalf("Finish = %v, want nil", err)
+	}
+}

@@ -1,0 +1,33 @@
+package sched
+
+import "context"
+
+// Request correlation: internal/serve mints an id per admitted
+// request and threads it through the standard context chain; every
+// runtime's Ctx entry point builds a Region from that context, which
+// captures the id once (Region.TraceID) for the worker hot paths to
+// stamp into tracez span events. The id lives here rather than in
+// serve because sched is the one package every runtime already
+// depends on — the same reason Region itself lives here.
+
+// requestIDKey is the private context key type for request ids.
+type requestIDKey struct{}
+
+// WithRequestID returns a context carrying the request id. Zero and
+// negative ids are valid to store but render the work unattributed
+// (tracez treats id 0 as "no request").
+func WithRequestID(ctx context.Context, id int64) context.Context {
+	return context.WithValue(ctx, requestIDKey{}, id)
+}
+
+// RequestIDFrom extracts the request id from ctx, 0 when absent or
+// when ctx is nil.
+func RequestIDFrom(ctx context.Context) int64 {
+	if ctx == nil {
+		return 0
+	}
+	if id, ok := ctx.Value(requestIDKey{}).(int64); ok {
+		return id
+	}
+	return 0
+}

@@ -10,6 +10,8 @@ import (
 	"time"
 
 	"threading/internal/futures"
+	"threading/internal/metrics"
+	"threading/internal/sched"
 )
 
 // errBadRequest marks client errors (unknown kernel, malformed
@@ -44,6 +46,19 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 // ParallelForCtx does not return before its chunks stop — so the
 // runtime is reusable immediately.
 func (s *Server) instrumented(name string, fn func(ctx context.Context, r *http.Request) (Response, error)) http.Handler {
+	// Telemetry series are resolved once, at registration; the request
+	// path below touches them without registry lookups. Both stay nil
+	// when metrics are off.
+	var latency *metrics.Histogram
+	var entered *metrics.ShardedCounter
+	if s.registry != nil {
+		latency = s.registry.Histogram("threadserve_request_latency_ns",
+			"End-to-end request latency by handler, nanoseconds.",
+			metrics.Label{Key: "handler", Value: name})
+		entered = s.registry.ShardedCounter("threadserve_handler_requests_total",
+			"Requests entering each handler (admitted only).",
+			s.cfg.Threads, metrics.Label{Key: "handler", Value: name})
+	}
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if !s.admit() {
 			w.Header().Set("Retry-After", "0")
@@ -63,9 +78,31 @@ func (s *Server) instrumented(name string, fn func(ctx context.Context, r *http.
 		ctx, cancel := context.WithTimeout(r.Context(), timeout)
 		defer cancel()
 
+		// With tracing active, mint a request id and thread it through
+		// the context: every runtime's Ctx entry point captures it into
+		// its Region, and the workers stamp it into their span events —
+		// the correlation traceview's per-request table is built from.
+		// The id is echoed as X-Request-Id so a client can find its own
+		// request in the trace.
+		var rid int64
+		if s.tracer != nil {
+			rid = s.nextReq.Add(1)
+			ctx = sched.WithRequestID(ctx, rid)
+			w.Header().Set("X-Request-Id", strconv.FormatInt(rid, 10))
+		}
+		if entered != nil {
+			// The id doubles as the spreading index across the padded
+			// counter shards, so concurrent handlers don't contend on
+			// one cache line.
+			entered.Inc(int(rid))
+		}
+
 		start := time.Now()
 		resp, err := fn(ctx, r)
 		resp.NS = time.Since(start).Nanoseconds()
+		if latency != nil {
+			latency.Observe(resp.NS)
+		}
 		switch {
 		case err == nil:
 			s.completed.Add(1)

@@ -1,0 +1,200 @@
+package serve
+
+import (
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"threading/internal/metrics"
+	"threading/internal/sched"
+	"threading/internal/tracez"
+)
+
+// This file wires the metrics registry to the server: fn-backed
+// mirrors of the admission counters, scrape-time reads of the
+// executor's scheduler counters, a sampling poller that turns trace
+// busy time into per-worker utilization and counter deltas into
+// rates, and the stall watchdog. Everything here is construction-time
+// or scrape/poll-time work — the request path's only telemetry costs
+// are the id mint, one histogram observe, and one sharded counter
+// bump in instrumented().
+
+const (
+	// internalTraceCapacity sizes the tracer serve creates when
+	// metrics are on but the caller supplied none: big enough for
+	// utilization sampling over a poll interval, small enough that
+	// the per-poll ring snapshot stays cheap.
+	internalTraceCapacity = 1 << 10
+
+	// watchdogRingID is the ring the watchdog's stall instants land
+	// in — far above any worker id a pool or resolver hands out, so
+	// the "watchdog" track never collides with a worker track.
+	watchdogRingID = 1 << 16
+)
+
+// executorStatser is the optional counter surface of the executors
+// (worksteal.Pool, forkjoin.Team, and shard.Resolver all have it).
+type executorStatser interface{ Stats() sched.Snapshot }
+
+// initMetrics builds the registry, registers every family, and starts
+// the poller and (for runtimes that expose a park surface) the
+// watchdog. Called from New before the mux is built.
+func (s *Server) initMetrics() {
+	r := metrics.New()
+	s.registry = r
+
+	r.GaugeFunc("threadserve_queue_depth",
+		"Admitted requests currently in flight.",
+		func() float64 { return float64(s.depth.Load()) })
+	r.GaugeFunc("threadserve_queue_depth_peak",
+		"Peak in-flight depth since the last reset (Stats resetPeak).",
+		func() float64 { return float64(s.peakDepth.Load()) })
+	r.GaugeFunc("threadserve_queue_cap",
+		"Admission queue capacity; requests beyond it are shed.",
+		func() float64 { return float64(s.cfg.Queue) })
+
+	outcome := func(name string, v *atomic.Int64) {
+		r.CounterFunc("threadserve_requests_total",
+			"Requests by outcome (accepted, shed, completed, failed, timeout, hedge, hedge_win).",
+			v.Load, metrics.Label{Key: "outcome", Value: name})
+	}
+	outcome("accepted", &s.accepted)
+	outcome("shed", &s.shed)
+	outcome("completed", &s.completed)
+	outcome("failed", &s.failed)
+	outcome("timeout", &s.timeouts)
+	outcome("hedge", &s.hedges)
+	outcome("hedge_win", &s.hedgeWins)
+
+	statser, hasStats := s.exec.(executorStatser)
+	if hasStats {
+		// One series per scheduler counter, read at scrape time. The
+		// field's display name ("failed-steals") becomes the label
+		// value unchanged — label values, unlike metric names, may
+		// contain dashes.
+		schedField := func(name string) func() int64 {
+			return func() int64 {
+				for _, f := range statser.Stats().Fields() {
+					if f.Name == name {
+						return f.Value
+					}
+				}
+				return 0
+			}
+		}
+		for _, f := range (sched.Snapshot{}).Fields() {
+			r.CounterFunc("threadserve_sched_total",
+				"Cumulative scheduler counters (sched.Snapshot fields).",
+				schedField(f.Name), metrics.Label{Key: "counter", Value: f.Name})
+		}
+	}
+
+	r.CounterFunc("threadserve_trace_dropped_total",
+		"Trace events lost to ring wraparound across all worker rings.",
+		s.tracer.Dropped)
+
+	s.startPoller(statser, hasStats)
+	s.startWatchdog(r)
+}
+
+// startPoller launches the interval sampler: scheduler counter rates
+// from Snapshot deltas, and per-worker busy time / utilization from a
+// windowed trace summary. Utilization is computed over the trace's
+// retained window rather than as a delta, so ring wraparound can
+// never drive it negative.
+func (s *Server) startPoller(statser executorStatser, hasStats bool) {
+	r := s.registry
+	var rates map[string]*metrics.Gauge
+	if hasStats {
+		rates = make(map[string]*metrics.Gauge)
+		for _, f := range (sched.Snapshot{}).Fields() {
+			rates[f.Name] = r.Gauge("threadserve_sched_rate",
+				"Scheduler counter rates per second over the last poll interval.",
+				metrics.Label{Key: "counter", Value: f.Name})
+		}
+	}
+	// sample runs from both the poller goroutine and scrape handlers
+	// (OnScrape below), so its delta state needs the lock.
+	var mu sync.Mutex
+	var prev sched.Snapshot
+	var prevAt time.Time
+
+	sample := func() {
+		mu.Lock()
+		defer mu.Unlock()
+		now := time.Now()
+		if hasStats {
+			cur := statser.Stats()
+			if !prevAt.IsZero() {
+				if dt := now.Sub(prevAt).Seconds(); dt > 0 {
+					for _, f := range cur.Delta(prev).Fields() {
+						rates[f.Name].Set(float64(f.Value) / dt)
+					}
+				}
+			}
+			prev, prevAt = cur, now
+		}
+		snap := s.tracer.Snapshot()
+		if snap == nil {
+			return
+		}
+		summ := tracez.Summarize(snap)
+		for _, ws := range summ.Workers {
+			if ws.ID == watchdogRingID {
+				continue
+			}
+			worker := metrics.Label{Key: "worker", Value: ws.Label}
+			r.Gauge("threadserve_worker_busy_ns",
+				"Per-worker busy time within the retained trace window.",
+				worker).Set(float64(ws.BusyNs))
+			util := 0.0
+			if summ.WallNs > 0 {
+				util = float64(ws.BusyNs) / float64(summ.WallNs)
+				if util > 1 {
+					util = 1
+				}
+			}
+			r.Gauge("threadserve_worker_utilization",
+				"Per-worker utilization (busy/wall) over the retained trace window.",
+				worker).Set(util)
+		}
+	}
+	s.poller = metrics.NewPoller(s.cfg.MetricsInterval, sample)
+	s.poller.Start()
+	// Scrapes also refresh the windowed gauges, so a curl against an
+	// otherwise-idle server still sees current utilization.
+	r.OnScrape(sample)
+}
+
+// startWatchdog attaches the stall watchdog when the executor exposes
+// the park surface (worksteal pools and shard resolvers; forkjoin
+// teams spin rather than park, so no watchdog — their stall counters
+// are registered anyway, permanently zero, to keep the exposed family
+// set model-independent).
+func (s *Server) startWatchdog(r *metrics.Registry) {
+	target, ok := s.exec.(metrics.SchedTarget)
+	if !ok || target.Workers() == 0 {
+		help := "Stall anomalies detected by the scheduler watchdog."
+		r.Counter("threadserve_sched_stalls_total", help, metrics.Label{Key: "kind", Value: "all-parked"})
+		r.Counter("threadserve_sched_stalls_total", help, metrics.Label{Key: "kind", Value: "partial-park"})
+		return
+	}
+	ring := s.tracer.Ring(watchdogRingID)
+	s.tracer.Label(watchdogRingID, "watchdog")
+	s.watchdog = metrics.NewWatchdog(r, "threadserve_sched_stalls_total", target, ring,
+		metrics.WatchdogConfig{Interval: s.cfg.MetricsInterval})
+	s.watchdog.Start()
+}
+
+// handleMetrics is the /metrics endpoint: Prometheus text exposition
+// by default, the flat JSON view with ?format=json.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") == "json" {
+		w.Header().Set("Content-Type", "application/json")
+		s.registry.WriteJSON(w)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.registry.WritePrometheus(w)
+}

@@ -1,0 +1,118 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func getRec(t *testing.T, s *Server, path string) *httptest.ResponseRecorder {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
+	return rec
+}
+
+// requiredFamilies is the metric set the CI metrics-smoke job greps
+// for: sched counters, queue depth, shed totals, per-worker
+// utilization, latency histograms, trace overflow, and the watchdog.
+var requiredFamilies = []string{
+	"threadserve_sched_total",
+	"threadserve_queue_depth",
+	"threadserve_queue_cap",
+	"threadserve_requests_total",
+	"threadserve_request_latency_ns",
+	"threadserve_worker_utilization",
+	"threadserve_worker_busy_ns",
+	"threadserve_trace_dropped_total",
+	"threadserve_sched_stalls_total",
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	for _, model := range []string{"cilk_for", "omp_for", "sharded:cilk_for"} {
+		t.Run(model, func(t *testing.T) {
+			s := newTestServer(t, Config{
+				Model: model, Threads: 2, Shards: 2, Metrics: true, WorkSize: 1 << 12,
+			})
+			// Put load through so histograms, utilization, and sched
+			// counters have something to show.
+			for i := 0; i < 8; i++ {
+				if rec := getRec(t, s, "/run?kernel=sum"); rec.Code != http.StatusOK {
+					t.Fatalf("/run = %d: %s", rec.Code, rec.Body.String())
+				}
+			}
+
+			rec := getRec(t, s, "/metrics")
+			if rec.Code != http.StatusOK {
+				t.Fatalf("/metrics = %d", rec.Code)
+			}
+			if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+				t.Errorf("content type = %q, want text/plain exposition", ct)
+			}
+			body := rec.Body.String()
+			for _, fam := range requiredFamilies {
+				if !strings.Contains(body, "# TYPE "+fam+" ") {
+					t.Errorf("missing family %s\n", fam)
+				}
+			}
+			if !strings.Contains(body, `threadserve_request_latency_ns_count{handler="run"} 8`) {
+				t.Errorf("latency histogram did not count 8 runs:\n%s", body)
+			}
+
+			// Healthy server: the watchdog stays quiet.
+			for _, line := range strings.Split(body, "\n") {
+				if strings.HasPrefix(line, "threadserve_sched_stalls_total") && !strings.HasSuffix(line, " 0") {
+					t.Errorf("watchdog not quiet: %s", line)
+				}
+			}
+		})
+	}
+}
+
+func TestMetricsJSONFormat(t *testing.T) {
+	s := newTestServer(t, Config{Model: "cilk_for", Threads: 2, Metrics: true, WorkSize: 1 << 12})
+	if rec := getRec(t, s, "/run?kernel=sum"); rec.Code != http.StatusOK {
+		t.Fatalf("/run = %d", rec.Code)
+	}
+	rec := getRec(t, s, "/metrics?format=json")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/metrics?format=json = %d", rec.Code)
+	}
+	var m map[string]float64
+	if err := json.Unmarshal(rec.Body.Bytes(), &m); err != nil {
+		t.Fatalf("JSON exposition not flat name->value: %v", err)
+	}
+	if m[`threadserve_requests_total{outcome="completed"}`] != 1 {
+		t.Errorf("completed count = %v, want 1", m[`threadserve_requests_total{outcome="completed"}`])
+	}
+	if _, ok := m[`threadserve_request_latency_ns_p99{handler="run"}`]; !ok {
+		t.Error("JSON exposition missing latency quantile entries")
+	}
+}
+
+// Metrics off: no endpoint, no request-id header, no behavior change.
+func TestMetricsDisabledByDefault(t *testing.T) {
+	s := newTestServer(t, Config{Model: "omp_for", Threads: 2, WorkSize: 1 << 12})
+	if rec := getRec(t, s, "/metrics"); rec.Code != http.StatusNotFound {
+		t.Errorf("/metrics with metrics off = %d, want 404", rec.Code)
+	}
+	rec := getRec(t, s, "/run?kernel=sum")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/run = %d", rec.Code)
+	}
+	if rec.Header().Get("X-Request-Id") != "" {
+		t.Error("X-Request-Id set without tracing")
+	}
+}
+
+// With metrics on, admitted requests get correlatable ids.
+func TestRequestIDHeader(t *testing.T) {
+	s := newTestServer(t, Config{Model: "cilk_for", Threads: 2, Metrics: true, WorkSize: 1 << 12})
+	first := getRec(t, s, "/run?kernel=sum").Header().Get("X-Request-Id")
+	second := getRec(t, s, "/run?kernel=sum").Header().Get("X-Request-Id")
+	if first == "" || second == "" || first == second {
+		t.Errorf("request ids not minted per request: %q then %q", first, second)
+	}
+}

@@ -38,6 +38,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"threading/internal/metrics"
 	"threading/internal/models"
 	"threading/internal/shard"
 	"threading/internal/tracez"
@@ -74,6 +75,20 @@ type Config struct {
 	WorkSize int
 	// Tracer, when non-nil, records the runtime's scheduler events.
 	Tracer *tracez.Tracer
+	// Metrics enables the continuous-telemetry layer: a registry of
+	// request and scheduler metrics exposed at /metrics (Prometheus
+	// text format; ?format=json for the expvar-style JSON view), a
+	// sampling poller deriving per-worker utilization and sched
+	// counter rates, and a stall watchdog. When Metrics is set and
+	// Tracer is nil the server creates a small internal tracer, since
+	// utilization and request correlation are tracez-derived — that
+	// ring recording is part of the overhead the benchgate
+	// metrics-overhead invariant bounds. Off by default; a disabled
+	// server behaves exactly as before this layer existed.
+	Metrics bool
+	// MetricsInterval is the poller and watchdog observation period;
+	// 0 selects metrics.DefaultInterval.
+	MetricsInterval time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -119,24 +134,42 @@ type Server struct {
 	timeouts  atomic.Int64
 	hedges    atomic.Int64
 	hedgeWins atomic.Int64 // hedged requests won by the duplicate
+
+	// Telemetry (nil / zero when Config.Metrics is off).
+	nextReq  atomic.Int64 // request-id mint; ids start at 1
+	tracer   *tracez.Tracer
+	registry *metrics.Registry
+	poller   *metrics.Poller
+	watchdog *metrics.Watchdog
 }
 
 // New builds the runtime and workloads and returns a ready server.
 func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
+	tracer := cfg.Tracer
+	if cfg.Metrics && tracer == nil {
+		// Per-worker utilization and request attribution are derived
+		// from trace events, so metrics need a tracer; a small ring
+		// keeps the per-poll snapshot cost bounded.
+		tracer = tracez.New(internalTraceCapacity)
+	}
 	ex, err := models.NewExecutor(cfg.Model, cfg.Threads,
 		models.WithShardCount(cfg.Shards),
 		models.WithShardBalancer(cfg.Balancer),
 		models.WithPinnedWorkers(cfg.Pinned),
-		models.WithTracer(cfg.Tracer))
+		models.WithTracer(tracer))
 	if err != nil {
 		return nil, fmt.Errorf("serve: %w", err)
 	}
 	s := &Server{
-		cfg:  cfg,
-		exec: ex,
-		work: newWorkload(cfg.WorkSize),
-		sem:  make(chan struct{}, cfg.Queue),
+		cfg:    cfg,
+		exec:   ex,
+		work:   newWorkload(cfg.WorkSize),
+		sem:    make(chan struct{}, cfg.Queue),
+		tracer: tracer,
+	}
+	if cfg.Metrics {
+		s.initMetrics()
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
@@ -144,6 +177,9 @@ func New(cfg Config) (*Server, error) {
 	s.mux.Handle("/run", s.instrumented("run", s.handleRun))
 	s.mux.Handle("/fanout", s.instrumented("fanout", s.handleFanout))
 	s.mux.Handle("/hedged", s.instrumented("hedged", s.handleHedged))
+	if s.registry != nil {
+		s.mux.HandleFunc("/metrics", s.handleMetrics)
+	}
 	return s, nil
 }
 
@@ -152,9 +188,21 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.Serve
 // Model reports the configured model name.
 func (s *Server) Model() string { return s.cfg.Model }
 
+// Registry returns the server's telemetry registry — what /metrics
+// exposes — or nil when the server was built without Config.Metrics.
+// In-process harnesses (benchgate's latency suite) scrape it directly
+// instead of going through the HTTP exposition.
+func (s *Server) Registry() *metrics.Registry { return s.registry }
+
 // Close quiesces and releases the runtime. The server must not serve
 // requests afterwards.
 func (s *Server) Close() error {
+	if s.watchdog != nil {
+		s.watchdog.Stop()
+	}
+	if s.poller != nil {
+		s.poller.Stop()
+	}
 	err := s.exec.Quiesce()
 	s.exec.Close()
 	return err
@@ -220,7 +268,21 @@ func (s *Server) Stats(resetPeak bool) Stats {
 		HedgeWins: s.hedgeWins.Load(),
 	}
 	if resetPeak {
-		s.peakDepth.Store(s.depth.Load())
+		// Swap, not Store: a plain Store could overwrite a peak raised
+		// by a concurrent admit between our read and the write, and
+		// could also lower the watermark below the live depth. Take
+		// the watermark atomically, then re-raise it to at least the
+		// current depth with the same CAS loop admit uses — the
+		// watermark is never less than any depth that existed after
+		// the reset.
+		st.PeakDepth = s.peakDepth.Swap(st.Depth)
+		for {
+			d := s.depth.Load()
+			p := s.peakDepth.Load()
+			if d <= p || s.peakDepth.CompareAndSwap(p, d) {
+				break
+			}
+		}
 	}
 	return st
 }

@@ -1,0 +1,101 @@
+package serve
+
+import (
+	"sync"
+	"testing"
+)
+
+// The peak-depth watermark reset must be atomic with concurrent
+// admit/release traffic. The old read-then-Store reset could (a) lose
+// a peak raised between the read and the write, and (b) store a stale
+// depth below the live depth, making the watermark dip under what was
+// actually in flight. This test pins the repaired Swap+re-raise: it
+// holds a floor of admitted requests and hammers Stats(true) against
+// admit/release churn — under -race for the memory model, with the
+// floor assertion for the semantics.
+func TestStatsPeakResetRace(t *testing.T) {
+	s := newTestServer(t, Config{Model: "omp_for", Threads: 2, Queue: 64})
+
+	// A held floor: these tokens stay admitted for the whole test, so
+	// depth never drops below floorN and no correct watermark can
+	// either.
+	const floorN = 8
+	for i := 0; i < floorN; i++ {
+		if !s.admit() {
+			t.Fatal("admit refused below queue capacity")
+		}
+	}
+	defer func() {
+		for i := 0; i < floorN; i++ {
+			s.release()
+		}
+	}()
+
+	const (
+		churners = 4
+		rounds   = 2000
+	)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < churners; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if s.admit() {
+					s.release()
+				}
+			}
+		}()
+	}
+
+	for i := 0; i < rounds; i++ {
+		st := s.Stats(true)
+		if st.PeakDepth < floorN {
+			t.Errorf("round %d: PeakDepth = %d fell below held floor %d", i, st.PeakDepth, floorN)
+			break
+		}
+		if st.Depth < floorN {
+			t.Errorf("round %d: Depth = %d fell below held floor %d", i, st.Depth, floorN)
+			break
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	// After the churn quiesces, a reset must land exactly on the held
+	// floor — the reset actually resets.
+	s.Stats(true)
+	if st := s.Stats(false); st.PeakDepth != floorN {
+		t.Errorf("post-churn reset PeakDepth = %d, want %d", st.PeakDepth, floorN)
+	}
+}
+
+// Sequential semantics of resetPeak: the returned snapshot carries the
+// pre-reset peak, and the stored watermark becomes the current depth.
+func TestStatsPeakResetSemantics(t *testing.T) {
+	s := newTestServer(t, Config{Model: "omp_for", Threads: 2, Queue: 16})
+
+	for i := 0; i < 3; i++ {
+		if !s.admit() {
+			t.Fatal("admit refused")
+		}
+	}
+	s.release() // depth 2, peak 3
+
+	st := s.Stats(true)
+	if st.PeakDepth != 3 {
+		t.Errorf("reset returned PeakDepth %d, want pre-reset 3", st.PeakDepth)
+	}
+	if st := s.Stats(false); st.PeakDepth != 2 {
+		t.Errorf("watermark after reset = %d, want current depth 2", st.PeakDepth)
+	}
+	for i := 0; i < 2; i++ {
+		s.release()
+	}
+}

@@ -482,6 +482,38 @@ func (r *Resolver) PendingWork() int64 {
 	return sum
 }
 
+// Workers sums the worker counts of every routable shard whose
+// executor reports one (the worksteal pools; forkjoin teams don't).
+// With ParkedWorkers and PendingWork it lets a sharded deployment sit
+// behind the metrics stall watchdog like a single pool.
+func (r *Resolver) Workers() int {
+	r.mu.Lock()
+	shards := r.live
+	r.mu.Unlock()
+	var sum int
+	for _, h := range shards {
+		if wk, ok := h.exec.(interface{ Workers() int }); ok {
+			sum += wk.Workers()
+		}
+	}
+	return sum
+}
+
+// ParkedWorkers sums the parked-worker counts across routable shards
+// that report one.
+func (r *Resolver) ParkedWorkers() int {
+	r.mu.Lock()
+	shards := r.live
+	r.mu.Unlock()
+	var sum int
+	for _, h := range shards {
+		if pk, ok := h.exec.(interface{ ParkedWorkers() int }); ok {
+			sum += pk.ParkedWorkers()
+		}
+	}
+	return sum
+}
+
 // Stat is one shard's scheduler counters, tagged with the shard id.
 type Stat struct {
 	ID       int

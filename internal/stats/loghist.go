@@ -24,6 +24,19 @@ type LogHist struct {
 	max    int64
 }
 
+// NumBuckets is the fixed bucket count of the log-bucket geometry.
+// internal/metrics.Histogram reuses it (one atomic counter per bucket)
+// so live histograms and offline LogHist summaries bucket identically.
+const NumBuckets = 65
+
+// BucketOf returns the bucket index for v — the exported form of the
+// geometry for concurrent reimplementations that can't embed LogHist.
+func BucketOf(v int64) int { return bucketOf(v) }
+
+// BucketBounds returns the inclusive lower and exclusive upper value
+// bounds of bucket i.
+func BucketBounds(i int) (lo, hi int64) { return bucketLo(i), bucketHi(i) }
+
 // bucketOf returns the bucket index for v: 0 for v <= 0, else
 // bits.Len64(v), so bucket i >= 1 holds [2^(i-1), 2^i) and exact
 // powers of two open their bucket.

@@ -68,6 +68,10 @@ func spanArgs(e Event) map[string]any {
 		if e.A2 > e.A1 {
 			return map[string]any{"lo": e.A1, "hi": e.A2, "iters": e.A2 - e.A1}
 		}
+	case KindTaskStart:
+		if e.A1 != 0 {
+			return map[string]any{"req": e.A1}
+		}
 	}
 	return nil
 }
@@ -81,6 +85,10 @@ func instantArgs(e Event) map[string]any {
 		return map[string]any{"lo": e.A1, "hi": e.A2}
 	case KindHelpClaim:
 		return map[string]any{"slot": e.A1}
+	case KindReqTag:
+		return map[string]any{"req": e.A1}
+	case KindStall:
+		return map[string]any{"pending": e.A1, "parked": e.A2}
 	}
 	return nil
 }

@@ -1,0 +1,213 @@
+package tracez
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// This file attributes scheduler cost to individual requests. A
+// request id minted in internal/serve flows through the Ctx API into
+// the runtimes' span events two ways: task spans carry it directly
+// (KindTaskStart.A1, 0 when untagged — the pre-telemetry encoding, so
+// old traces read identically), and the work-sharing runtimes bracket
+// their regions with KindReqTag instants that set a worker's ambient
+// id for the chunk spans in between, which have no free argument.
+// SummarizeRequests folds both into a per-request scheduler-cost
+// table: how much worker busy time, how many chunks, steals, and how
+// much park time each request induced across the pool.
+
+// RequestCost aggregates the scheduler cost attributed to one request.
+type RequestCost struct {
+	// ID is the request id (serve's X-Request-Id value).
+	ID int64
+	// Tasks and Chunks count completed task spans and loop chunks.
+	Tasks  int64
+	Chunks int64
+	// Steals and FailedSteals count steal traffic attributed to the
+	// request: steals landing inside its spans, plus the hunt that
+	// immediately preceded a worker picking the request's work up.
+	Steals       int64
+	FailedSteals int64
+	// BusyNs is worker busy time exclusive of nested spans, summed
+	// across workers (can exceed the request's wall latency when
+	// several workers serve it in parallel).
+	BusyNs int64
+	// ParkNs is park time immediately preceding the request's spans —
+	// the wake-up cost of getting workers onto its work.
+	ParkNs int64
+	// Workers counts the distinct workers that executed the request's
+	// spans.
+	Workers int
+}
+
+// openSpan is one entry of a worker's in-progress span stack.
+type openSpan struct {
+	kind    Kind
+	rid     int64
+	start   int64
+	childNs int64
+}
+
+// SummarizeRequests derives per-request costs from tr. Requests are
+// identified by nonzero ids; untagged work (id 0 — benchmarks, or
+// traces predating request correlation) is skipped, so the result is
+// empty for non-serve traces. Results are ordered by request id.
+func SummarizeRequests(tr *Trace) []RequestCost {
+	if tr == nil {
+		return nil
+	}
+	acc := make(map[int64]*RequestCost)
+	workers := make(map[int64]map[int]bool)
+	get := func(rid int64) *RequestCost {
+		rc, ok := acc[rid]
+		if !ok {
+			rc = &RequestCost{ID: rid}
+			acc[rid] = rc
+			workers[rid] = make(map[int]bool)
+		}
+		return rc
+	}
+
+	for _, wt := range tr.Workers {
+		summarizeWorkerRequests(wt, get, workers)
+	}
+
+	out := make([]RequestCost, 0, len(acc))
+	for rid, rc := range acc {
+		rc.Workers = len(workers[rid])
+		out = append(out, *rc)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// summarizeWorkerRequests walks one worker's events. Spans inherit
+// their request id from (in order) their own KindTaskStart.A1, the
+// enclosing span, or the worker's ambient KindReqTag. Idle-time costs
+// — steal hunts and park intervals between spans — flush into the
+// next request-tagged span: that hunt/wake-up is the price of getting
+// this worker onto that request's work.
+func summarizeWorkerRequests(wt WorkerTrace, get func(int64) *RequestCost, workers map[int64]map[int]bool) {
+	if len(wt.Events) == 0 {
+		return
+	}
+	lastTS := wt.Events[len(wt.Events)-1].TS
+
+	var stack []openSpan
+	var ambient int64
+	var pendSteals, pendFails, pendParkNs int64
+	parkStart := int64(-1)
+
+	attribute := func(rid int64, busy int64) {
+		if rid == 0 {
+			// Untagged work: its idle costs don't belong to any
+			// request either.
+			pendSteals, pendFails, pendParkNs = 0, 0, 0
+			return
+		}
+		rc := get(rid)
+		rc.BusyNs += busy
+		rc.Steals += pendSteals
+		rc.FailedSteals += pendFails
+		rc.ParkNs += pendParkNs
+		pendSteals, pendFails, pendParkNs = 0, 0, 0
+		workers[rid][wt.ID] = true
+	}
+
+	for _, e := range wt.Events {
+		switch e.Kind {
+		case KindReqTag:
+			ambient = e.A1
+		case KindTaskStart, KindChunkStart, KindThreadStart:
+			rid := ambient
+			if len(stack) > 0 {
+				rid = stack[len(stack)-1].rid
+			}
+			if e.Kind == KindTaskStart && e.A1 != 0 {
+				rid = e.A1
+			}
+			if rid != 0 {
+				switch e.Kind {
+				case KindChunkStart:
+					get(rid).Chunks++
+					workers[rid][wt.ID] = true
+				case KindThreadStart:
+					if e.A2 > e.A1 {
+						get(rid).Chunks++
+						workers[rid][wt.ID] = true
+					}
+				}
+			}
+			stack = append(stack, openSpan{kind: e.Kind, rid: rid, start: e.TS})
+		case KindTaskEnd, KindChunkEnd, KindThreadEnd:
+			if len(stack) == 0 {
+				// Start lost to ring wraparound: nothing to attribute.
+				continue
+			}
+			top := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			total := e.TS - top.start
+			self := total - top.childNs
+			if self < 0 {
+				self = 0
+			}
+			if len(stack) > 0 {
+				stack[len(stack)-1].childNs += total
+			}
+			attribute(top.rid, self)
+			if top.rid != 0 && e.Kind == KindTaskEnd {
+				get(top.rid).Tasks++
+			}
+		case KindSteal:
+			if len(stack) > 0 && stack[len(stack)-1].rid != 0 {
+				get(stack[len(stack)-1].rid).Steals++
+			} else {
+				pendSteals++
+			}
+		case KindStealFail:
+			if len(stack) > 0 && stack[len(stack)-1].rid != 0 {
+				get(stack[len(stack)-1].rid).FailedSteals++
+			} else {
+				pendFails++
+			}
+		case KindPark:
+			parkStart = e.TS
+		case KindUnpark:
+			if parkStart >= 0 {
+				pendParkNs += e.TS - parkStart
+				parkStart = -1
+			}
+		}
+	}
+	// Spans still open at the capture edge: attribute what ran inside
+	// the window, mirroring Summarize's handling of truncated spans.
+	for len(stack) > 0 {
+		top := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		self := lastTS - top.start - top.childNs
+		if self < 0 {
+			self = 0
+		}
+		attribute(top.rid, self)
+	}
+}
+
+// RenderRequests writes the per-request scheduler-cost table.
+func RenderRequests(w io.Writer, costs []RequestCost) {
+	if len(costs) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "per-request scheduler cost (%d requests):\n", len(costs))
+	fmt.Fprintf(w, "%-10s %10s %8s %8s %8s %8s %10s %7s\n",
+		"request", "busy", "tasks", "chunks", "steals", "fails", "park", "workers")
+	for _, rc := range costs {
+		fmt.Fprintf(w, "%-10d %10v %8d %8d %8d %8d %10v %7d\n",
+			rc.ID,
+			time.Duration(rc.BusyNs).Round(time.Microsecond),
+			rc.Tasks, rc.Chunks, rc.Steals, rc.FailedSteals,
+			time.Duration(rc.ParkNs).Round(time.Microsecond),
+			rc.Workers)
+	}
+}

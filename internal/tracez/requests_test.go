@@ -1,0 +1,191 @@
+package tracez
+
+import (
+	"strings"
+	"testing"
+)
+
+// trace builds a single-version Trace from worker event streams.
+func trace(workers ...WorkerTrace) *Trace {
+	return &Trace{Version: Version, Workers: workers}
+}
+
+func costByID(t *testing.T, costs []RequestCost, id int64) RequestCost {
+	t.Helper()
+	for _, rc := range costs {
+		if rc.ID == id {
+			return rc
+		}
+	}
+	t.Fatalf("request %d not in %+v", id, costs)
+	return RequestCost{}
+}
+
+func TestSummarizeRequestsTaskAttribution(t *testing.T) {
+	costs := SummarizeRequests(trace(WorkerTrace{ID: 0, Events: []Event{
+		// Request 7: one task, a steal landing mid-span.
+		{TS: 100, Kind: KindTaskStart, A1: 7},
+		{TS: 150, Kind: KindSteal, A1: 1, A2: 1},
+		{TS: 300, Kind: KindTaskEnd},
+		// Idle costs (a failed hunt, a park) flush into request 9.
+		{TS: 350, Kind: KindStealFail},
+		{TS: 400, Kind: KindPark},
+		{TS: 500, Kind: KindUnpark},
+		{TS: 600, Kind: KindTaskStart, A1: 9},
+		{TS: 700, Kind: KindTaskEnd},
+	}}))
+	if len(costs) != 2 {
+		t.Fatalf("got %d requests, want 2: %+v", len(costs), costs)
+	}
+	r7 := costByID(t, costs, 7)
+	if r7.BusyNs != 200 || r7.Tasks != 1 || r7.Steals != 1 || r7.Workers != 1 {
+		t.Errorf("req 7 = %+v, want busy 200, 1 task, 1 steal, 1 worker", r7)
+	}
+	r9 := costByID(t, costs, 9)
+	if r9.BusyNs != 100 || r9.FailedSteals != 1 || r9.ParkNs != 100 {
+		t.Errorf("req 9 = %+v, want busy 100, 1 failed steal, park 100", r9)
+	}
+}
+
+func TestSummarizeRequestsNestedSpansInherit(t *testing.T) {
+	costs := SummarizeRequests(trace(WorkerTrace{ID: 2, Events: []Event{
+		{TS: 1000, Kind: KindTaskStart, A1: 11},
+		{TS: 1100, Kind: KindChunkStart, A1: 0, A2: 64},
+		{TS: 1200, Kind: KindChunkEnd},
+		{TS: 1300, Kind: KindTaskEnd},
+	}}))
+	rc := costByID(t, costs, 11)
+	// Self time: task 300-100(child) = 200, chunk 100; total 300 — no
+	// double counting of the nested interval.
+	if rc.BusyNs != 300 {
+		t.Errorf("busy = %d, want 300 (no nested double count)", rc.BusyNs)
+	}
+	if rc.Tasks != 1 || rc.Chunks != 1 {
+		t.Errorf("tasks=%d chunks=%d, want 1 and 1", rc.Tasks, rc.Chunks)
+	}
+}
+
+func TestSummarizeRequestsAmbientTag(t *testing.T) {
+	// Work-sharing shape: no task spans, chunk spans carry iteration
+	// ranges, and the ambient req-tag owns everything in between.
+	costs := SummarizeRequests(trace(WorkerTrace{ID: 1, Events: []Event{
+		{TS: 5, Kind: KindReqTag, A1: 5},
+		{TS: 10, Kind: KindChunkStart, A1: 0, A2: 128},
+		{TS: 60, Kind: KindChunkEnd},
+		{TS: 65, Kind: KindReqTag, A1: 0},
+		// After the clear: untagged work, attributed to nobody.
+		{TS: 70, Kind: KindChunkStart, A1: 128, A2: 256},
+		{TS: 90, Kind: KindChunkEnd},
+	}}))
+	if len(costs) != 1 {
+		t.Fatalf("got %d requests, want 1 (untagged work skipped): %+v", len(costs), costs)
+	}
+	rc := costByID(t, costs, 5)
+	if rc.BusyNs != 50 || rc.Chunks != 1 {
+		t.Errorf("req 5 = %+v, want busy 50, 1 chunk", rc)
+	}
+}
+
+func TestSummarizeRequestsMultiWorker(t *testing.T) {
+	costs := SummarizeRequests(trace(
+		WorkerTrace{ID: 0, Events: []Event{
+			{TS: 0, Kind: KindTaskStart, A1: 3},
+			{TS: 100, Kind: KindTaskEnd},
+		}},
+		WorkerTrace{ID: 1, Events: []Event{
+			{TS: 20, Kind: KindTaskStart, A1: 3},
+			{TS: 70, Kind: KindTaskEnd},
+		}},
+	))
+	rc := costByID(t, costs, 3)
+	if rc.Workers != 2 || rc.BusyNs != 150 || rc.Tasks != 2 {
+		t.Errorf("req 3 = %+v, want 2 workers, busy 150, 2 tasks", rc)
+	}
+}
+
+func TestSummarizeRequestsWraparoundTolerant(t *testing.T) {
+	// An end without a start (start overwritten by the ring) must not
+	// attribute garbage or panic; a start without an end attributes up
+	// to the window edge.
+	costs := SummarizeRequests(trace(WorkerTrace{ID: 0, Dropped: 10, Events: []Event{
+		{TS: 50, Kind: KindTaskEnd}, // orphan end
+		{TS: 100, Kind: KindTaskStart, A1: 4},
+		{TS: 300, Kind: KindSteal}, // last event: window edge
+	}}))
+	rc := costByID(t, costs, 4)
+	if rc.BusyNs != 200 {
+		t.Errorf("open span busy = %d, want 200 (to window edge)", rc.BusyNs)
+	}
+}
+
+func TestSummarizeRequestsEmptyForUntaggedTraces(t *testing.T) {
+	costs := SummarizeRequests(trace(WorkerTrace{ID: 0, Events: []Event{
+		{TS: 0, Kind: KindTaskStart}, // A1 == 0: the pre-telemetry encoding
+		{TS: 10, Kind: KindTaskEnd},
+	}}))
+	if len(costs) != 0 {
+		t.Fatalf("untagged trace produced request costs: %+v", costs)
+	}
+	if got := SummarizeRequests(nil); got != nil {
+		t.Fatalf("nil trace: %+v", got)
+	}
+}
+
+func TestRenderRequestsTable(t *testing.T) {
+	var b strings.Builder
+	RenderRequests(&b, []RequestCost{{ID: 12, Tasks: 3, BusyNs: 1500, Workers: 2}})
+	out := b.String()
+	if !strings.Contains(out, "per-request scheduler cost") || !strings.Contains(out, "12") {
+		t.Errorf("table missing header or row:\n%s", out)
+	}
+	b.Reset()
+	RenderRequests(&b, nil)
+	if b.Len() != 0 {
+		t.Errorf("empty cost set rendered output: %q", b.String())
+	}
+}
+
+// Satellite coverage: View prefix/base composition — the exact shapes
+// models/sharded.go builds (s0/, s1/ lanes, including a view of a
+// view) — combined with request-id span attribution across lanes.
+func TestViewCompositionWithRequestIDs(t *testing.T) {
+	tr := New(64)
+
+	// Two shard lanes as newShardResolver lays them out: shard 0 at
+	// offset 0, shard 1 offset past shard 0's id range.
+	s0 := tr.View(0, "s0/")
+	s1 := tr.View(8, "s1/")
+	s0.Label(0, "ws-w0")
+	s1.Label(0, "ws-w0")
+	if nested := s1.View(2, "h/"); nested != nil {
+		nested.Label(0, "x") // base 8+2, prefix "s1/h/"
+		nested.Ring(0).Record(KindSpawn, 0, 0)
+	}
+
+	s0.Ring(0).Record(KindTaskStart, 77, 0)
+	s0.Ring(0).Record(KindTaskEnd, 0, 0)
+	s1.Ring(0).Record(KindTaskStart, 77, 0)
+	s1.Ring(0).Record(KindTaskEnd, 0, 0)
+
+	snap := tr.Snapshot()
+	labels := map[int]string{}
+	for _, wt := range snap.Workers {
+		labels[wt.ID] = wt.Label
+	}
+	if labels[0] != "s0/ws-w0" {
+		t.Errorf("shard 0 label = %q, want s0/ws-w0", labels[0])
+	}
+	if labels[8] != "s1/ws-w0" {
+		t.Errorf("shard 1 label = %q, want s1/ws-w0 (base offset composed)", labels[8])
+	}
+	if labels[10] != "s1/h/x" {
+		t.Errorf("nested view label = %q, want s1/h/x (view-of-view composes additively)", labels[10])
+	}
+
+	// One request executed on both lanes: attribution sees through the
+	// id offsets and counts two distinct workers.
+	rc := costByID(t, SummarizeRequests(snap), 77)
+	if rc.Workers != 2 || rc.Tasks != 2 {
+		t.Errorf("cross-shard req = %+v, want 2 workers, 2 tasks", rc)
+	}
+}

@@ -67,6 +67,15 @@ const (
 	// range.
 	KindThreadStart
 	KindThreadEnd
+	// KindReqTag sets the worker's ambient request id to A1 (0 clears
+	// it): spans recorded after it attribute to that request until the
+	// next tag. The work-sharing runtimes emit it around regions whose
+	// chunk spans carry no per-span request argument.
+	KindReqTag
+	// KindStall is an instant emitted by the metrics stall watchdog:
+	// A1 is the pending-work count, A2 the parked-worker count at
+	// detection.
+	KindStall
 
 	kindCount
 )
@@ -94,6 +103,10 @@ func (k Kind) String() string {
 		return "chunk"
 	case KindThreadStart, KindThreadEnd:
 		return "thread"
+	case KindReqTag:
+		return "req-tag"
+	case KindStall:
+		return "stall"
 	default:
 		return "unknown"
 	}
@@ -245,6 +258,33 @@ func (t *Tracer) Label(i int, label string) {
 	s.mu.Lock()
 	s.labels[t.base+i] = t.prefix + label
 	s.mu.Unlock()
+}
+
+// Dropped returns the total number of ring-wraparound-overwritten
+// events across every worker ring, without materializing a snapshot —
+// the cheap overflow check the harness and the /metrics exposition
+// poll. Safe on a nil tracer (returns 0).
+func (t *Tracer) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	s := t.state
+	s.mu.Lock()
+	rings := make([]*Ring, 0, len(s.rings))
+	for _, r := range s.rings {
+		rings = append(rings, r)
+	}
+	s.mu.Unlock()
+
+	var total int64
+	for _, r := range rings {
+		r.mu.Lock()
+		if over := r.pos - int64(len(r.buf)); over > 0 {
+			total += over
+		}
+		r.mu.Unlock()
+	}
+	return total
 }
 
 // Trace is a materialized capture: every worker's retained events in

@@ -434,6 +434,13 @@ func (w *worker) flushFree() {
 // counting help-first submitter slots).
 func (p *Pool) Workers() int { return len(p.workers) }
 
+// ParkedWorkers reports how many dedicated workers are currently
+// parked (or committed to parking). With PendingWork and Workers it
+// gives the metrics stall watchdog its pending-work-while-parked
+// view; like the wake-up protocol itself, the value is advisory and
+// may be momentarily stale.
+func (p *Pool) ParkedWorkers() int { return int(p.parkedCount.Load()) }
+
 // Partitioner reports the ForDAC loop partitioner the pool was
 // configured with.
 func (p *Pool) Partitioner() Partitioner { return p.part }
@@ -730,7 +737,7 @@ func (w *worker) run(t *task) {
 	if w.help {
 		w.st.CountHelpFirst()
 	}
-	w.ring.Record(tracez.KindTaskStart, 0, 0)
+	w.ring.Record(tracez.KindTaskStart, t.reg.TraceID(), 0)
 	if w.ring != nil && trace.IsEnabled() {
 		defer trace.StartRegion(context.Background(), "worksteal.task").End()
 	}
